@@ -1,0 +1,70 @@
+//! Error types for configuration handling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while loading or validating an architecture
+/// configuration.
+#[derive(Debug)]
+pub enum ArchError {
+    /// A configuration field has an inconsistent or out-of-range value.
+    Invalid {
+        /// Which field (dotted path, e.g. `resources.xbar_rows`).
+        field: &'static str,
+        /// Why it is invalid.
+        msg: String,
+    },
+    /// The configuration file could not be parsed.
+    Parse(String),
+    /// The configuration file could not be read or written.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::Invalid { field, msg } => {
+                write!(f, "invalid configuration field `{field}`: {msg}")
+            }
+            ArchError::Parse(msg) => write!(f, "configuration parse error: {msg}"),
+            ArchError::Io(e) => write!(f, "configuration i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for ArchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArchError {
+    fn from(e: std::io::Error) -> Self {
+        ArchError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let e = ArchError::Invalid {
+            field: "resources.xbar_rows",
+            msg: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("resources.xbar_rows"));
+    }
+
+    #[test]
+    fn io_error_chains() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = ArchError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

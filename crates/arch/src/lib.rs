@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Architecture configuration and hardware cost models.
+//!
+//! The paper's workflow starts from an **architecture configuration file**
+//! holding four sections (Fig. 1): architectural resources, hardware
+//! performance parameters, simulator settings, and interconnection
+//! parameters. [`ArchConfig`] models exactly that file (JSON on disk), and
+//! the [`model`] module turns it into latency ([`pimsim_event::SimTime`])
+//! and energy ([`Energy`]) costs for every operation class. Both the
+//! cycle-accurate simulator and the MNSIM2.0-like baseline consume the same
+//! cost model, which is what makes the paper's Fig. 5 comparison (“using the
+//! same crossbar configuration”) meaningful.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pimsim_arch::ArchConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's evaluation chip: 64 cores, 512 crossbars/core, 128x128.
+//! let arch = ArchConfig::paper_default();
+//! arch.validate()?;
+//! assert_eq!(arch.resources.cores(), 64);
+//!
+//! // Configurations round-trip through the on-disk JSON format.
+//! let text = arch.to_json();
+//! let again = ArchConfig::from_json(&text)?;
+//! assert_eq!(arch, again);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod energy;
+mod error;
+pub mod model;
+
+pub use config::{ArchConfig, EnergyParams, NocParams, Resources, SimSettings, TimingParams};
+pub use energy::Energy;
+pub use error::ArchError;
+
+/// Result alias for fallible configuration operations.
+pub type Result<T> = std::result::Result<T, ArchError>;

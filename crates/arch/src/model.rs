@@ -1,0 +1,319 @@
+//! The hardware cost model: latency and energy for every operation class.
+//!
+//! All formulas are documented here once and shared by the cycle-accurate
+//! simulator and the MNSIM2.0-like baseline, so the two disagree only in
+//! *how operations are scheduled*, never in per-operation costs — the exact
+//! property the paper's Fig. 5 comparison isolates.
+//!
+//! ## Matrix-vector multiplication (crossbar group)
+//!
+//! Inputs stream bit-serially over `phases = ceil(input_bits / dac_bits)`
+//! phases. In each phase every crossbar of the group performs one analog
+//! read (`xbar_read_ns`, all crossbars in parallel) and then its ADC
+//! digitizes the active bit-line columns. A logical weight spans
+//! `cells_per_weight = ceil(weight_bits / cell_bits)` physical columns, so a
+//! group producing `output_len` values converts `output_len *
+//! cells_per_weight` columns, spread over its crossbars; the slowest
+//! crossbar (most active columns) bounds the phase:
+//!
+//! ```text
+//! t_mvm = phases * (xbar_read_ns + ceil(worst_cols / adcs_per_xbar) * adc_sample_ns)
+//! ```
+//!
+//! Energy counts active cells, DAC row drivers, and ADC conversions.
+//!
+//! ## Vector operations
+//!
+//! `t = startup + ceil(len / lanes) * cycles_per_batch` core cycles; energy
+//! is per element plus local-memory traffic (`reads + writes` streams).
+//!
+//! ## Transfers
+//!
+//! A message of `n` 32-bit elements becomes `1 + ceil(4n / flit_bytes)`
+//! flits (one header flit). Per-hop pipe latency is `hop_cycles`; a link
+//! forwards `link_flits_per_cycle`, so serialization is
+//! `flits / link_flits_per_cycle` NoC cycles. Contention on shared links is
+//! modeled by the simulator's NoC, not here.
+
+use pimsim_event::{Clock, SimTime};
+
+use crate::config::ArchConfig;
+use crate::energy::Energy;
+
+/// A latency/energy pair for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Time the operation occupies its execution resource.
+    pub time: SimTime,
+    /// Energy consumed by the operation.
+    pub energy: Energy,
+}
+
+/// The shared hardware cost model derived from an [`ArchConfig`].
+///
+/// ```rust
+/// use pimsim_arch::{model::CostModel, ArchConfig};
+/// let arch = ArchConfig::paper_default();
+/// let m = CostModel::new(&arch);
+/// // A full 128-input, 128-output MVM on a 4-crossbar group:
+/// let c = m.mvm_cost(128, 128, 4);
+/// assert!(c.time.as_ns_f64() > 0.0 && c.energy.as_pj() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    cfg: &'a ArchConfig,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model over `cfg`.
+    pub fn new(cfg: &'a ArchConfig) -> Self {
+        CostModel { cfg }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &'a ArchConfig {
+        self.cfg
+    }
+
+    /// The core clock.
+    pub fn core_clock(&self) -> Clock {
+        Clock::from_ghz(self.cfg.timing.core_freq_ghz)
+    }
+
+    /// The NoC clock.
+    pub fn noc_clock(&self) -> Clock {
+        Clock::from_ghz(self.cfg.noc.freq_ghz)
+    }
+
+    /// Worst per-crossbar active physical columns for a group with
+    /// `output_len` logical outputs over `xbar_count` crossbars.
+    fn worst_cols(&self, output_len: u32, xbar_count: u32) -> u32 {
+        let phys = output_len * self.cfg.resources.cells_per_weight();
+        phys.div_ceil(xbar_count.max(1)).min(self.cfg.resources.xbar_cols)
+    }
+
+    /// Cost of one `MVM` on a group with `input_len` inputs, `output_len`
+    /// outputs, spread over `xbar_count` crossbars.
+    pub fn mvm_cost(&self, input_len: u32, output_len: u32, xbar_count: u32) -> Cost {
+        let r = &self.cfg.resources;
+        let t = &self.cfg.timing;
+        let e = &self.cfg.energy;
+        let phases = r.mvm_phases() as f64;
+        let worst = self.worst_cols(output_len, xbar_count);
+        let adc_serial = worst.div_ceil(r.adcs_per_xbar) as f64 * t.adc_sample_ns;
+        let time_ns = phases * (t.xbar_read_ns + adc_serial);
+
+        let phys_cols = (output_len * r.cells_per_weight()) as f64;
+        let active_cells = input_len as f64 * phys_cols;
+        let dac_drives = input_len as f64 * xbar_count as f64;
+        let conversions = phys_cols;
+        let energy_pj = phases
+            * (active_cells * e.xbar_pj_per_cell
+                + dac_drives * e.dac_pj_per_input
+                + conversions * e.adc_pj_per_sample)
+            // Read inputs from and write outputs to the local scratchpad once.
+            + (input_len + output_len) as f64 * e.local_mem_pj_per_elem;
+        Cost {
+            time: SimTime::from_ns_f64(time_ns),
+            energy: Energy::from_pj(energy_pj),
+        }
+    }
+
+    /// Cost of a vector operation over `len` elements with `reads` source
+    /// streams and `writes` destination streams.
+    pub fn vector_cost(&self, len: u32, reads: u32, writes: u32) -> Cost {
+        let r = &self.cfg.resources;
+        let t = &self.cfg.timing;
+        let e = &self.cfg.energy;
+        let batches = (len as u64).div_ceil(r.vector_lanes as u64);
+        let cycles = t.vector_startup_cycles as u64
+            + batches * t.vector_cycles_per_batch as u64
+            + t.local_mem_access_cycles as u64;
+        let energy_pj = len as f64 * e.vector_pj_per_elem
+            + (len as f64 * (reads + writes) as f64) * e.local_mem_pj_per_elem;
+        Cost {
+            time: self.core_clock().cycles_to_time(cycles),
+            energy: Energy::from_pj(energy_pj),
+        }
+    }
+
+    /// Cost of one scalar ALU operation.
+    pub fn scalar_cost(&self) -> Cost {
+        Cost {
+            time: self
+                .core_clock()
+                .cycles_to_time(self.cfg.timing.scalar_op_cycles as u64),
+            energy: Energy::from_pj(self.cfg.energy.scalar_pj_per_op),
+        }
+    }
+
+    /// Frontend (fetch + decode) energy charged per executed instruction.
+    pub fn frontend_energy(&self) -> Energy {
+        Energy::from_pj(self.cfg.energy.frontend_pj_per_instr)
+    }
+
+    /// Flits needed to carry `elems` 32-bit elements (plus a header flit).
+    pub fn flits_for_elems(&self, elems: u32) -> u64 {
+        1 + (elems as u64 * 4).div_ceil(self.cfg.noc.flit_bytes as u64)
+    }
+
+    /// Pure pipe latency for a packet crossing `hops` mesh hops (no
+    /// serialization, no contention).
+    pub fn noc_hop_latency(&self, hops: u32) -> SimTime {
+        self.noc_clock()
+            .cycles_to_time(hops as u64 * self.cfg.noc.hop_cycles as u64)
+    }
+
+    /// Time for one link to forward `flits` flits.
+    pub fn link_serialization(&self, flits: u64) -> SimTime {
+        let cycles = (flits as f64 / self.cfg.noc.link_flits_per_cycle).ceil() as u64;
+        self.noc_clock().cycles_to_time(cycles)
+    }
+
+    /// NoC energy for `flits` flits crossing `hops` hops.
+    pub fn noc_energy(&self, flits: u64, hops: u32) -> Energy {
+        Energy::from_pj(flits as f64 * hops as f64 * self.cfg.energy.noc_pj_per_flit_hop)
+    }
+
+    /// Uncontended end-to-end message cost over `hops` hops: pipe latency +
+    /// serialization + wire energy. The cycle-accurate simulator instead
+    /// walks the packet through per-link occupancy; this closed form is used
+    /// by the baseline and for quick estimates.
+    pub fn noc_message_cost(&self, elems: u32, hops: u32) -> Cost {
+        let flits = self.flits_for_elems(elems);
+        Cost {
+            time: self.noc_hop_latency(hops) + self.link_serialization(flits),
+            energy: self.noc_energy(flits, hops),
+        }
+    }
+
+    /// Cost of a global-memory access of `elems` elements (latency +
+    /// bandwidth serialization at the controller; NoC cost is separate).
+    pub fn global_mem_cost(&self, elems: u32) -> Cost {
+        let t = &self.cfg.timing;
+        let time_ns = t.global_mem_latency_ns + elems as f64 / t.global_mem_bw_elems_per_ns;
+        Cost {
+            time: SimTime::from_ns_f64(time_ns),
+            energy: Energy::from_pj(elems as f64 * self.cfg.energy.global_mem_pj_per_elem),
+        }
+    }
+
+    /// Total static power of the chip in watts.
+    pub fn static_power_w(&self) -> f64 {
+        let e = &self.cfg.energy;
+        (e.core_static_mw * self.cfg.resources.cores() as f64 + e.chip_static_mw) / 1e3
+    }
+
+    /// Static energy burned over `duration`.
+    pub fn static_energy(&self, duration: SimTime) -> Energy {
+        Energy::from_pj(self.static_power_w() * duration.as_secs_f64() * 1e12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArchConfig;
+
+    fn model(cfg: &ArchConfig) -> CostModel<'_> {
+        CostModel::new(cfg)
+    }
+
+    #[test]
+    fn mvm_time_matches_formula() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        // 128 inputs, 128 outputs over 4 crossbars: phys cols = 512, worst
+        // per xbar = 128, phases = 8.
+        let c = m.mvm_cost(128, 128, 4);
+        let expect_ns = 8.0 * (100.0 + 128.0 * 1.0);
+        assert!((c.time.as_ns_f64() - expect_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mvm_more_adcs_is_faster() {
+        let mut cfg = ArchConfig::paper_default();
+        let slow = model(&cfg).mvm_cost(128, 128, 4).time;
+        cfg.resources.adcs_per_xbar = 4;
+        let fast = model(&cfg).mvm_cost(128, 128, 4).time;
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn mvm_worst_cols_capped_by_xbar_width() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        // One crossbar cannot have more than 128 active columns even if the
+        // logical output would need more.
+        let c1 = m.mvm_cost(128, 32, 1); // 32*4 = 128 phys cols on one xbar
+        let c2 = m.mvm_cost(128, 64, 1); // would be 256, capped at 128
+        assert_eq!(c1.time, c2.time);
+    }
+
+    #[test]
+    fn mvm_energy_scales_with_work() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let small = m.mvm_cost(64, 64, 2).energy;
+        let large = m.mvm_cost(128, 128, 4).energy;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn vector_cost_scales_in_batches() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let c32 = m.vector_cost(32, 2, 1); // one batch of 32 lanes
+        let c33 = m.vector_cost(33, 2, 1); // two batches
+        assert!(c33.time > c32.time);
+        assert_eq!(
+            m.vector_cost(1, 2, 1).time,
+            m.vector_cost(32, 2, 1).time,
+            "within one batch, time is flat"
+        );
+    }
+
+    #[test]
+    fn flit_math() {
+        let cfg = ArchConfig::paper_default(); // 32-byte flits
+        let m = model(&cfg);
+        assert_eq!(m.flits_for_elems(0), 1); // header only
+        assert_eq!(m.flits_for_elems(8), 2); // 32 bytes payload
+        assert_eq!(m.flits_for_elems(9), 3);
+    }
+
+    #[test]
+    fn noc_cost_monotone_in_distance_and_size() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        assert!(m.noc_message_cost(64, 4).time > m.noc_message_cost(64, 1).time);
+        assert!(m.noc_message_cost(256, 2).time > m.noc_message_cost(64, 2).time);
+        assert!(m.noc_energy(10, 3) > m.noc_energy(10, 1));
+    }
+
+    #[test]
+    fn global_mem_includes_bandwidth_term() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let small = m.global_mem_cost(8).time;
+        let big = m.global_mem_cost(8000).time;
+        assert!(big > small);
+    }
+
+    #[test]
+    fn static_power_and_energy() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        // 64 cores * 5 mW + 50 mW = 370 mW
+        assert!((m.static_power_w() - 0.37).abs() < 1e-9);
+        let e = m.static_energy(SimTime::from_us(1));
+        assert!((e.as_uj() - 0.37).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_cost_is_one_cycle_at_default() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        assert_eq!(m.scalar_cost().time, SimTime::from_ns(1));
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmark: ISA encode/decode and assembly round-trip rates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pimsim_isa::{asm, decode, encode, Addr, Instruction, Reg, VBinOp};
+
+fn sample_instructions() -> Vec<Instruction> {
+    let a = |r: u8, off: i32| Addr::new(Reg::new(r).unwrap(), off).unwrap();
+    (0..1000)
+        .map(|i| match i % 4 {
+            0 => Instruction::Mvm {
+                group: ((i % 100) as u16).into(),
+                dst: a(1, i),
+                src: a(2, i),
+                len: 128,
+            },
+            1 => Instruction::VBin {
+                op: VBinOp::Add,
+                dst: a(3, i),
+                a: a(4, i),
+                b: a(5, i),
+                len: 512,
+            },
+            2 => Instruction::Send {
+                peer: ((i % 64) as u16).into(),
+                src: a(6, i),
+                len: 256,
+                tag: (i % 1000) as u16,
+            },
+            _ => Instruction::SImm {
+                op: pimsim_isa::SImmOp::Add,
+                rd: Reg::R7,
+                rs1: Reg::R8,
+                imm: i,
+            },
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let instrs = sample_instructions();
+    let words: Vec<u128> = instrs.iter().map(|i| encode(i).unwrap()).collect();
+    let mut group = c.benchmark_group("isa_codec");
+    group.throughput(Throughput::Elements(instrs.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            for i in &instrs {
+                std::hint::black_box(encode(i).unwrap());
+            }
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            for w in &words {
+                std::hint::black_box(decode(*w).unwrap());
+            }
+        })
+    });
+    group.bench_function("asm_roundtrip", |b| {
+        b.iter(|| {
+            for i in instrs.iter().take(100) {
+                let text = i.to_string();
+                std::hint::black_box(asm::parse_instruction(&text).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmark: raw event-kernel throughput (events per second of
+//! the SystemC-substitute discrete-event engine).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pimsim_event::{Kernel, SimTime};
+
+fn bench_event_throughput(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    let mut group = c.benchmark_group("event_kernel");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("chained_events", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(0u64);
+            fn step(left: u64, w: &mut u64, ctx: &mut pimsim_event::EventCtx<u64>) {
+                *w += 1;
+                if left > 0 {
+                    ctx.schedule_in(SimTime::from_ps(10), move |w, ctx| step(left - 1, w, ctx));
+                }
+            }
+            k.schedule_at(SimTime::ZERO, move |w, ctx| step(EVENTS - 1, w, ctx));
+            k.run();
+            assert_eq!(*k.world(), EVENTS);
+        })
+    });
+    group.bench_function("heap_pressure", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(0u64);
+            for i in 0..10_000u64 {
+                k.schedule_at(SimTime::from_ps((i * 7919) % 100_000), |w, _| *w += 1);
+            }
+            k.run();
+            assert_eq!(*k.world(), 10_000);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_throughput
+}
+criterion_main!(benches);

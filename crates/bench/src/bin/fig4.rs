@@ -1,0 +1,41 @@
+//! Fig. 4 — latency with different ROB sizes (normalized to ROB = 1).
+//!
+//! ```sh
+//! cargo run -p pimsim-bench --release --bin fig4
+//! ```
+
+use pimsim_arch::ArchConfig;
+use pimsim_bench::{header, network, row, run, BATCH, FIG34_NETWORKS, FIG34_RESOLUTION};
+use pimsim_compiler::MappingPolicy;
+
+const ROBS: &[u32] = &[1, 4, 8, 12, 16];
+
+fn main() {
+    println!("# Fig. 4 — latency vs ROB size (performance-first, batch {BATCH})");
+    println!("# normalized to ROB=1\n");
+    let mut cols = vec!["network"];
+    let rob_labels: Vec<String> = ROBS.iter().map(|r| format!("rob={r}")).collect();
+    cols.extend(rob_labels.iter().map(String::as_str));
+    header(&cols);
+
+    for name in FIG34_NETWORKS {
+        let net = network(name, FIG34_RESOLUTION);
+        let mut cells = vec![name.to_string()];
+        let mut base = None;
+        let mut last_two = [0.0f64; 2];
+        for &rob in ROBS {
+            let arch = ArchConfig::paper_default().with_rob(rob);
+            let (_, report) = run(&arch, &net, MappingPolicy::PerformanceFirst, BATCH);
+            let lat = report.latency.as_ns_f64();
+            let b = *base.get_or_insert(lat);
+            let norm = lat / b;
+            cells.push(format!("{norm:.3}"));
+            last_two = [last_two[1], norm];
+        }
+        row(&cells);
+        let delta = (last_two[0] - last_two[1]) / last_two[0].max(1e-12) * 100.0;
+        println!("  (12 -> 16 gains {delta:.1}% — the structure-hazard knee)");
+    }
+    println!("\npaper: latency drops as the ROB grows; the 12->16 step gains little because");
+    println!("back-to-back MVMs on the same crossbars serialize (structure hazard)");
+}

@@ -1,0 +1,98 @@
+//! Shared helpers for the figure-regeneration harnesses.
+//!
+//! Each paper figure has a binary in `src/bin` that prints the same series
+//! the paper reports (normalized, as in the paper):
+//!
+//! * `fig3` — mapping-algorithm comparison (latency + energy)
+//! * `fig4` — ROB-size sweep
+//! * `fig5` — comparison with the MNSIM2.0-like baseline
+//!
+//! Run them with `cargo run -p pimsim-bench --release --bin fig3` etc.
+//! Criterion microbenchmarks (host performance of the simulator itself)
+//! live under `benches/`.
+
+use pimsim_arch::ArchConfig;
+use pimsim_compiler::{Compiled, Compiler, MappingPolicy};
+use pimsim_core::{SimReport, Simulator};
+use pimsim_event::SimTime;
+use pimsim_nn::{zoo, Network};
+
+/// The four networks of Fig. 3 / Fig. 4.
+pub const FIG34_NETWORKS: &[&str] = &["alexnet", "googlenet", "resnet18", "squeezenet"];
+/// The three MNSIM2.0-source networks of Fig. 5.
+pub const FIG5_NETWORKS: &[&str] = &["vgg8", "vgg16", "resnet18"];
+
+/// Input resolution used by the harnesses. The paper's figures are
+/// normalized, so shape — not absolute scale — is what must hold; 64×64
+/// (32×32 for the CIFAR-scale Fig. 5 set) keeps a full sweep under a few
+/// minutes on a laptop. See EXPERIMENTS.md.
+pub const FIG34_RESOLUTION: u32 = 64;
+/// Fig. 5 resolution (the MNSIM2.0 example networks are CIFAR-scale).
+pub const FIG5_RESOLUTION: u32 = 32;
+/// Back-to-back inferences for the pipelined Fig. 3/4 runs.
+pub const BATCH: u32 = 4;
+
+/// Loads a zoo network at the harness resolution.
+pub fn network(name: &str, resolution: u32) -> Network {
+    zoo::by_name(name, resolution).unwrap_or_else(|| panic!("unknown network {name}"))
+}
+
+/// Compiles and simulates; returns `(compiled, report)`.
+pub fn run(
+    arch: &ArchConfig,
+    net: &Network,
+    policy: MappingPolicy,
+    batch: u32,
+) -> (Compiled, SimReport) {
+    let compiled = Compiler::new(arch)
+        .mapping(policy)
+        .batch(batch)
+        .functional(false)
+        .compile(net)
+        .unwrap_or_else(|e| panic!("compile {}: {e}", net.name));
+    let report = Simulator::new(arch)
+        .run(&compiled.program)
+        .unwrap_or_else(|e| panic!("simulate {}: {e}", net.name));
+    (compiled, report)
+}
+
+/// Per-image latency of a batched run.
+pub fn per_image(latency: SimTime, batch: u32) -> SimTime {
+    latency / batch as u64
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header.
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_helpers_work_end_to_end() {
+        let arch = ArchConfig::small_test();
+        let net = zoo::tiny_mlp();
+        let (compiled, report) = run(&arch, &net, MappingPolicy::PerformanceFirst, 1);
+        assert!(compiled.program.total_instructions() > 0);
+        assert!(report.latency > SimTime::ZERO);
+        assert_eq!(per_image(SimTime::from_ns(100), 4), SimTime::from_ns(25));
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        for n in FIG34_NETWORKS {
+            assert!(zoo::by_name(n, FIG34_RESOLUTION).is_some());
+        }
+        for n in FIG5_NETWORKS {
+            assert!(zoo::by_name(n, FIG5_RESOLUTION).is_some());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal `--key value` / `--flag` argument parsing (no external deps).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: `--key value` options, `--flag` booleans
+/// and positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    /// Arguments without a leading `--`.
+    pub positional: Vec<String>,
+}
+
+/// Option names that take a value; everything else with `--` is a flag.
+const VALUE_OPTIONS: &[&str] = &[
+    "network", "size", "config", "mapping", "rob", "batch", "out", "asm",
+];
+
+impl Args {
+    /// Parses raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a value option is missing its value.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if VALUE_OPTIONS.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    args.options.insert(name.to_string(), v.clone());
+                } else {
+                    args.flags.push(name.to_string());
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name` parsed as `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is not a number.
+    pub fn get_u32(&self, name: &str) -> Result<Option<u32>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+
+    /// `true` if `--name` was given as a flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn options_flags_positionals() {
+        let a = parse(&["--network", "vgg8", "--json", "file.s", "--rob", "8"]);
+        assert_eq!(a.get("network"), Some("vgg8"));
+        assert!(a.flag("json"));
+        assert!(!a.flag("baseline"));
+        assert_eq!(a.positional, vec!["file.s"]);
+        assert_eq!(a.get_u32("rob").unwrap(), Some(8));
+        assert_eq!(a.get_u32("batch").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let v = vec!["--network".to_string()];
+        assert!(Args::parse(&v).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse(&["--rob", "eight"]);
+        assert!(a.get_u32("rob").is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! `pimsim` — command-line front end for the PIMSIM-NN framework.
+//!
+//! ```text
+//! pimsim run      --network resnet18 [--size 64] [--mapping performance-first]
+//!                 [--rob N] [--batch N] [--config arch.json] [--functional]
+//!                 [--baseline] [--json]
+//! pimsim compile  --network vgg8 [--size 32] [--mapping ...] [--out prog.json]
+//!                 [--asm prog.s]
+//! pimsim asm      <file.s> [--out prog.json]
+//! pimsim disasm   <prog.json>
+//! pimsim networks
+//! pimsim config   [--out arch.json]
+//! ```
+
+use std::process::ExitCode;
+
+use pimsim_arch::ArchConfig;
+use pimsim_baseline::BaselineSimulator;
+use pimsim_compiler::{Compiler, MappingPolicy};
+use pimsim_core::Simulator;
+use pimsim_isa::{asm, Program};
+use pimsim_nn::{zoo, Network};
+
+mod args;
+use args::Args;
+
+const USAGE: &str = "usage: pimsim <run|compile|asm|disasm|networks|config> [options]
+  run       compile a zoo network and simulate it (add --baseline for the
+            MNSIM2.0-like behaviour-level model)
+  compile   compile a network and write the program (JSON and/or assembly)
+  asm       assemble a .s file into a program JSON
+  disasm    print the assembly of a program JSON
+  networks  list zoo networks
+  config    print (or write) the default architecture configuration
+
+common options:
+  --network NAME      zoo network (see `pimsim networks`)
+  --size N            input resolution (default 64; vgg8 default 32)
+  --config FILE       architecture configuration JSON (default: paper chip)
+  --mapping POLICY    performance-first | utilization-first
+  --rob N             re-order buffer size override
+  --batch N           inferences compiled back to back (default 1)
+  --functional        run functionally (data + timing)
+  --trace             print the first instruction completions
+  --json              machine-readable report
+  --out FILE          output path
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "compile" => cmd_compile(&args),
+        "asm" => cmd_asm(&args),
+        "disasm" => cmd_disasm(&args),
+        "networks" => cmd_networks(),
+        "config" => cmd_config(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn load_arch(args: &Args) -> Result<ArchConfig, String> {
+    let mut arch = match args.get("config") {
+        Some(path) => ArchConfig::from_file(path).map_err(|e| e.to_string())?,
+        None => ArchConfig::paper_default(),
+    };
+    if let Some(rob) = args.get_u32("rob")? {
+        arch.resources.rob_size = rob;
+    }
+    if args.flag("functional") {
+        arch.sim.functional = true;
+    }
+    if args.flag("trace") {
+        arch.sim.trace = true;
+    }
+    arch.validate().map_err(|e| e.to_string())?;
+    Ok(arch)
+}
+
+fn load_network(args: &Args) -> Result<Network, String> {
+    let name = args
+        .get("network")
+        .ok_or("missing --network (try `pimsim networks`)")?;
+    let default_size = if name.starts_with("vgg") { 32 } else { 64 };
+    let size = args.get_u32("size")?.unwrap_or(default_size);
+    zoo::by_name(name, size).ok_or_else(|| format!("unknown network `{name}`"))
+}
+
+fn mapping_policy(args: &Args) -> Result<MappingPolicy, String> {
+    match args.get("mapping").unwrap_or("performance-first") {
+        "performance-first" => Ok(MappingPolicy::PerformanceFirst),
+        "utilization-first" => Ok(MappingPolicy::UtilizationFirst),
+        other => Err(format!("unknown mapping policy `{other}`")),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let arch = load_arch(args)?;
+    let net = load_network(args)?;
+    if args.flag("baseline") {
+        let report = BaselineSimulator::new(&arch)
+            .run(&net)
+            .map_err(|e| e.to_string())?;
+        if args.flag("json") {
+            println!(
+                "{{\"simulator\":\"baseline\",\"network\":\"{}\",\"latency_ns\":{},\"energy_pj\":{},\"power_w\":{}}}",
+                net.name,
+                report.latency.as_ns_f64(),
+                report.energy.as_pj(),
+                report.avg_power_w()
+            );
+        } else {
+            println!("baseline (MNSIM2.0-like) on {}:", net.name);
+            println!("  latency : {}", report.latency);
+            println!("  energy  : {}", report.energy);
+            println!("  power   : {:.3} W", report.avg_power_w());
+            println!("  layers  : {}", report.per_layer.len());
+        }
+        return Ok(());
+    }
+
+    let batch = args.get_u32("batch")?.unwrap_or(1);
+    let policy = mapping_policy(args)?;
+    let compiled = Compiler::new(&arch)
+        .mapping(policy)
+        .batch(batch)
+        .compile(&net)
+        .map_err(|e| e.to_string())?;
+    let report = Simulator::new(&arch)
+        .run(&compiled.program)
+        .map_err(|e| e.to_string())?;
+    let per_image = report.latency / batch as u64;
+    if args.flag("json") {
+        println!(
+            "{{\"simulator\":\"cycle-accurate\",\"network\":\"{}\",\"mapping\":\"{}\",\"batch\":{},\"latency_ns\":{},\"latency_per_image_ns\":{},\"energy_pj\":{},\"power_w\":{},\"instructions\":{},\"events\":{}}}",
+            net.name,
+            policy,
+            batch,
+            report.latency.as_ns_f64(),
+            per_image.as_ns_f64(),
+            report.energy.total().as_pj(),
+            report.avg_power_w(),
+            report.instructions,
+            report.events
+        );
+    } else {
+        println!("{} under {policy} (batch {batch}):", net.name);
+        println!("  latency        : {}", report.latency);
+        if batch > 1 {
+            println!("  per image      : {per_image}");
+        }
+        println!("  energy         : {}", report.energy.total());
+        println!(
+            "    matrix {} / vector {} / transfer {} / static {}",
+            report.energy.matrix,
+            report.energy.vector,
+            report.energy.transfer,
+            report.energy.static_energy
+        );
+        println!("  power          : {:.3} W", report.avg_power_w());
+        println!(
+            "  instructions   : {} (matrix {}, vector {}, transfer {}, scalar {})",
+            report.instructions,
+            report.class_counts[0],
+            report.class_counts[1],
+            report.class_counts[2],
+            report.class_counts[3]
+        );
+        println!("  kernel events  : {}", report.events);
+        println!("  cores w/ work  : {}", compiled.placement.cores_used);
+        if arch.sim.functional {
+            let out = report.read_global(compiled.output.gaddr, compiled.output.elems.min(8));
+            println!("  output head    : {out:?}");
+        }
+        if arch.sim.trace {
+            println!("  trace (first 20 of {}):", report.trace.len());
+            for t in report.trace.iter().take(20) {
+                println!("    {:>12}  core{:<3} {}", format!("{}", t.time), t.core, t.instr);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let arch = load_arch(args)?;
+    let net = load_network(args)?;
+    let policy = mapping_policy(args)?;
+    let batch = args.get_u32("batch")?.unwrap_or(1);
+    let compiled = Compiler::new(&arch)
+        .mapping(policy)
+        .batch(batch)
+        .compile(&net)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "compiled {}: {} instructions over {} cores",
+        net.name,
+        compiled.program.total_instructions(),
+        compiled.placement.cores_used
+    );
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, compiled.program.to_json()).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("asm") {
+        std::fs::write(path, asm::disassemble(&compiled.program)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if args.get("out").is_none() && args.get("asm").is_none() {
+        print!("{}", asm::disassemble(&compiled.program));
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pimsim asm <file.s> [--out prog.json]")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let program = asm::assemble(&text).map_err(|e| e.to_string())?;
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, program.to_json()).map_err(|e| e.to_string())?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{}", program.to_json()),
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pimsim disasm <prog.json>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let program = Program::from_json(&text).map_err(|e| e.to_string())?;
+    print!("{}", asm::disassemble(&program));
+    Ok(())
+}
+
+fn cmd_networks() -> Result<(), String> {
+    for name in zoo::NAMES {
+        let default = if name.starts_with("vgg") { 32 } else { 64 };
+        if let Some(net) = zoo::by_name(name, default) {
+            println!(
+                "{name:11} {:3} layers, {:5.2} GMACs @ {default}x{default}",
+                net.nodes.len(),
+                net.total_macs() as f64 / 1e9
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_config(args: &Args) -> Result<(), String> {
+    let cfg = ArchConfig::paper_default();
+    match args.get("out") {
+        Some(path) => {
+            cfg.to_file(path).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{}", cfg.to_json()),
+    }
+    Ok(())
+}

@@ -1,0 +1,1556 @@
+//! Code generation: placement → per-core instruction streams.
+//!
+//! ## Execution model
+//!
+//! Every core's stream is a sequence of *node sections* in topological
+//! order. A weight layer's section, per output row: incrementally acquire
+//! the input rows its windows need (`RECV`/`GLOAD`; nothing if the producer
+//! lives on the same core), then for every output pixel assemble the im2col
+//! window with one `VCOPY2D`, fire one `MVM` per crossbar group (row-block),
+//! reduce partial sums with `VADD`, and run the fused epilogue (bias add,
+//! `VSRAI` requantization, activation) in place — finally the layer's *home*
+//! core forwards the completed row to every consumer (local `VCOPY`/
+//! `VCOPY2D`, remote synchronized `SEND`).
+//!
+//! ## Deadlock freedom
+//!
+//! Rendezvous transfers deadlock only on inconsistent orderings. The
+//! generator enforces one global order everywhere: cores execute node
+//! sections in node-id order; producers forward each row to consumer edges
+//! sorted by `(consumer id, edge index, core)`; multi-input consumers drain
+//! their input edges in producer order (fully, except the last, which is
+//! pipelined row by row). All waits therefore point backwards in one global
+//! topological order.
+//!
+//! ## Scratch rotation
+//!
+//! Per-pixel scratch (window + accumulators) rotates over
+//! [`SCRATCH_SLOTS`] slots so consecutive pixels have no false WAW hazards
+//! and the ROB (paper Fig. 4) can overlap them.
+
+use std::collections::HashMap;
+
+use pimsim_arch::ArchConfig;
+use pimsim_isa::{
+    Addr, CoreId, GroupConfig, GroupId, Instruction, PoolOp, Program, ProgramLimits, Reg, SImmOp,
+    VBinOp, VImmOp, VUnOp, WeightMatrix,
+};
+use pimsim_nn::{Activation, Network, NodeId, PortRef, WeightGen};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CompileError;
+use crate::lower::{resolve_alias, LoweredKind, LoweredNode};
+use crate::mapping::{MappingPolicy, Placement, Slice};
+use crate::Result;
+
+/// Scratch-slot rotation depth (bounds cross-pixel WAW serialization).
+pub const SCRATCH_SLOTS: u32 = 4;
+
+const LEN_MAX: u32 = (1 << 18) - 1; // transfer/vector length field
+const ABS_MAX: i32 = (1 << 21) - 1; // absolute r0-relative offset
+const WIN_MAX: u32 = 63; // VPOOL window field
+
+/// Where the network output lands in global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutputSpec {
+    /// First element address in global memory.
+    pub gaddr: u64,
+    /// Total output elements.
+    pub elems: u32,
+}
+
+/// The complete compilation artifact.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The executable program (validated).
+    pub program: Program,
+    /// Inferences compiled back to back (outputs land at
+    /// `output.gaddr + i * output.elems` for image `i`).
+    pub batch: u32,
+    /// Where weights landed (for reports and tests).
+    pub placement: Placement,
+    /// Where the output tensor lands in global memory.
+    pub output: OutputSpec,
+    /// Network input element count (staged at global address 0).
+    pub input_elems: u32,
+    /// Node-id → name table (instruction tags index into this).
+    pub node_names: Vec<String>,
+    /// The mapping policy used.
+    pub policy: MappingPolicy,
+}
+
+/// Key for every local-memory buffer the generator plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BufKey {
+    /// Consumer-side storage for one input edge on one compute core.
+    EdgeIn { node: u32, edge: u32, core: u16 },
+    /// Row-assembly buffer (home: full channels; slice cores: their cols).
+    Staging { node: u32, core: u16 },
+    /// Rotating window/accumulator scratch.
+    Scratch { node: u32, core: u16 },
+    /// Bias values.
+    Bias { node: u32, core: u16 },
+    /// Fully materialized output (branch points forward edge-major).
+    OutBuf { node: u32 },
+    /// Home-side contiguous accumulator for a row-split column range.
+    AccRow { node: u32, col_start: u32 },
+    /// Home-side landing area for one remote partial-sum piece.
+    PartialIn { node: u32, slice: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Buf {
+    base: u32,
+    #[allow(dead_code)]
+    elems: u32,
+}
+
+/// Geometry of one consumer edge on one compute core.
+#[derive(Debug, Clone, Copy)]
+struct EdgeDst {
+    buf: u32,
+    /// Consumer-side padding (its buffer is `(H+2p)(W+2p)C_total`).
+    pad: u32,
+    /// Consumer-buffer width including padding.
+    w_pad: u32,
+    /// Consumer-buffer channels (total across concat branches).
+    c_total: u32,
+    /// Channel offset of this producer within a pixel (concat).
+    chan_off: u32,
+    /// Producer row geometry.
+    src_w: u32,
+    src_c: u32,
+}
+
+impl EdgeDst {
+    fn row_base(&self, y: u32) -> u32 {
+        self.buf + ((y + self.pad) * self.w_pad + self.pad) * self.c_total + self.chan_off
+    }
+    fn interleaved(&self) -> bool {
+        self.c_total != self.src_c || self.chan_off != 0
+    }
+}
+
+struct Emitter<'a> {
+    arch: &'a ArchConfig,
+    input_shape: pimsim_nn::Shape,
+    lowered: &'a [LoweredNode],
+    placement: &'a Placement,
+    progs: Vec<pimsim_isa::CoreProgram>,
+    tags: Vec<Vec<u16>>,
+    mem_next: Vec<u32>,
+    bufs: HashMap<BufKey, Buf>,
+    edge_tags: HashMap<(u32, u32, u16), u16>,
+    gather_tags: HashMap<u32, u16>,
+    next_tag: u32,
+    weights: Option<WeightGen>,
+    shift: u32,
+    cur_tag: u16,
+    /// Per-core rotating base-register cache: (reg index 1..=8, value).
+    reg_cache: Vec<Vec<(u8, u32)>>,
+    reg_next: Vec<u8>,
+    /// Per-core next free physical crossbar.
+    xbar_next: Vec<u32>,
+    /// Per (node, slice-index-in-node) → (core, group ids).
+    slice_groups: HashMap<(u32, u32), Vec<GroupId>>,
+}
+
+/// Entry point: emits the full program.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit(
+    net: &Network,
+    lowered: &[LoweredNode],
+    placement: &Placement,
+    arch: &ArchConfig,
+    policy: MappingPolicy,
+    shift: u32,
+    weights: Option<WeightGen>,
+    batch: u32,
+) -> Result<Compiled> {
+    let n_cores = arch.resources.cores() as usize;
+    let mut e = Emitter {
+        arch,
+        input_shape: net.input_shape,
+        lowered,
+        placement,
+        progs: vec![pimsim_isa::CoreProgram::default(); n_cores],
+        tags: vec![Vec::new(); n_cores],
+        mem_next: vec![0; n_cores],
+        bufs: HashMap::new(),
+        edge_tags: HashMap::new(),
+        gather_tags: HashMap::new(),
+        next_tag: 0,
+        weights,
+        shift,
+        cur_tag: 0,
+        reg_cache: vec![Vec::new(); n_cores],
+        reg_next: vec![1; n_cores],
+        xbar_next: vec![0; n_cores],
+        slice_groups: HashMap::new(),
+    };
+
+    e.plan_buffers()?;
+    e.build_groups()?;
+
+    let out_node = net.output_node()?;
+    let input_elems = net.input_shape.elems();
+    let out_shape = lowered[out_node.as_usize()].out_shape;
+    let out_gaddr = (input_elems as u64).next_multiple_of(64);
+
+    for img in 0..batch {
+        let img_out = out_gaddr + img as u64 * out_shape.elems() as u64;
+        for node in lowered {
+            e.cur_tag = node.id.0 as u16;
+            match &node.kind {
+                LoweredKind::Alias => {}
+                LoweredKind::Matrix(_) => e.emit_matrix(node, out_node, img_out)?,
+                LoweredKind::Pool { .. } => e.emit_pool(node, out_node, img_out)?,
+                LoweredKind::GlobalPool => e.emit_global_pool(node, out_node, img_out)?,
+                LoweredKind::Add { .. } => e.emit_add(node, out_node, img_out)?,
+                LoweredKind::Concat => e.emit_concat(node, out_node, img_out)?,
+                LoweredKind::Activation(_) => e.emit_activation(node, out_node, img_out)?,
+            }
+        }
+    }
+
+    // Halt every active core.
+    for c in 0..n_cores {
+        if !e.progs[c].instrs.is_empty() || !e.progs[c].groups.is_empty() {
+            e.push(c as u16, Instruction::Halt);
+        }
+    }
+
+    let mut program = Program::with_cores(n_cores);
+    for (c, (prog, tags)) in e.progs.into_iter().zip(e.tags).enumerate() {
+        program.cores[c] = prog;
+        program.cores[c].instr_tags = tags;
+    }
+    program.meta.name = net.name.clone();
+    program.meta.mapping = policy.to_string();
+    program.meta.notes = format!("requant_shift={shift}");
+
+    // Stage the input for functional runs.
+    if let Some(gen) = e.weights {
+        program.global_init = vec![(0, gen.input(input_elems))];
+    }
+
+    let limits = ProgramLimits {
+        cores: arch.resources.cores(),
+        xbars_per_core: arch.resources.xbars_per_core,
+        local_mem_elems: arch.resources.local_mem_elems(),
+        global_mem_elems: arch.resources.global_mem_elems(),
+    };
+    program.validate(&limits)?;
+
+    Ok(Compiled {
+        program,
+        batch,
+        placement: placement.clone(),
+        output: OutputSpec {
+            gaddr: out_gaddr,
+            elems: out_shape.elems(),
+        },
+        input_elems,
+        node_names: lowered.iter().map(|n| n.name.clone()).collect(),
+        policy,
+    })
+}
+
+impl<'a> Emitter<'a> {
+    // ------------------------------------------------------------ helpers --
+
+    fn push(&mut self, core: u16, instr: Instruction) {
+        self.progs[core as usize].instrs.push(instr);
+        self.tags[core as usize].push(self.cur_tag);
+    }
+
+    fn alloc(&mut self, core: u16, elems: u32, what: &str) -> Result<u32> {
+        let cap = self.arch.resources.local_mem_elems();
+        let base = self.mem_next[core as usize];
+        let end = base as u64 + elems as u64;
+        if end > cap as u64 {
+            return Err(CompileError::LocalMemoryOverflow {
+                core,
+                needed: end,
+                available: cap as u64,
+                context: what.to_string(),
+            });
+        }
+        self.mem_next[core as usize] = end as u32;
+        Ok(base)
+    }
+
+    fn buf(&self, key: BufKey) -> Result<Buf> {
+        self.bufs
+            .get(&key)
+            .copied()
+            .ok_or_else(|| CompileError::Internal(format!("missing buffer {key:?}")))
+    }
+
+    fn new_tag(&mut self) -> Result<u16> {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        u16::try_from(t).map_err(|_| CompileError::TagOverflow)
+    }
+
+    /// Local-memory operand for absolute element address `abs`, emitting a
+    /// base-register load if the offset does not fit the encoding.
+    fn addr(&mut self, core: u16, abs: u32) -> Result<Addr> {
+        if abs as i32 <= ABS_MAX && abs <= i32::MAX as u32 {
+            return Ok(Addr::new(Reg::R0, abs as i32)?);
+        }
+        // Look for a cached base register within range.
+        let cache = &self.reg_cache[core as usize];
+        for &(reg, value) in cache {
+            let off = abs as i64 - value as i64;
+            if (0..=ABS_MAX as i64).contains(&off) {
+                return Ok(Addr::new(Reg::new(reg)?, off as i32)?);
+            }
+        }
+        // Load a new 1 MiB-aligned base into a rotating register (r1..r8).
+        let base = abs & !((1u32 << 20) - 1);
+        let reg = self.reg_next[core as usize];
+        self.reg_next[core as usize] = if reg >= 8 { 1 } else { reg + 1 };
+        let cache = &mut self.reg_cache[core as usize];
+        cache.retain(|&(r, _)| r != reg);
+        cache.push((reg, base));
+        self.push(
+            core,
+            Instruction::SImm {
+                op: SImmOp::Add,
+                rd: Reg::new(reg)?,
+                rs1: Reg::R0,
+                imm: base as i32,
+            },
+        );
+        Ok(Addr::new(Reg::new(reg)?, (abs - base) as i32)?)
+    }
+
+    /// Global-memory operand (element address).
+    fn gaddr(&mut self, core: u16, abs: u64) -> Result<Addr> {
+        let abs32 = u32::try_from(abs).map_err(|_| {
+            CompileError::Internal(format!("global address {abs} exceeds 32 bits"))
+        })?;
+        self.addr(core, abs32)
+    }
+
+    /// Chunked local-to-local contiguous copy.
+    fn copy_local(&mut self, core: u16, dst: u32, src: u32, len: u32) -> Result<()> {
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(LEN_MAX);
+            let d = self.addr(core, dst + done)?;
+            let s = self.addr(core, src + done)?;
+            self.push(
+                core,
+                Instruction::VUn {
+                    op: VUnOp::Copy,
+                    dst: d,
+                    src: s,
+                    len: n,
+                },
+            );
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Chunked synchronized send.
+    fn send(&mut self, core: u16, peer: u16, src: u32, len: u32, tag: u16) -> Result<()> {
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(LEN_MAX);
+            let s = self.addr(core, src + done)?;
+            self.push(
+                core,
+                Instruction::Send {
+                    peer: CoreId(peer),
+                    src: s,
+                    len: n,
+                    tag,
+                },
+            );
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Chunked synchronized contiguous receive.
+    fn recv(&mut self, core: u16, peer: u16, dst: u32, len: u32, tag: u16) -> Result<()> {
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(LEN_MAX);
+            let d = self.addr(core, dst + done)?;
+            self.push(
+                core,
+                Instruction::Recv {
+                    peer: CoreId(peer),
+                    dst: d,
+                    len: n,
+                    tag,
+                },
+            );
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Chunked global load into local memory.
+    fn gload(&mut self, core: u16, dst: u32, gsrc: u64, len: u32) -> Result<()> {
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(LEN_MAX);
+            let d = self.addr(core, dst + done)?;
+            let g = self.gaddr(core, gsrc + done as u64)?;
+            self.push(
+                core,
+                Instruction::GLoad {
+                    dst: d,
+                    gaddr: g,
+                    len: n,
+                },
+            );
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Chunked global store from local memory.
+    fn gstore(&mut self, core: u16, gdst: u64, src: u32, len: u32) -> Result<()> {
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(LEN_MAX);
+            let g = self.gaddr(core, gdst + done as u64)?;
+            let s = self.addr(core, src + done)?;
+            self.push(
+                core,
+                Instruction::GStore {
+                    gaddr: g,
+                    src: s,
+                    len: n,
+                },
+            );
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Chunked element-wise binary op over contiguous vectors.
+    fn vbin(&mut self, core: u16, op: VBinOp, dst: u32, a: u32, b: u32, len: u32) -> Result<()> {
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(LEN_MAX);
+            let d = self.addr(core, dst + done)?;
+            let aa = self.addr(core, a + done)?;
+            let bb = self.addr(core, b + done)?;
+            self.push(
+                core,
+                Instruction::VBin {
+                    op,
+                    dst: d,
+                    a: aa,
+                    b: bb,
+                    len: n,
+                },
+            );
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn vun(&mut self, core: u16, op: VUnOp, dst: u32, src: u32, len: u32) -> Result<()> {
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(LEN_MAX);
+            let d = self.addr(core, dst + done)?;
+            let s = self.addr(core, src + done)?;
+            self.push(core, Instruction::VUn { op, dst: d, src: s, len: n });
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn activation_op(&mut self, core: u16, act: Activation, at: u32, len: u32) -> Result<()> {
+        let op = match act {
+            Activation::Relu => VUnOp::Relu,
+            Activation::Sigmoid => VUnOp::Sigmoid,
+            Activation::Tanh => VUnOp::Tanh,
+        };
+        self.vun(core, op, at, at, len)
+    }
+
+    // ------------------------------------------------------ buffer planning --
+
+    /// Geometry of a node's input edge `e` as seen on compute core `cc`.
+    /// The *wire* geometry (rows, elements per row) comes from the
+    /// effective producer (aliases like flatten change the logical shape
+    /// but not the bytes); the *placement* geometry (padding, channel
+    /// interleave) comes from the consumer.
+    fn edge_dst(&self, node: &LoweredNode, e: usize, cc: u16) -> Result<EdgeDst> {
+        // Effective wire shape.
+        let src_shape = match resolve_alias(self.lowered, node.inputs[e]) {
+            PortRef::Input => self.input_shape,
+            PortRef::Node(id) => self.lowered[id.as_usize()].out_shape,
+        };
+        if matches!(node.kind, LoweredKind::Concat) && src_shape != node.in_shapes[e] {
+            return Err(CompileError::Internal(format!(
+                "concat input {e} of {} is reshaped ({} vs {}); aliasing into concat is unsupported",
+                node.name, src_shape, node.in_shapes[e]
+            )));
+        }
+        let (pad, c_total, chan_off, buf_key) = match &node.kind {
+            LoweredKind::Matrix(m) if m.kernel > 0 => (
+                m.padding,
+                src_shape.channels,
+                0,
+                BufKey::EdgeIn {
+                    node: node.id.0,
+                    edge: 0,
+                    core: cc,
+                },
+            ),
+            LoweredKind::Matrix(_) => (
+                0,
+                src_shape.channels,
+                0,
+                BufKey::EdgeIn {
+                    node: node.id.0,
+                    edge: 0,
+                    core: cc,
+                },
+            ),
+            LoweredKind::Pool { padding, .. } => (
+                *padding,
+                src_shape.channels,
+                0,
+                BufKey::EdgeIn {
+                    node: node.id.0,
+                    edge: 0,
+                    core: cc,
+                },
+            ),
+            LoweredKind::Concat => {
+                // One assembly buffer; branch e lands at its channel offset.
+                let off: u32 = node.in_shapes[..e].iter().map(|s| s.channels).sum();
+                (
+                    0,
+                    node.out_shape.channels,
+                    off,
+                    BufKey::EdgeIn {
+                        node: node.id.0,
+                        edge: 0,
+                        core: cc,
+                    },
+                )
+            }
+            _ => (
+                0,
+                src_shape.channels,
+                0,
+                BufKey::EdgeIn {
+                    node: node.id.0,
+                    edge: e as u32,
+                    core: cc,
+                },
+            ),
+        };
+        let buf = self.buf(buf_key)?;
+        // For flat sources (linear inputs, gap outputs) the "image" is the
+        // producer's row structure.
+        let w_pad = match &node.kind {
+            LoweredKind::Matrix(m) if m.kernel > 0 => src_shape.width + 2 * pad,
+            LoweredKind::Pool { .. } => src_shape.width + 2 * pad,
+            _ => src_shape.width,
+        };
+        Ok(EdgeDst {
+            buf: buf.base,
+            pad,
+            w_pad,
+            c_total,
+            chan_off,
+            src_w: src_shape.width,
+            src_c: src_shape.channels,
+        })
+    }
+
+    fn plan_buffers(&mut self) -> Result<()> {
+        let xr = self.arch.resources.xbar_rows;
+        let placement = self.placement;
+        let slices_of = |id: NodeId| -> Vec<Slice> {
+            placement.node_slices[id.as_usize()]
+                .iter()
+                .map(|&si| placement.slices[si].clone())
+                .collect()
+        };
+        for node in self.lowered {
+            let nid = node.id.0;
+            let name = &node.name;
+            // Every node materializes its whole output and forwards
+            // edge-major (see the deadlock-freedom argument in the module
+            // docs); concat already assembles a full buffer, aliases emit
+            // nothing.
+            if !matches!(node.kind, LoweredKind::Alias | LoweredKind::Concat) {
+                let home = self.placement.home[node.id.as_usize()];
+                let elems = node.out_shape.elems();
+                let b = self.alloc(home, elems, &format!("{name} output buffer"))?;
+                self.bufs
+                    .insert(BufKey::OutBuf { node: nid }, Buf { base: b, elems });
+            }
+            match &node.kind {
+                LoweredKind::Alias => {}
+                LoweredKind::Matrix(m) => {
+                    let cores = self.placement.compute_cores(node.id);
+                    let home = self.placement.home[node.id.as_usize()];
+                    let in_s = node.in_shapes[0];
+                    let out_s = node.out_shape;
+                    let in_elems = if m.kernel > 0 {
+                        (in_s.height + 2 * m.padding) * (in_s.width + 2 * m.padding) * in_s.channels
+                    } else {
+                        in_s.elems()
+                    };
+                    for &cc in &cores {
+                        let b = self.alloc(cc, in_elems, &format!("{name} input"))?;
+                        self.bufs.insert(
+                            BufKey::EdgeIn {
+                                node: nid,
+                                edge: 0,
+                                core: cc,
+                            },
+                            Buf {
+                                base: b,
+                                elems: in_elems,
+                            },
+                        );
+                        // Scratch: rotating window + accumulators.
+                        let max_cols = slices_of(node.id)
+                            .iter()
+                            .filter(|s| s.core == cc)
+                            .map(|s| s.cols)
+                            .max()
+                            .unwrap_or(out_s.channels);
+                        let win = if m.kernel > 0 { m.rows } else { 0 };
+                        // win + accumulator + one partial per crossbar group
+                        // (distinct buffers so MVMs on different groups have
+                        // no false WAW hazards and can run concurrently).
+                        let max_groups = m.rows.div_ceil(self.arch.resources.xbar_rows);
+                        let slot = win + (1 + max_groups) * max_cols.max(1);
+                        let b = self.alloc(cc, SCRATCH_SLOTS * slot, &format!("{name} scratch"))?;
+                        self.bufs.insert(
+                            BufKey::Scratch { node: nid, core: cc },
+                            Buf {
+                                base: b,
+                                elems: SCRATCH_SLOTS * slot,
+                            },
+                        );
+                        // Staging: home assembles full channels.
+                        let c_here = if cc == home {
+                            out_s.channels
+                        } else {
+                            slices_of(node.id)
+                                .iter()
+                                .filter(|s| s.core == cc)
+                                .map(|s| s.cols)
+                                .sum()
+                        };
+                        // Non-home compute cores materialize their whole
+                        // column-slice output, then ship it to home row by
+                        // row after computing — interleaving gather sends
+                        // with input receives would couple backpressure
+                        // loops across the producer's forward phase.
+                        if cc != home {
+                            let st = out_s.height * out_s.width * c_here.max(1);
+                            let b = self.alloc(cc, st, &format!("{name} slice output"))?;
+                            self.bufs.insert(
+                                BufKey::Staging { node: nid, core: cc },
+                                Buf { base: b, elems: st },
+                            );
+                        }
+                        // Bias: full vector at home, slice cols elsewhere.
+                        let bias_elems = if cc == home { m.cols } else { c_here };
+                        let b = self.alloc(cc, bias_elems.max(1), &format!("{name} bias"))?;
+                        self.bufs.insert(
+                            BufKey::Bias { node: nid, core: cc },
+                            Buf {
+                                base: b,
+                                elems: bias_elems,
+                            },
+                        );
+                    }
+                    // Row-split support at home.
+                    let mut partial_ranges: Vec<u32> = Vec::new();
+                    for (si_local, s) in slices_of(node.id).iter().enumerate() {
+                        if !s.covers_all_rows(m.rows) {
+                            if !partial_ranges.contains(&s.col_start) {
+                                partial_ranges.push(s.col_start);
+                                let elems = out_s.height * out_s.width * s.cols;
+                                let acc = self.alloc(home, elems, &format!("{name} accrow"))?;
+                                self.bufs.insert(
+                                    BufKey::AccRow {
+                                        node: nid,
+                                        col_start: s.col_start,
+                                    },
+                                    Buf { base: acc, elems },
+                                );
+                            }
+                            if s.core != home {
+                                let p = self.alloc(
+                                    home,
+                                    out_s.width * s.cols,
+                                    &format!("{name} partial-in"),
+                                )?;
+                                self.bufs.insert(
+                                    BufKey::PartialIn {
+                                        node: nid,
+                                        slice: si_local as u32,
+                                    },
+                                    Buf {
+                                        base: p,
+                                        elems: out_s.width * s.cols,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    let _ = xr;
+                }
+                LoweredKind::Pool { padding, .. } => {
+                    let home = self.placement.home[node.id.as_usize()];
+                    let s = node.in_shapes[0];
+                    let elems = (s.height + 2 * padding) * (s.width + 2 * padding) * s.channels;
+                    let b = self.alloc(home, elems, &format!("{name} input"))?;
+                    self.bufs.insert(
+                        BufKey::EdgeIn { node: nid, edge: 0, core: home },
+                        Buf { base: b, elems },
+                    );
+                }
+                LoweredKind::GlobalPool | LoweredKind::Activation(_) => {
+                    let home = self.placement.home[node.id.as_usize()];
+                    let s = node.in_shapes[0];
+                    let b = self.alloc(home, s.elems(), &format!("{name} input"))?;
+                    self.bufs.insert(
+                        BufKey::EdgeIn { node: nid, edge: 0, core: home },
+                        Buf { base: b, elems: s.elems() },
+                    );
+                }
+                LoweredKind::Add { .. } => {
+                    let home = self.placement.home[node.id.as_usize()];
+                    for e in 0..2u32 {
+                        let s = node.in_shapes[e as usize];
+                        let b = self.alloc(home, s.elems(), &format!("{name} input {e}"))?;
+                        self.bufs.insert(
+                            BufKey::EdgeIn { node: nid, edge: e, core: home },
+                            Buf { base: b, elems: s.elems() },
+                        );
+                    }
+                }
+                LoweredKind::Concat => {
+                    let home = self.placement.home[node.id.as_usize()];
+                    let elems = node.out_shape.elems();
+                    let b = self.alloc(home, elems, &format!("{name} assembly"))?;
+                    self.bufs.insert(
+                        BufKey::EdgeIn { node: nid, edge: 0, core: home },
+                        Buf { base: b, elems },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------ group building --
+
+    fn build_groups(&mut self) -> Result<()> {
+        let xr = self.arch.resources.xbar_rows;
+        let lcpx = self.arch.resources.logical_cols_per_xbar().max(1);
+        for node in self.lowered {
+            let Some(m) = node.matrix() else { continue };
+            let full = self
+                .weights
+                .as_ref()
+                .map(|g| g.matrix(node.id, m.rows, m.cols));
+            for (si_local, s) in self
+                .placement
+                .node_slices[node.id.as_usize()]
+                .iter()
+                .map(|&si| &self.placement.slices[si])
+                .enumerate()
+            {
+                let core = s.core as usize;
+                let mut gids = Vec::new();
+                let rbs = s.rows.div_ceil(xr);
+                let xbars_per_group = s.cols.div_ceil(lcpx);
+                for rb in 0..rbs {
+                    let row0 = s.row_start + rb * xr;
+                    let rows = xr.min(s.row_start + s.rows - row0);
+                    let gid = GroupId(self.progs[core].groups.len() as u16);
+                    if gid.0 as u32 >= (1 << 12) {
+                        return Err(CompileError::Internal(format!(
+                            "group id overflow on core {core}"
+                        )));
+                    }
+                    let xbar0 = self.xbar_next[core];
+                    self.xbar_next[core] += xbars_per_group;
+                    let xbar_ids: Vec<u32> = (xbar0..xbar0 + xbars_per_group).collect();
+                    let mut g = GroupConfig::new(gid, rows, s.cols, xbar_ids);
+                    if let Some(full) = &full {
+                        let mut w = WeightMatrix::zeros(rows, s.cols);
+                        for r in 0..rows {
+                            for c in 0..s.cols {
+                                let v = full[((row0 + r) as usize) * m.cols as usize
+                                    + (s.col_start + c) as usize];
+                                w.set(r, c, v);
+                            }
+                        }
+                        g = g.with_weights(w)?;
+                    }
+                    self.progs[core].groups.push(g);
+                    gids.push(gid);
+                }
+                self.slice_groups
+                    .insert((node.id.0, si_local as u32), gids);
+            }
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------- input acquisition --
+
+    /// Emits acquisition of source rows `from..=to` of edge `e` on core
+    /// `cc` (RECV / GLOAD; local producers need nothing).
+    fn acquire_rows(
+        &mut self,
+        node: &LoweredNode,
+        e: usize,
+        cc: u16,
+        from: u32,
+        to_incl: u32,
+    ) -> Result<()> {
+        if from > to_incl {
+            return Ok(());
+        }
+        let dst = self.edge_dst(node, e, cc)?;
+        let src = resolve_alias(self.lowered, node.inputs[e]);
+        let row_len = dst.src_w * dst.src_c;
+        match src {
+            PortRef::Input => {
+                let in_shape = self.lowered[0].in_shapes.first().copied();
+                let _ = in_shape;
+                for y in from..=to_incl {
+                    let g = (y as u64) * row_len as u64;
+                    if dst.interleaved() {
+                        return Err(CompileError::Internal(
+                            "interleaved global load is not supported".into(),
+                        ));
+                    }
+                    self.gload(cc, dst.row_base(y), g, row_len)?;
+                }
+            }
+            PortRef::Node(src_id) => {
+                let src_home = self.placement.home[src_id.as_usize()];
+                if src_home == cc {
+                    return Ok(()); // producer wrote locally
+                }
+                let tag = self.tag_for(node.id.0, e as u32, cc)?;
+                for y in from..=to_incl {
+                    if dst.interleaved() {
+                        let d = self.addr(cc, dst.row_base(y))?;
+                        self.push(
+                            cc,
+                            Instruction::Recv2d {
+                                peer: CoreId(src_home),
+                                dst: d,
+                                block_len: dst.src_c,
+                                blocks: dst.src_w,
+                                dst_stride: dst.c_total as i32,
+                                tag,
+                            },
+                        );
+                    } else {
+                        self.recv(cc, src_home, dst.row_base(y), row_len, tag)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn tag_for(&mut self, node: u32, edge: u32, core: u16) -> Result<u16> {
+        if let Some(&t) = self.edge_tags.get(&(node, edge, core)) {
+            return Ok(t);
+        }
+        let t = self.new_tag()?;
+        self.edge_tags.insert((node, edge, core), t);
+        Ok(t)
+    }
+
+    /// Source rows needed before producing output row `y` of a windowed op.
+    fn rows_needed(y: u32, kernel: u32, stride: u32, padding: u32, h_in: u32) -> u32 {
+        (y * stride + kernel).saturating_sub(padding + 1).min(h_in - 1)
+    }
+
+    // ------------------------------------------------------- row forwarding --
+
+    /// Consumers of `node`'s output: `(consumer, edge index)` sorted by the
+    /// global order.
+    fn consumers_of(&self, node: NodeId) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        for n in self.lowered {
+            if matches!(n.kind, LoweredKind::Alias) {
+                continue;
+            }
+            for (e, p) in n.inputs.iter().enumerate() {
+                if resolve_alias(self.lowered, *p) == PortRef::Node(node) {
+                    out.push((n.id, e));
+                }
+            }
+        }
+        out.sort_by_key(|(id, e)| (id.0, *e));
+        out
+    }
+
+    /// Number of wire rows an edge carries: the *effective* producer's
+    /// height (aliases such as flatten reshape logically, but the producer
+    /// still forwards its own rows).
+    fn eff_rows(&self, node: &LoweredNode, e: usize) -> u32 {
+        match resolve_alias(self.lowered, node.inputs[e]) {
+            PortRef::Input => self.input_shape.height,
+            PortRef::Node(id) => self.lowered[id.as_usize()].out_shape.height,
+        }
+    }
+
+    /// A node's input edges sorted by (effective producer id, edge index)
+    /// — the global drain order (network input counts as the earliest
+    /// producer).
+    fn edges_in_drain_order(&self, node: &LoweredNode) -> Vec<usize> {
+        let mut edges: Vec<usize> = (0..node.inputs.len()).collect();
+        edges.sort_by_key(|&e| {
+            let key = match resolve_alias(self.lowered, node.inputs[e]) {
+                PortRef::Input => -1i64,
+                PortRef::Node(id) => id.0 as i64,
+            };
+            (key, e)
+        });
+        edges
+    }
+
+    /// Forwards row `y` of `node` along one consumer edge.
+    fn forward_row_to(
+        &mut self,
+        node: &LoweredNode,
+        cid: NodeId,
+        e: usize,
+        y: u32,
+        src_row: u32,
+    ) -> Result<()> {
+        let home = self.placement.home[node.id.as_usize()];
+        let row_len = node.out_shape.width * node.out_shape.channels;
+        let consumer = &self.lowered[cid.as_usize()];
+        let mut cores = self.placement.compute_cores(cid);
+        cores.sort_unstable();
+        for cc in cores {
+            let dst = self.edge_dst(consumer, e, cc)?;
+            if cc == home {
+                if dst.interleaved() {
+                    let d = self.addr(cc, dst.row_base(y))?;
+                    let s = self.addr(cc, src_row)?;
+                    self.push(
+                        cc,
+                        Instruction::VCopy2d {
+                            dst: d,
+                            src: s,
+                            block_len: dst.src_c,
+                            blocks: dst.src_w,
+                            src_stride: dst.src_c as i32,
+                            dst_stride: dst.c_total as i32,
+                        },
+                    );
+                } else {
+                    self.copy_local(cc, dst.row_base(y), src_row, row_len)?;
+                }
+            } else {
+                let tag = self.tag_for(cid.0, e as u32, cc)?;
+                self.send(home, cc, src_row, row_len, tag)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Edge-major forwarding from a fully materialized output buffer, or a
+    /// streaming `GSTORE` when this is the network's output node.
+    fn finish_section(
+        &mut self,
+        node: &LoweredNode,
+        outbuf: u32,
+        out_node: NodeId,
+        out_gaddr: u64,
+    ) -> Result<()> {
+        let row_len = node.out_shape.width * node.out_shape.channels;
+        if node.id == out_node {
+            for y in 0..node.out_shape.height {
+                self.gstore(
+                    self.placement.home[node.id.as_usize()],
+                    out_gaddr + (y as u64) * row_len as u64,
+                    outbuf + y * row_len,
+                    row_len,
+                )?;
+            }
+            return Ok(());
+        }
+        for (cid, e) in self.consumers_of(node.id) {
+            for y in 0..node.out_shape.height {
+                self.forward_row_to(node, cid, e, y, outbuf + y * row_len)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------- matrix nodes --
+
+    fn emit_matrix(&mut self, node: &LoweredNode, out_node: NodeId, out_gaddr: u64) -> Result<()> {
+        let m = node.matrix().expect("matrix node").clone();
+        let home = self.placement.home[node.id.as_usize()];
+        let out_s = node.out_shape;
+        let in_s = node.in_shapes[0];
+        let xr = self.arch.resources.xbar_rows;
+
+        // Stage bias into local memory.
+        if let Some(gen) = self.weights {
+            let full_bias = gen.bias(node.id, m.cols);
+            let cores = self.placement.compute_cores(node.id);
+            for cc in cores {
+                let b = self.buf(BufKey::Bias { node: node.id.0, core: cc })?;
+                let vals = if cc == home {
+                    full_bias.clone()
+                } else {
+                    let mut v = Vec::new();
+                    for s in self
+                        .placement
+                        .node_slices[node.id.as_usize()]
+                        .iter()
+                        .map(|&si| &self.placement.slices[si])
+                        .filter(|s| s.core == cc)
+                    {
+                        v.extend_from_slice(
+                            &full_bias[s.col_start as usize..(s.col_start + s.cols) as usize],
+                        );
+                    }
+                    v
+                };
+                if !vals.is_empty() {
+                    self.progs[cc as usize].local_init.push((b.base, vals));
+                }
+            }
+        }
+
+        // Slices grouped per core; remember each slice's local staging
+        // column offset on its core.
+        let slices: Vec<(u32, Slice)> = self
+            .placement
+            .node_slices[node.id.as_usize()]
+            .iter()
+            .enumerate()
+            .map(|(i, &si)| (i as u32, self.placement.slices[si].clone()))
+            .collect();
+        let mut cores: Vec<u16> = slices.iter().map(|(_, s)| s.core).collect();
+        cores.dedup();
+        let mut seen = Vec::new();
+        cores.retain(|c| {
+            if seen.contains(c) {
+                false
+            } else {
+                seen.push(*c);
+                true
+            }
+        });
+        // Home first for readability; ordering across cores is irrelevant.
+        cores.sort_unstable_by_key(|&c| (c != home, c));
+
+        let (h_out, w_out) = (out_s.height, out_s.width);
+        let is_linear = m.is_linear();
+        let rows_src = if is_linear {
+            self.eff_rows(node, 0)
+        } else {
+            in_s.height
+        };
+
+        // Per core: emit its section.
+        for &cc in &cores {
+            let my: Vec<(u32, Slice)> = slices.iter().filter(|(_, s)| s.core == cc).cloned().collect();
+            let in_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: cc })?.base;
+            let scratch = self.buf(BufKey::Scratch { node: node.id.0, core: cc })?.base;
+            let staging = if cc == home {
+                0
+            } else {
+                self.buf(BufKey::Staging { node: node.id.0, core: cc })?.base
+            };
+            let bias = self.buf(BufKey::Bias { node: node.id.0, core: cc })?.base;
+            let max_cols = my.iter().map(|(_, s)| s.cols).max().unwrap_or(1);
+            let win_len = if is_linear { 0 } else { m.rows };
+            let max_groups = m.rows.div_ceil(xr);
+            let slot_len = win_len + (1 + max_groups) * max_cols;
+            // Local staging column offsets (non-home cores pack their slices).
+            let mut local_off = HashMap::new();
+            let mut acc_off = 0u32;
+            for (si, s) in &my {
+                if cc == home {
+                    local_off.insert(*si, s.col_start);
+                } else {
+                    local_off.insert(*si, acc_off);
+                    acc_off += s.cols;
+                }
+            }
+            let c_here: u32 = if cc == home {
+                out_s.channels
+            } else {
+                my.iter().map(|(_, s)| s.cols).sum()
+            };
+
+            let w_pad_elems = (in_s.width + 2 * m.padding) * in_s.channels;
+            let mut acquired: i64 = -1;
+            let outbuf = if cc == home {
+                self.buf(BufKey::OutBuf { node: node.id.0 })?.base
+            } else {
+                0
+            };
+            let row_len_out = w_out * c_here;
+
+            for y in 0..h_out {
+                // Where this core assembles output row `y` (home: the
+                // materialized output; slice cores: the slice buffer).
+                let row_base = if cc == home {
+                    outbuf + y * row_len_out
+                } else {
+                    staging + y * row_len_out
+                };
+                // Acquire the input rows this output row needs.
+                if is_linear {
+                    if y == 0 {
+                        self.acquire_rows(node, 0, cc, 0, rows_src - 1)?;
+                    }
+                } else {
+                    let need = Self::rows_needed(y, m.kernel, m.stride, m.padding, in_s.height);
+                    if need as i64 > acquired {
+                        self.acquire_rows(node, 0, cc, (acquired + 1) as u32, need)?;
+                        acquired = need as i64;
+                    }
+                }
+
+                for x in 0..w_out {
+                    let slot = scratch + (x % SCRATCH_SLOTS) * slot_len;
+                    let win = slot;
+                    let acc = slot + win_len;
+                    let parts = slot + win_len + max_cols;
+
+                    // Assemble the im2col window (skip for linear and for
+                    // pointwise stride-1 unpadded convs, which read the
+                    // input buffer directly).
+                    let direct_src: Option<u32> = if is_linear {
+                        Some(in_buf)
+                    } else if m.kernel == 1 && m.stride == 1 && m.padding == 0 {
+                        Some(in_buf + (y * in_s.width + x) * in_s.channels)
+                    } else {
+                        let src0 =
+                            in_buf + (y * m.stride * (in_s.width + 2 * m.padding) + x * m.stride)
+                                * in_s.channels;
+                        let d = self.addr(cc, win)?;
+                        let s = self.addr(cc, src0)?;
+                        self.push(
+                            cc,
+                            Instruction::VCopy2d {
+                                dst: d,
+                                src: s,
+                                block_len: m.kernel * in_s.channels,
+                                blocks: m.kernel,
+                                src_stride: w_pad_elems as i32,
+                                dst_stride: (m.kernel * in_s.channels) as i32,
+                            },
+                        );
+                        None
+                    };
+
+                    for (si, s) in &my {
+                        let gids = self.slice_groups[&(node.id.0, *si)].clone();
+                        let complete = s.covers_all_rows(m.rows);
+                        let loff = local_off[si];
+                        // Raw accumulation target: complete slices at home
+                        // write straight into staging via the epilogue;
+                        // everything else accumulates in scratch first.
+                        let seg_dst = if complete {
+                            row_base + x * c_here + loff
+                        } else if cc == home {
+                            let accrow = self
+                                .buf(BufKey::AccRow { node: node.id.0, col_start: s.col_start })?
+                                .base;
+                            accrow + (y * w_out + x) * s.cols
+                        } else {
+                            row_base + x * c_here + loff
+                        };
+                        let n_g = gids.len();
+                        for (gi, gid) in gids.iter().enumerate() {
+                            let g_rows = self.progs[cc as usize].groups[gid.as_usize()].input_len;
+                            let row0 = s.row_start + (gi as u32) * xr;
+                            let src = match direct_src {
+                                Some(b) => b + row0,
+                                None => win + row0,
+                            };
+                            let mvm_dst = if gi == 0 {
+                                acc
+                            } else {
+                                parts + (gi as u32 - 1) * max_cols
+                            };
+                            let d = self.addr(cc, mvm_dst)?;
+                            let sa = self.addr(cc, src)?;
+                            self.push(
+                                cc,
+                                Instruction::Mvm {
+                                    group: *gid,
+                                    dst: d,
+                                    src: sa,
+                                    len: g_rows,
+                                },
+                            );
+                            if gi > 0 {
+                                // Fold the partial into the accumulator; the
+                                // last fold lands in the segment target.
+                                let fold_dst = if gi + 1 == n_g { seg_dst } else { acc };
+                                let part = parts + (gi as u32 - 1) * max_cols;
+                                self.vbin(cc, VBinOp::Add, fold_dst, acc, part, s.cols)?;
+                            } else if n_g == 1 {
+                                self.copy_local(cc, seg_dst, acc, s.cols)?;
+                            }
+                        }
+                        // Epilogue for complete slices (bias, requant, act).
+                        if complete {
+                            let at = seg_dst;
+                            let bias_at = bias + if cc == home { s.col_start } else { loff };
+                            self.vbin(cc, VBinOp::Add, at, at, bias_at, s.cols)?;
+                            let d = self.addr(cc, at)?;
+                            self.push(
+                                cc,
+                                Instruction::VImm {
+                                    op: VImmOp::Sra,
+                                    dst: d,
+                                    src: d,
+                                    imm: self.shift as i32,
+                                    len: s.cols,
+                                },
+                            );
+                            if let Some(act) = m.activation {
+                                self.activation_op(cc, act, at, s.cols)?;
+                            }
+                        }
+                    }
+                }
+
+            }
+            // Windows may not cover the bottom input rows (e.g. stride-2
+            // pointwise convs); drain them anyway so every sent row is
+            // consumed and channel credits never leak.
+            if !is_linear && acquired + 1 < rows_src as i64 {
+                self.acquire_rows(node, 0, cc, (acquired + 1) as u32, rows_src - 1)?;
+            }
+            if cc == home {
+                // Phase B: drain remote slices (complete ones interleave
+                // straight into the output; raw partials fold into the
+                // accumulator), then run the epilogue for row-split ranges.
+                for y in 0..h_out {
+                    let row_base = outbuf + y * row_len_out;
+                    for (si, sl) in &slices {
+                        if sl.core == home {
+                            continue;
+                        }
+                        let complete = sl.covers_all_rows(m.rows);
+                        let tag = self.gather_tag(node.id.0, *si)?;
+                        if complete {
+                            let d = self.addr(home, row_base + sl.col_start)?;
+                            self.push(
+                                home,
+                                Instruction::Recv2d {
+                                    peer: CoreId(sl.core),
+                                    dst: d,
+                                    block_len: sl.cols,
+                                    blocks: w_out,
+                                    dst_stride: out_s.channels as i32,
+                                    tag,
+                                },
+                            );
+                        } else {
+                            let pin = self
+                                .buf(BufKey::PartialIn { node: node.id.0, slice: *si })?
+                                .base;
+                            self.recv(home, sl.core, pin, w_out * sl.cols, tag)?;
+                            let accrow = self
+                                .buf(BufKey::AccRow { node: node.id.0, col_start: sl.col_start })?
+                                .base;
+                            self.vbin(
+                                home,
+                                VBinOp::Add,
+                                accrow + y * w_out * sl.cols,
+                                accrow + y * w_out * sl.cols,
+                                pin,
+                                w_out * sl.cols,
+                            )?;
+                        }
+                    }
+                    let mut done_ranges: Vec<u32> = Vec::new();
+                    for (_, sl) in &slices {
+                        if sl.covers_all_rows(m.rows) || done_ranges.contains(&sl.col_start) {
+                            continue;
+                        }
+                        done_ranges.push(sl.col_start);
+                        let accrow = self
+                            .buf(BufKey::AccRow { node: node.id.0, col_start: sl.col_start })?
+                            .base;
+                        for x in 0..w_out {
+                            let dst = row_base + x * out_s.channels + sl.col_start;
+                            self.vbin(
+                                home,
+                                VBinOp::Add,
+                                dst,
+                                accrow + (y * w_out + x) * sl.cols,
+                                bias + sl.col_start,
+                                sl.cols,
+                            )?;
+                            let d = self.addr(home, dst)?;
+                            self.push(
+                                home,
+                                Instruction::VImm {
+                                    op: VImmOp::Sra,
+                                    dst: d,
+                                    src: d,
+                                    imm: self.shift as i32,
+                                    len: sl.cols,
+                                },
+                            );
+                            if let Some(act) = m.activation {
+                                self.activation_op(home, act, dst, sl.cols)?;
+                            }
+                        }
+                    }
+                }
+                self.finish_section(node, outbuf, out_node, out_gaddr)?;
+            } else {
+                // Ship each slice segment to home, row by row in order.
+                for y in 0..h_out {
+                    for (si, sl) in &my {
+                        let tag = self.gather_tag(node.id.0, *si)?;
+                        let src = staging + y * row_len_out + local_off[si] ;
+                        // Per-pixel segments of this slice are strided by
+                        // c_here; contiguous only when the slice owns the
+                        // whole local row.
+                        if sl.cols == c_here {
+                            self.send(cc, home, src, w_out * sl.cols, tag)?;
+                        } else {
+                            // Compact the strided segment into the scratch
+                            // area, then send contiguously.
+                            let d = self.addr(cc, scratch)?;
+                            let sa = self.addr(cc, src)?;
+                            self.push(
+                                cc,
+                                Instruction::VCopy2d {
+                                    dst: d,
+                                    src: sa,
+                                    block_len: sl.cols,
+                                    blocks: w_out,
+                                    src_stride: c_here as i32,
+                                    dst_stride: sl.cols as i32,
+                                },
+                            );
+                            self.send(cc, home, scratch, w_out * sl.cols, tag)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One gather channel per (node, slice) so a core holding several
+    /// slices of the same layer ships each segment on its own tag.
+    fn gather_tag(&mut self, node: u32, slice: u32) -> Result<u16> {
+        let key = node << 16 | slice;
+        if let Some(&t) = self.gather_tags.get(&key) {
+            return Ok(t);
+        }
+        let t = self.new_tag()?;
+        self.gather_tags.insert(key, t);
+        Ok(t)
+    }
+
+    // -------------------------------------------------------- other nodes --
+
+    fn emit_pool(&mut self, node: &LoweredNode, out_node: NodeId, out_gaddr: u64) -> Result<()> {
+        let LoweredKind::Pool { is_max, kernel, stride, padding } = node.kind else {
+            unreachable!("emit_pool on non-pool");
+        };
+        if kernel > WIN_MAX {
+            return Err(CompileError::Internal(format!(
+                "pool window {kernel} exceeds the ISA limit {WIN_MAX}"
+            )));
+        }
+        let home = self.placement.home[node.id.as_usize()];
+        let in_s = node.in_shapes[0];
+        let out_s = node.out_shape;
+        let in_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        let w_pad_elems = (in_s.width + 2 * padding) * in_s.channels;
+        let op = if is_max { PoolOp::Max } else { PoolOp::Avg };
+        let mut acquired: i64 = -1;
+        let outbuf = self.buf(BufKey::OutBuf { node: node.id.0 })?.base;
+        let row_len = out_s.width * out_s.channels;
+        for y in 0..out_s.height {
+            let row_base = outbuf + y * row_len;
+            let need = Self::rows_needed(y, kernel, stride, padding, in_s.height);
+            if need as i64 > acquired {
+                self.acquire_rows(node, 0, home, (acquired + 1) as u32, need)?;
+                acquired = need as i64;
+            }
+            for x in 0..out_s.width {
+                let src = in_buf + (y * stride * (in_s.width + 2 * padding) + x * stride) * in_s.channels;
+                let d = self.addr(home, row_base + x * out_s.channels)?;
+                let s = self.addr(home, src)?;
+                self.push(
+                    home,
+                    Instruction::VPool {
+                        op,
+                        dst: d,
+                        src: s,
+                        channels: in_s.channels,
+                        win_w: kernel,
+                        win_h: kernel,
+                        row_stride: w_pad_elems as i32,
+                    },
+                );
+            }
+        }
+        if acquired + 1 < in_s.height as i64 {
+            self.acquire_rows(node, 0, home, (acquired + 1) as u32, in_s.height - 1)?;
+        }
+        self.finish_section(node, outbuf, out_node, out_gaddr)?;
+        Ok(())
+    }
+
+    fn emit_global_pool(
+        &mut self,
+        node: &LoweredNode,
+        out_node: NodeId,
+        out_gaddr: u64,
+    ) -> Result<()> {
+        let home = self.placement.home[node.id.as_usize()];
+        let in_s = node.in_shapes[0];
+        if in_s.width > WIN_MAX || in_s.height > WIN_MAX {
+            return Err(CompileError::Internal(format!(
+                "global pool over {}x{} exceeds the ISA window limit {WIN_MAX}",
+                in_s.height, in_s.width
+            )));
+        }
+        let in_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        self.acquire_rows(node, 0, home, 0, self.eff_rows(node, 0) - 1)?;
+        let outbuf = self.buf(BufKey::OutBuf { node: node.id.0 })?.base;
+        let d = self.addr(home, outbuf)?;
+        let s = self.addr(home, in_buf)?;
+        self.push(
+            home,
+            Instruction::VPool {
+                op: PoolOp::Avg,
+                dst: d,
+                src: s,
+                channels: in_s.channels,
+                win_w: in_s.width,
+                win_h: in_s.height,
+                row_stride: (in_s.width * in_s.channels) as i32,
+            },
+        );
+        self.finish_section(node, outbuf, out_node, out_gaddr)?;
+        Ok(())
+    }
+
+    fn emit_activation(
+        &mut self,
+        node: &LoweredNode,
+        out_node: NodeId,
+        out_gaddr: u64,
+    ) -> Result<()> {
+        let LoweredKind::Activation(act) = node.kind else {
+            unreachable!("emit_activation on non-activation");
+        };
+        let home = self.placement.home[node.id.as_usize()];
+        let in_s = node.in_shapes[0];
+        let in_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        let row = in_s.width * in_s.channels;
+        let outbuf = self.buf(BufKey::OutBuf { node: node.id.0 })?.base;
+        let eff = self.eff_rows(node, 0);
+        if eff != in_s.height {
+            self.acquire_rows(node, 0, home, 0, eff - 1)?;
+        }
+        for y in 0..in_s.height {
+            if eff == in_s.height {
+                self.acquire_rows(node, 0, home, y, y)?;
+            }
+            let src = in_buf + y * row;
+            let op = match act {
+                Activation::Relu => VUnOp::Relu,
+                Activation::Sigmoid => VUnOp::Sigmoid,
+                Activation::Tanh => VUnOp::Tanh,
+            };
+            self.vun(home, op, outbuf + y * row, src, row)?;
+        }
+        self.finish_section(node, outbuf, out_node, out_gaddr)?;
+        Ok(())
+    }
+
+    fn emit_add(&mut self, node: &LoweredNode, out_node: NodeId, out_gaddr: u64) -> Result<()> {
+        let LoweredKind::Add { activation } = node.kind else {
+            unreachable!("emit_add on non-add");
+        };
+        let home = self.placement.home[node.id.as_usize()];
+        let s = node.out_shape;
+        let a_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        let b_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 1, core: home })?.base;
+        let row = s.width * s.channels;
+        let outbuf = self.buf(BufKey::OutBuf { node: node.id.0 })?.base;
+        // Drain edges in producer order; the last one pipelines row by row
+        // with the adds.
+        let order = self.edges_in_drain_order(node);
+        let (&last, earlier) = order.split_last().expect("add has two edges");
+        for &e in earlier {
+            self.acquire_rows(node, e, home, 0, self.eff_rows(node, e) - 1)?;
+        }
+        let eff_last = self.eff_rows(node, last);
+        if eff_last != s.height {
+            self.acquire_rows(node, last, home, 0, eff_last - 1)?;
+        }
+        for y in 0..s.height {
+            if eff_last == s.height {
+                self.acquire_rows(node, last, home, y, y)?;
+            }
+            self.vbin(
+                home,
+                VBinOp::Add,
+                outbuf + y * row,
+                a_buf + y * row,
+                b_buf + y * row,
+                row,
+            )?;
+            if let Some(act) = activation {
+                self.activation_op(home, act, outbuf + y * row, row)?;
+            }
+        }
+        self.finish_section(node, outbuf, out_node, out_gaddr)?;
+        Ok(())
+    }
+
+    fn emit_concat(&mut self, node: &LoweredNode, out_node: NodeId, out_gaddr: u64) -> Result<()> {
+        let home = self.placement.home[node.id.as_usize()];
+        let s = node.out_shape;
+        let buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        // Drain every branch fully, in producer order.
+        for e in self.edges_in_drain_order(node) {
+            let h = self.eff_rows(node, e);
+            self.acquire_rows(node, e, home, 0, h - 1)?;
+        }
+        let _ = s;
+        // The assembly buffer is already a full output.
+        self.finish_section(node, buf, out_node, out_gaddr)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,266 @@
+//! Lowering: network layers → weight matrices + vector/transfer operators.
+//!
+//! Convolutions become im2col weight matrices of `kernel² × in_channels`
+//! rows by `out_channels` columns (HWC window order, matching both the
+//! golden model and the `VCOPY2D` gather the code generator emits). Flatten
+//! layers become pure aliases (HWC is already flat in memory). Everything
+//! else keeps its operator identity for the vector/transfer code generator.
+
+use pimsim_nn::{Activation, Layer, Network, NodeId, PortRef, Shape};
+
+use crate::error::CompileError;
+
+/// A lowered weight operator (convolution or linear).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixOp {
+    /// Weight matrix rows (`kernel² × in_channels`, or `in_features`).
+    pub rows: u32,
+    /// Weight matrix columns (`out_channels` / `out_features`).
+    pub cols: u32,
+    /// Convolution kernel edge; `0` marks a linear layer.
+    pub kernel: u32,
+    /// Convolution stride (1 for linear).
+    pub stride: u32,
+    /// Convolution padding (0 for linear).
+    pub padding: u32,
+    /// Fused activation.
+    pub activation: Option<Activation>,
+}
+
+impl MatrixOp {
+    /// `true` for linear (fully connected) layers.
+    pub fn is_linear(&self) -> bool {
+        self.kernel == 0
+    }
+}
+
+/// The operator category after lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoweredKind {
+    /// Crossbar MVM work.
+    Matrix(MatrixOp),
+    /// Windowed pooling (max or average).
+    Pool {
+        /// `true` for max pooling, `false` for average.
+        is_max: bool,
+        /// Window edge.
+        kernel: u32,
+        /// Stride.
+        stride: u32,
+        /// Padding.
+        padding: u32,
+    },
+    /// Global average pooling.
+    GlobalPool,
+    /// Element-wise residual add.
+    Add {
+        /// Fused activation on the sum.
+        activation: Option<Activation>,
+    },
+    /// Channel concatenation.
+    Concat,
+    /// Standalone activation.
+    Activation(Activation),
+    /// Pure reinterpretation (flatten): no code, no buffers.
+    Alias,
+}
+
+/// One node after lowering, with resolved shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredNode {
+    /// The original node id.
+    pub id: NodeId,
+    /// The original node name.
+    pub name: String,
+    /// The operator category.
+    pub kind: LoweredKind,
+    /// Input ports (as in the network, unresolved aliases included).
+    pub inputs: Vec<PortRef>,
+    /// Shapes of the inputs, in order.
+    pub in_shapes: Vec<Shape>,
+    /// Output shape.
+    pub out_shape: Shape,
+}
+
+impl LoweredNode {
+    /// The weight operator, if this is a matrix node.
+    pub fn matrix(&self) -> Option<&MatrixOp> {
+        match &self.kind {
+            LoweredKind::Matrix(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Lowers a validated network.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Network`] for malformed graphs (propagated from
+/// validation/shape inference).
+pub fn lower(net: &Network) -> Result<Vec<LoweredNode>, CompileError> {
+    let shapes = net.inferred_shapes()?;
+    let mut out = Vec::with_capacity(net.nodes.len());
+    for (i, node) in net.nodes.iter().enumerate() {
+        let in_shapes: Vec<Shape> = node
+            .inputs
+            .iter()
+            .map(|p| match p {
+                PortRef::Input => net.input_shape,
+                PortRef::Node(id) => shapes[id.as_usize()],
+            })
+            .collect();
+        let kind = match &node.layer {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                activation,
+            } => LoweredKind::Matrix(MatrixOp {
+                rows: kernel * kernel * in_shapes[0].channels,
+                cols: *out_channels,
+                kernel: *kernel,
+                stride: *stride,
+                padding: *padding,
+                activation: *activation,
+            }),
+            Layer::Linear {
+                out_features,
+                activation,
+            } => LoweredKind::Matrix(MatrixOp {
+                rows: in_shapes[0].elems(),
+                cols: *out_features,
+                kernel: 0,
+                stride: 1,
+                padding: 0,
+                activation: *activation,
+            }),
+            Layer::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            } => LoweredKind::Pool {
+                is_max: true,
+                kernel: *kernel,
+                stride: *stride,
+                padding: *padding,
+            },
+            Layer::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => LoweredKind::Pool {
+                is_max: false,
+                kernel: *kernel,
+                stride: *stride,
+                padding: *padding,
+            },
+            Layer::GlobalAvgPool => LoweredKind::GlobalPool,
+            Layer::Add { activation } => LoweredKind::Add {
+                activation: *activation,
+            },
+            Layer::Concat => LoweredKind::Concat,
+            Layer::Flatten => LoweredKind::Alias,
+            Layer::Activation(a) => LoweredKind::Activation(*a),
+        };
+        out.push(LoweredNode {
+            id: node.id,
+            name: node.name.clone(),
+            kind,
+            inputs: node.inputs.clone(),
+            in_shapes,
+            out_shape: shapes[i],
+        });
+    }
+    Ok(out)
+}
+
+/// Follows alias (flatten) chains: the *effective* source of a port, i.e.
+/// the node (or network input) whose memory actually holds the data.
+pub fn resolve_alias(lowered: &[LoweredNode], port: PortRef) -> PortRef {
+    let mut p = port;
+    while let PortRef::Node(id) = p {
+        match &lowered[id.as_usize()].kind {
+            LoweredKind::Alias => p = lowered[id.as_usize()].inputs[0],
+            _ => break,
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_nn::zoo;
+
+    #[test]
+    fn conv_lowering_uses_im2col_dims() {
+        let net = zoo::vgg8(32);
+        let lowered = lower(&net).unwrap();
+        let conv1 = lowered[0].matrix().expect("conv1 is a matrix op");
+        assert_eq!(conv1.rows, 3 * 3 * 3);
+        assert_eq!(conv1.cols, 128);
+        assert!(!conv1.is_linear());
+        let conv2 = lowered[1].matrix().unwrap();
+        assert_eq!(conv2.rows, 3 * 3 * 128);
+    }
+
+    #[test]
+    fn linear_lowering() {
+        let net = zoo::tiny_mlp();
+        let lowered = lower(&net).unwrap();
+        let fc1 = lowered[0].matrix().unwrap();
+        assert_eq!((fc1.rows, fc1.cols), (64, 32));
+        assert!(fc1.is_linear());
+    }
+
+    #[test]
+    fn flatten_is_alias_and_resolves() {
+        let net = zoo::vgg8(32);
+        let lowered = lower(&net).unwrap();
+        let flat_idx = lowered
+            .iter()
+            .position(|n| matches!(n.kind, LoweredKind::Alias))
+            .expect("vgg8 has a flatten");
+        // The flatten's effective source is the pool before it.
+        let resolved = resolve_alias(&lowered, PortRef::Node(lowered[flat_idx].id));
+        match resolved {
+            PortRef::Node(id) => {
+                assert!(matches!(lowered[id.as_usize()].kind, LoweredKind::Pool { .. }))
+            }
+            PortRef::Input => panic!("should resolve to a node"),
+        }
+    }
+
+    #[test]
+    fn kinds_cover_zoo() {
+        let net = zoo::tiny_cnn();
+        let lowered = lower(&net).unwrap();
+        let kinds: Vec<&'static str> = lowered
+            .iter()
+            .map(|n| match n.kind {
+                LoweredKind::Matrix(_) => "matrix",
+                LoweredKind::Pool { .. } => "pool",
+                LoweredKind::GlobalPool => "gpool",
+                LoweredKind::Add { .. } => "add",
+                LoweredKind::Concat => "concat",
+                LoweredKind::Activation(_) => "act",
+                LoweredKind::Alias => "alias",
+            })
+            .collect();
+        for k in ["matrix", "pool", "gpool", "add", "concat", "act"] {
+            assert!(kinds.contains(&k), "tiny_cnn should exercise {k}");
+        }
+    }
+
+    #[test]
+    fn shapes_are_attached() {
+        let net = zoo::tiny_cnn();
+        let lowered = lower(&net).unwrap();
+        for n in &lowered {
+            assert_eq!(n.in_shapes.len(), n.inputs.len());
+            assert!(n.out_shape.elems() > 0);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Compilation smoke tests over the model zoo and both mapping policies.
+
+use pimsim_arch::ArchConfig;
+use pimsim_compiler::{Compiler, MappingPolicy};
+use pimsim_isa::InstrClass;
+use pimsim_nn::zoo;
+
+#[test]
+fn zoo_compiles_under_both_policies_on_paper_chip() {
+    let arch = ArchConfig::paper_default();
+    for name in ["alexnet", "googlenet", "resnet18", "squeezenet", "vgg8", "vgg16"] {
+        let hw = if name.starts_with("vgg") { 32 } else { 64 };
+        let net = zoo::by_name(name, hw).unwrap();
+        for policy in [MappingPolicy::UtilizationFirst, MappingPolicy::PerformanceFirst] {
+            let compiled = Compiler::new(&arch)
+                .mapping(policy)
+                .compile(&net)
+                .unwrap_or_else(|e| panic!("{name} under {policy}: {e}"));
+            assert!(
+                compiled.program.total_instructions() > 100,
+                "{name} under {policy} produced a trivial program"
+            );
+            // All four instruction classes appear in a compiled CNN.
+            let mut classes = [0usize; 4];
+            for core in &compiled.program.cores {
+                let h = core.class_histogram();
+                for i in 0..4 {
+                    classes[i] += h[i];
+                }
+            }
+            assert!(classes[0] > 0, "{name}: no matrix instructions");
+            assert!(classes[1] > 0, "{name}: no vector instructions");
+            assert!(classes[2] > 0, "{name}: no transfer instructions");
+            assert!(classes[3] > 0, "{name}: no scalar instructions");
+            let _ = InstrClass::Matrix;
+        }
+    }
+}
+
+#[test]
+fn functional_compile_attaches_weights_and_input() {
+    let arch = ArchConfig::small_test();
+    let net = zoo::tiny_mlp();
+    let compiled = Compiler::new(&arch).compile(&net).unwrap();
+    assert!(!compiled.program.global_init.is_empty(), "input staged");
+    let has_weights = compiled
+        .program
+        .cores
+        .iter()
+        .flat_map(|c| &c.groups)
+        .any(|g| g.weights.is_some());
+    assert!(has_weights, "functional compile should attach weights");
+}
+
+#[test]
+fn timing_only_compile_stays_lean() {
+    let arch = ArchConfig::paper_default();
+    let net = zoo::vgg8(32);
+    let compiled = Compiler::new(&arch).functional(false).compile(&net).unwrap();
+    assert!(compiled.program.global_init.is_empty());
+    assert!(compiled
+        .program
+        .cores
+        .iter()
+        .flat_map(|c| &c.groups)
+        .all(|g| g.weights.is_none()));
+}
+
+#[test]
+fn tags_align_with_instructions() {
+    let arch = ArchConfig::small_test();
+    let net = zoo::tiny_cnn();
+    let compiled = Compiler::new(&arch).compile(&net).unwrap();
+    for core in &compiled.program.cores {
+        if !core.instrs.is_empty() {
+            assert_eq!(core.instr_tags.len(), core.instrs.len());
+        }
+    }
+    // Tag values reference real nodes.
+    let n = compiled.node_names.len() as u16;
+    for core in &compiled.program.cores {
+        for &t in &core.instr_tags {
+            assert!(t < n, "tag {t} out of range");
+        }
+    }
+}
+
+#[test]
+fn unmappable_reports_typed_error() {
+    let mut arch = ArchConfig::small_test();
+    arch.resources.core_rows = 1;
+    arch.resources.core_cols = 1;
+    arch.resources.xbars_per_core = 2;
+    let net = zoo::vgg8(32);
+    let e = Compiler::new(&arch).compile(&net).unwrap_err();
+    assert!(
+        matches!(e, pimsim_compiler::CompileError::Unmappable { .. }),
+        "got {e}"
+    );
+}

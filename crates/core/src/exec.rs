@@ -1,0 +1,336 @@
+//! Functional execution of resolved instructions.
+//!
+//! Integer semantics are shared with `pimsim-nn`'s golden model (saturating
+//! adds, i64 MVM accumulation clamped to i32, truncating average pooling,
+//! Q8.8 sigmoid/tanh) so compiled programs can be checked bit-exactly.
+
+use pimsim_isa::{GroupConfig, PoolOp, VBinOp, VImmOp, VUnOp};
+use pimsim_nn::{fixed_sigmoid, fixed_tanh};
+
+use crate::resolve::Resolved;
+
+/// A zero-initialized, lazily grown local memory of 32-bit elements.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    data: Vec<i32>,
+}
+
+impl Memory {
+    /// Reads `len` elements at `addr` (reads past the high-water mark are
+    /// zero, matching the zero-initialized scratchpad assumption).
+    pub fn read(&self, addr: u32, len: u32) -> Vec<i32> {
+        (addr..addr + len)
+            .map(|a| self.data.get(a as usize).copied().unwrap_or(0))
+            .collect()
+    }
+
+    /// Reads a single element.
+    pub fn get(&self, addr: u64) -> i32 {
+        self.data.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes `values` at `addr`, growing as needed.
+    pub fn write(&mut self, addr: u32, values: &[i32]) {
+        let end = addr as usize + values.len();
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        self.data[addr as usize..end].copy_from_slice(values);
+    }
+
+    /// Writes a single element at a 64-bit address.
+    pub fn set(&mut self, addr: u64, value: i32) {
+        let idx = addr as usize;
+        if self.data.len() <= idx {
+            self.data.resize(idx + 1, 0);
+        }
+        self.data[idx] = value;
+    }
+}
+
+fn sat(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// Executes a vector/matrix instruction's data movement on `mem`.
+/// Transfers are handled by the machine (they touch two memories).
+pub fn execute_local(r: &Resolved, mem: &mut Memory, groups: &[GroupConfig]) {
+    match r {
+        Resolved::Mvm {
+            group, dst, src, ..
+        } => {
+            let g = &groups[group.as_usize()];
+            if let Some(w) = &g.weights {
+                let input = mem.read(*src, g.input_len);
+                let out = w.mvm(&input);
+                mem.write(*dst, &out);
+            }
+        }
+        Resolved::VBin { op, dst, a, b, len } => {
+            let va = mem.read(*a, *len);
+            let vb = mem.read(*b, *len);
+            let out: Vec<i32> = va
+                .iter()
+                .zip(&vb)
+                .map(|(&x, &y)| match op {
+                    VBinOp::Add => x.saturating_add(y),
+                    VBinOp::Sub => x.saturating_sub(y),
+                    VBinOp::Mul => sat(x as i64 * y as i64),
+                    VBinOp::Max => x.max(y),
+                    VBinOp::Min => x.min(y),
+                })
+                .collect();
+            mem.write(*dst, &out);
+        }
+        Resolved::VImm {
+            op,
+            dst,
+            src,
+            imm,
+            len,
+        } => {
+            let v = mem.read(*src, *len);
+            let out: Vec<i32> = v
+                .iter()
+                .map(|&x| match op {
+                    VImmOp::Add => x.saturating_add(*imm),
+                    VImmOp::Mul => sat(x as i64 * *imm as i64),
+                    VImmOp::Sra => x >> (*imm as u32 & 31),
+                })
+                .collect();
+            mem.write(*dst, &out);
+        }
+        Resolved::VUn { op, dst, src, len } => {
+            let v = mem.read(*src, *len);
+            let out: Vec<i32> = v
+                .iter()
+                .map(|&x| match op {
+                    VUnOp::Relu => x.max(0),
+                    VUnOp::Sigmoid => fixed_sigmoid(x),
+                    VUnOp::Tanh => fixed_tanh(x),
+                    VUnOp::Copy => x,
+                    VUnOp::Neg => x.saturating_neg(),
+                    VUnOp::Abs => x.saturating_abs(),
+                })
+                .collect();
+            mem.write(*dst, &out);
+        }
+        Resolved::VFill { dst, value, len } => {
+            mem.write(*dst, &vec![*value; *len as usize]);
+        }
+        Resolved::VCopy2d {
+            dst,
+            src,
+            block_len,
+            blocks,
+            src_stride,
+            dst_stride,
+        } => {
+            for b in 0..*blocks {
+                let s = (*src as i64 + b as i64 * *src_stride as i64).max(0) as u32;
+                let d = (*dst as i64 + b as i64 * *dst_stride as i64).max(0) as u32;
+                let block = mem.read(s, *block_len);
+                mem.write(d, &block);
+            }
+        }
+        Resolved::VPool {
+            op,
+            dst,
+            src,
+            channels,
+            win_w,
+            win_h,
+            row_stride,
+        } => {
+            let mut out = vec![0i32; *channels as usize];
+            for (c, o) in out.iter_mut().enumerate() {
+                let mut m = i32::MIN;
+                let mut sum = 0i64;
+                for wy in 0..*win_h {
+                    for wx in 0..*win_w {
+                        let a = *src as i64
+                            + wy as i64 * *row_stride as i64
+                            + (wx * *channels) as i64
+                            + c as i64;
+                        let v = mem.get(a.max(0) as u64);
+                        m = m.max(v);
+                        sum += v as i64;
+                    }
+                }
+                *o = match op {
+                    PoolOp::Max => m,
+                    PoolOp::Avg => sat(sum / (*win_w as i64 * *win_h as i64).max(1)),
+                };
+            }
+            mem.write(*dst, &out);
+        }
+        Resolved::Send { .. } | Resolved::Recv { .. } | Resolved::GLoad { .. }
+        | Resolved::GStore { .. } => {
+            unreachable!("transfers are executed by the machine, not execute_local")
+        }
+    }
+}
+
+/// Moves a matched send/recv payload from `src_mem` to `dst_mem` with the
+/// receiver's (possibly strided) placement.
+#[cfg(test)]
+pub fn execute_transfer(
+    src_mem: &Memory,
+    dst_mem: &mut Memory,
+    src: u32,
+    len: u32,
+    dst: u32,
+    block_len: u32,
+    dst_stride: i32,
+) {
+    let payload = src_mem.read(src, len);
+    if block_len == 0 {
+        return;
+    }
+    for (b, chunk) in payload.chunks(block_len as usize).enumerate() {
+        let d = (dst as i64 + b as i64 * dst_stride as i64).max(0) as u32;
+        dst_mem.write(d, chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_isa::{GroupId, WeightMatrix};
+
+    #[test]
+    fn memory_reads_unwritten_as_zero() {
+        let mem = Memory::default();
+        assert_eq!(mem.read(100, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut mem = Memory::default();
+        mem.write(10, &[1, -2, 3]);
+        assert_eq!(mem.read(9, 5), vec![0, 1, -2, 3, 0]);
+        mem.set(1000, 42);
+        assert_eq!(mem.get(1000), 42);
+    }
+
+    #[test]
+    fn vbin_semantics() {
+        let mut mem = Memory::default();
+        mem.write(0, &[i32::MAX, 5, -3]);
+        mem.write(10, &[1, 7, -4]);
+        execute_local(
+            &Resolved::VBin {
+                op: VBinOp::Add,
+                dst: 20,
+                a: 0,
+                b: 10,
+                len: 3,
+            },
+            &mut mem,
+            &[],
+        );
+        assert_eq!(mem.read(20, 3), vec![i32::MAX, 12, -7]);
+        execute_local(
+            &Resolved::VBin {
+                op: VBinOp::Max,
+                dst: 30,
+                a: 0,
+                b: 10,
+                len: 3,
+            },
+            &mut mem,
+            &[],
+        );
+        assert_eq!(mem.read(30, 3), vec![i32::MAX, 7, -3]);
+    }
+
+    #[test]
+    fn mvm_uses_group_weights() {
+        let mut mem = Memory::default();
+        mem.write(0, &[5, 6]);
+        let g = GroupConfig::new(GroupId(0), 2, 2, vec![0])
+            .with_weights(WeightMatrix::new(2, 2, vec![1, 3, 2, 4]).unwrap())
+            .unwrap();
+        execute_local(
+            &Resolved::Mvm {
+                group: GroupId(0),
+                dst: 10,
+                src: 0,
+                len: 2,
+            },
+            &mut mem,
+            &[g],
+        );
+        assert_eq!(mem.read(10, 2), vec![17, 39]);
+    }
+
+    #[test]
+    fn vpool_avg_truncates() {
+        let mut mem = Memory::default();
+        // 2x2 window, 1 channel, laid out rows of 2.
+        mem.write(0, &[1, 2]);
+        mem.write(2, &[2, 2]);
+        execute_local(
+            &Resolved::VPool {
+                op: PoolOp::Avg,
+                dst: 10,
+                src: 0,
+                channels: 1,
+                win_w: 2,
+                win_h: 2,
+                row_stride: 2,
+            },
+            &mut mem,
+            &[],
+        );
+        assert_eq!(mem.read(10, 1), vec![1]); // 7/4 -> 1
+    }
+
+    #[test]
+    fn vcopy2d_strides() {
+        let mut mem = Memory::default();
+        mem.write(0, &[1, 2, 3, 4, 5, 6]);
+        execute_local(
+            &Resolved::VCopy2d {
+                dst: 100,
+                src: 0,
+                block_len: 2,
+                blocks: 3,
+                src_stride: 2,
+                dst_stride: 4,
+            },
+            &mut mem,
+            &[],
+        );
+        assert_eq!(mem.read(100, 10), vec![1, 2, 0, 0, 3, 4, 0, 0, 5, 6]);
+    }
+
+    #[test]
+    fn transfer_with_interleave() {
+        let src = {
+            let mut m = Memory::default();
+            m.write(0, &[1, 2, 3, 4]);
+            m
+        };
+        let mut dst = Memory::default();
+        execute_transfer(&src, &mut dst, 0, 4, 100, 2, 5);
+        assert_eq!(dst.read(100, 8), vec![1, 2, 0, 0, 0, 3, 4, 0]);
+    }
+
+    #[test]
+    fn activations_match_golden_helpers() {
+        let mut mem = Memory::default();
+        mem.write(0, &[0, -100]);
+        execute_local(
+            &Resolved::VUn {
+                op: VUnOp::Sigmoid,
+                dst: 10,
+                src: 0,
+                len: 2,
+            },
+            &mut mem,
+            &[],
+        );
+        assert_eq!(mem.read(10, 2), vec![fixed_sigmoid(0), fixed_sigmoid(-100)]);
+    }
+}

@@ -1,0 +1,980 @@
+//! The simulation machine: per-core frontends, ROBs, execution units, the
+//! rendezvous transfer fabric, and the run loop.
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use pimsim_arch::model::CostModel;
+use pimsim_arch::{ArchConfig, ArchError};
+use pimsim_event::{EventCtx, Kernel, RunResult, SimTime};
+use pimsim_isa::{
+    BranchCond, GroupConfig, Instruction, InstrClass, IsaError, Program, ProgramLimits, SBinOp,
+    SImmOp,
+};
+
+use crate::exec::{execute_local, Memory};
+use crate::noc::Noc;
+use crate::resolve::{resolve, Range, Resolved};
+use crate::stats::{CoreStats, EnergyBreakdown, NodeStats, SimReport, TraceEntry, TRACE_CAP};
+
+/// Errors produced by a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// The program failed validation against the architecture.
+    InvalidProgram(IsaError),
+    /// The architecture configuration is invalid.
+    Arch(ArchError),
+    /// Simulation stopped making progress before all cores halted
+    /// (mismatched rendezvous, circular wait...).
+    Deadlock {
+        /// Time at which the event queue drained.
+        time: SimTime,
+        /// Human-readable description of stuck cores.
+        detail: String,
+    },
+    /// The `sim.max_cycles` safety horizon was reached.
+    Timeout {
+        /// The horizon, in core cycles.
+        max_cycles: u64,
+    },
+    /// A matched send/recv pair disagreed on payload length.
+    TagMismatch {
+        /// Description of the mismatching pair.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            SimError::Arch(e) => write!(f, "invalid architecture: {e}"),
+            SimError::Deadlock { time, detail } => {
+                write!(f, "deadlock at {time}: {detail}")
+            }
+            SimError::Timeout { max_cycles } => {
+                write!(f, "simulation exceeded the {max_cycles}-cycle safety horizon")
+            }
+            SimError::TagMismatch { detail } => write!(f, "transfer tag mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidProgram(e) => Some(e),
+            SimError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for SimError {
+    fn from(e: IsaError) -> Self {
+        SimError::InvalidProgram(e)
+    }
+}
+
+impl From<ArchError> for SimError {
+    fn from(e: ArchError) -> Self {
+        SimError::Arch(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Waiting,
+    Executing,
+    Done,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    seq: u64,
+    res: Resolved,
+    class: InstrClass,
+    tag: u16,
+    state: State,
+    issue_at: SimTime,
+    /// Rendered assembly, kept only when tracing.
+    text: Option<String>,
+    reads: Vec<Range>,
+    writes: Vec<Range>,
+    /// Global-memory interval `[start, end)` touched, with `true` = write.
+    gmem: Option<(u64, u64, bool)>,
+    /// Crossbars this MVM occupies (empty otherwise).
+    xbars: Vec<u32>,
+}
+
+/// Do two optional global accesses conflict (overlap with a write)?
+fn gmem_conflict(a: &Option<(u64, u64, bool)>, b: &Option<(u64, u64, bool)>) -> bool {
+    match (a, b) {
+        (Some((s1, e1, w1)), Some((s2, e2, w2))) => (*w1 || *w2) && s1 < e2 && s2 < e1,
+        _ => false,
+    }
+}
+
+#[derive(Debug)]
+struct Core {
+    pc: u32,
+    regs: [i32; 32],
+    halted: bool,
+    rob: VecDeque<InFlight>,
+    rob_size: usize,
+    next_dispatch: SimTime,
+    advance_pending: bool,
+    vector_busy: bool,
+    busy_xbars: Vec<u32>,
+    seq_next: u64,
+    instrs: Vec<Instruction>,
+    groups: Vec<GroupConfig>,
+    tags: Vec<u16>,
+    mem: Memory,
+    stats: CoreStats,
+}
+
+impl Core {
+    fn find(&mut self, seq: u64) -> Option<&mut InFlight> {
+        self.rob.iter_mut().find(|e| e.seq == seq)
+    }
+}
+
+/// One pending side of a transfer channel.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    core: u16,
+    seq: u64,
+}
+
+/// A message sitting in a receiver's credit queue.
+#[derive(Debug)]
+struct ArrivedMsg {
+    len: u32,
+    /// Captured payload (functional runs only).
+    data: Vec<i32>,
+}
+
+/// One `(sender, receiver, tag)` flow-controlled channel.
+#[derive(Debug, Default)]
+struct Channel {
+    /// Messages delivered but not yet consumed by a `RECV`.
+    arrived: VecDeque<ArrivedMsg>,
+    /// Messages currently crossing the mesh.
+    in_flight: u32,
+    /// Sends waiting for a credit.
+    waiting_sends: VecDeque<Pending>,
+    /// The receiver's posted `RECV` awaiting a message (at most one:
+    /// the transfer unit is single-occupancy).
+    parked_recv: Option<Pending>,
+}
+
+struct World {
+    cfg: ArchConfig,
+    cores: Vec<Core>,
+    noc: Noc,
+    gmem: Memory,
+    /// Flow-controlled channels keyed by `(sender, receiver, tag)`.
+    channels: HashMap<(u16, u16, u16), Channel>,
+    functional: bool,
+    dispatch_interval: SimTime,
+    energy: EnergyBreakdown,
+    class_counts: [u64; 4],
+    instructions: u64,
+    per_node: Vec<NodeStats>,
+    error: Option<SimError>,
+    trace_on: bool,
+    trace: Vec<TraceEntry>,
+    /// Timestamp of the last real activity (the kernel clock advances to
+    /// the horizon when the queue drains; latency must not).
+    finish_time: SimTime,
+}
+
+type Ctx<'x> = EventCtx<World>;
+
+impl World {
+    fn model(&self) -> CostModel<'_> {
+        CostModel::new(&self.cfg)
+    }
+
+    fn node_stats(&mut self, tag: u16) -> &mut NodeStats {
+        let idx = tag as usize;
+        if self.per_node.len() <= idx {
+            self.per_node.resize(idx + 1, NodeStats::default());
+        }
+        &mut self.per_node[idx]
+    }
+
+    fn record_trace(&mut self, time: SimTime, core: u16, instr: String) {
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push(TraceEntry { time, core, instr });
+        }
+    }
+
+    fn fail(&mut self, err: SimError, ctx: &mut Ctx<'_>) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+        ctx.stop();
+    }
+
+    // ------------------------------------------------------------ dispatch --
+
+    fn try_advance(&mut self, c: usize, ctx: &mut Ctx<'_>) {
+        self.finish_time = self.finish_time.max(ctx.now());
+        loop {
+            if self.error.is_some() || self.cores[c].halted {
+                return;
+            }
+            let now = ctx.now();
+            {
+                let core = &mut self.cores[c];
+                if core.rob.len() >= core.rob_size {
+                    return; // a completion will re-trigger us
+                }
+                if core.next_dispatch > now {
+                    if !core.advance_pending {
+                        core.advance_pending = true;
+                        let at = core.next_dispatch;
+                        ctx.schedule_at(at, move |w: &mut World, ctx| {
+                            w.cores[c].advance_pending = false;
+                            w.try_advance(c, ctx);
+                        });
+                    }
+                    return;
+                }
+            }
+            let pc = self.cores[c].pc as usize;
+            let Some(instr) = self.cores[c].instrs.get(pc).cloned() else {
+                self.cores[c].halted = true;
+                return;
+            };
+            let tag = self.cores[c].tags.get(pc).copied().unwrap_or(0);
+            let dispatch_at = self.cores[c].next_dispatch.max(now);
+            self.cores[c].next_dispatch = dispatch_at + self.dispatch_interval;
+            self.cores[c].stats.dispatched += 1;
+            self.instructions += 1;
+            self.energy.frontend += self.model().frontend_energy();
+            self.node_stats(tag).instructions += 1;
+
+            match resolve(&instr, &self.cores[c].regs) {
+                None => {
+                    // Scalar class: execute at dispatch.
+                    self.class_counts[3] += 1;
+                    self.energy.scalar += self.model().scalar_cost().energy;
+                    if self.trace_on {
+                        self.record_trace(dispatch_at, c as u16, instr.to_string());
+                    }
+                    self.exec_scalar(c, &instr);
+                }
+                Some(res) => {
+                    let class = instr.class();
+                    match class {
+                        InstrClass::Matrix => self.class_counts[0] += 1,
+                        InstrClass::Vector => self.class_counts[1] += 1,
+                        InstrClass::Transfer => self.class_counts[2] += 1,
+                        InstrClass::Scalar => unreachable!("resolved scalar"),
+                    }
+                    let core = &mut self.cores[c];
+                    let (mvm_out, xbars) = match &res {
+                        Resolved::Mvm { group, .. } => {
+                            let g = &core.groups[group.as_usize()];
+                            (g.output_len, g.xbar_ids.clone())
+                        }
+                        _ => (0, Vec::new()),
+                    };
+                    let seq = core.seq_next;
+                    core.seq_next += 1;
+                    let gmem = match &res {
+                        Resolved::GLoad { gaddr, len, .. } => {
+                            Some((*gaddr, gaddr + *len as u64, false))
+                        }
+                        Resolved::GStore { gaddr, len, .. } => {
+                            Some((*gaddr, gaddr + *len as u64, true))
+                        }
+                        _ => None,
+                    };
+                    let text = self.trace_on.then(|| instr.to_string());
+                    let entry = InFlight {
+                        seq,
+                        reads: res.reads(),
+                        writes: res.writes(mvm_out),
+                        gmem,
+                        res,
+                        class,
+                        tag,
+                        state: State::Waiting,
+                        issue_at: SimTime::ZERO,
+                        text,
+                        xbars,
+                    };
+                    core.rob.push_back(entry);
+                    core.pc += 1;
+                    self.try_issue(c, ctx);
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn exec_scalar(&mut self, c: usize, instr: &Instruction) {
+        let core = &mut self.cores[c];
+        let rd_write = |regs: &mut [i32; 32], rd: pimsim_isa::Reg, v: i32| {
+            if !rd.is_zero() {
+                regs[rd.index() as usize] = v;
+            }
+        };
+        match instr {
+            Instruction::SBin { op, rd, rs1, rs2 } => {
+                let a = core.regs[rs1.index() as usize];
+                let b = core.regs[rs2.index() as usize];
+                let v = match op {
+                    SBinOp::Add => a.wrapping_add(b),
+                    SBinOp::Sub => a.wrapping_sub(b),
+                    SBinOp::Mul => a.wrapping_mul(b),
+                    SBinOp::And => a & b,
+                    SBinOp::Or => a | b,
+                    SBinOp::Xor => a ^ b,
+                    SBinOp::Slt => (a < b) as i32,
+                    SBinOp::Sll => ((a as u32) << (b as u32 & 31)) as i32,
+                    SBinOp::Srl => ((a as u32) >> (b as u32 & 31)) as i32,
+                };
+                rd_write(&mut core.regs, *rd, v);
+                core.pc += 1;
+            }
+            Instruction::SImm { op, rd, rs1, imm } => {
+                let a = core.regs[rs1.index() as usize];
+                let v = match op {
+                    SImmOp::Add => a.wrapping_add(*imm),
+                    SImmOp::Mul => a.wrapping_mul(*imm),
+                    SImmOp::Sll => ((a as u32) << (*imm as u32 & 31)) as i32,
+                    SImmOp::Srl => ((a as u32) >> (*imm as u32 & 31)) as i32,
+                    SImmOp::And => a & *imm,
+                    SImmOp::Or => a | *imm,
+                    SImmOp::Slt => (a < *imm) as i32,
+                };
+                rd_write(&mut core.regs, *rd, v);
+                core.pc += 1;
+            }
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let a = core.regs[rs1.index() as usize];
+                let b = core.regs[rs2.index() as usize];
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => a < b,
+                    BranchCond::Ge => a >= b,
+                };
+                core.pc = if taken { *target } else { core.pc + 1 };
+            }
+            Instruction::Jump { target } => core.pc = *target,
+            Instruction::Halt => core.halted = true,
+            Instruction::Nop => core.pc += 1,
+            _ => unreachable!("memory-class instruction in exec_scalar"),
+        }
+    }
+
+    // --------------------------------------------------------------- issue --
+
+    /// The flow-control channel of a transfer, if any: `(src, dst, tag)`.
+    fn channel_key(c: u16, res: &Resolved) -> Option<(u16, u16, u16)> {
+        match res {
+            Resolved::Send { peer, tag, .. } => Some((c, *peer, *tag)),
+            Resolved::Recv { peer, tag, .. } => Some((*peer, c, *tag)),
+            _ => None,
+        }
+    }
+
+    fn try_issue(&mut self, c: usize, ctx: &mut Ctx<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        // Collect issuable entries first (borrow discipline), then start them.
+        loop {
+            let mut candidate: Option<u64> = None;
+            {
+                let core = &self.cores[c];
+                'scan: for (i, e) in core.rob.iter().enumerate() {
+                    if e.state != State::Waiting {
+                        continue;
+                    }
+                    // Hazards against older in-flight instructions.
+                    for older in core.rob.iter().take(i) {
+                        if older.state == State::Done {
+                            continue;
+                        }
+                        let raw = e.reads.iter().any(|r| older.writes.iter().any(|w| r.overlaps(w)));
+                        let waw = e.writes.iter().any(|r| older.writes.iter().any(|w| r.overlaps(w)));
+                        let war = e.writes.iter().any(|r| older.reads.iter().any(|w| r.overlaps(w)));
+                        if raw || waw || war || gmem_conflict(&e.gmem, &older.gmem) {
+                            continue 'scan;
+                        }
+                        // Transfers may overtake each other *across*
+                        // channels, but each (src, dst, tag) channel stays
+                        // FIFO so messages match in program order.
+                        if e.class == InstrClass::Transfer
+                            && older.class == InstrClass::Transfer
+                        {
+                            let ek = Self::channel_key(c as u16, &e.res);
+                            let ok = Self::channel_key(c as u16, &older.res);
+                            if ek.is_some() && ek == ok {
+                                continue 'scan;
+                            }
+                        }
+                    }
+                    // Structural availability.
+                    let ok = match e.class {
+                        InstrClass::Vector => !core.vector_busy,
+                        // The transfer unit pipelines: waits cost time but
+                        // do not block unrelated channels.
+                        InstrClass::Transfer => true,
+                        InstrClass::Matrix => {
+                            // The paper's structure hazard: same crossbar ⇒ wait
+                            // (an ablation flag can disable the rule).
+                            !self.cfg.sim.structure_hazard
+                                || e.xbars.iter().all(|x| !core.busy_xbars.contains(x))
+                        }
+                        InstrClass::Scalar => unreachable!(),
+                    };
+                    if ok {
+                        candidate = Some(e.seq);
+                        break;
+                    }
+                }
+            }
+            let Some(seq) = candidate else { return };
+            self.start(c, seq, now, ctx);
+        }
+    }
+
+    fn start(&mut self, c: usize, seq: u64, now: SimTime, ctx: &mut Ctx<'_>) {
+        let model_scalar = self.dispatch_interval; // borrow dance helper
+        let _ = model_scalar;
+        let (class, res) = {
+            let e = self.cores[c].find(seq).expect("entry exists");
+            e.state = State::Executing;
+            e.issue_at = now;
+            (e.class, e.res.clone())
+        };
+        match class {
+            InstrClass::Vector => {
+                let cost = {
+                    let m = self.model();
+                    match &res {
+                        Resolved::VBin { len, .. } => m.vector_cost(*len, 2, 1),
+                        Resolved::VImm { len, .. } | Resolved::VUn { len, .. } => {
+                            m.vector_cost(*len, 1, 1)
+                        }
+                        Resolved::VFill { len, .. } => m.vector_cost(*len, 0, 1),
+                        Resolved::VCopy2d {
+                            block_len, blocks, ..
+                        } => m.vector_cost(block_len * blocks, 1, 1),
+                        Resolved::VPool {
+                            channels,
+                            win_w,
+                            win_h,
+                            ..
+                        } => m.vector_cost(channels * win_w * win_h, 1, 1),
+                        other => unreachable!("vector class mismatch: {other:?}"),
+                    }
+                };
+                self.cores[c].vector_busy = true;
+                self.energy.vector += cost.energy;
+                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
+                self.node_stats(tag).energy += cost.energy;
+                let end = now + cost.time;
+                ctx.schedule_at(end, move |w: &mut World, ctx| w.complete(c, seq, ctx));
+            }
+            InstrClass::Matrix => {
+                let Resolved::Mvm { group, .. } = &res else {
+                    unreachable!("matrix class mismatch")
+                };
+                let (inp, outp, nx) = {
+                    let g = &self.cores[c].groups[group.as_usize()];
+                    (g.input_len, g.output_len, g.xbar_ids.len() as u32)
+                };
+                let cost = self.model().mvm_cost(inp, outp, nx);
+                let xbars = self.cores[c]
+                    .find(seq)
+                    .map(|e| e.xbars.clone())
+                    .unwrap_or_default();
+                self.cores[c].busy_xbars.extend(xbars);
+                self.energy.matrix += cost.energy;
+                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
+                self.node_stats(tag).energy += cost.energy;
+                let end = now + cost.time;
+                ctx.schedule_at(end, move |w: &mut World, ctx| w.complete(c, seq, ctx));
+            }
+            InstrClass::Transfer => {
+                self.start_transfer(c, seq, res, now, ctx);
+            }
+            InstrClass::Scalar => unreachable!(),
+        }
+    }
+
+    fn start_transfer(&mut self, c: usize, seq: u64, res: Resolved, now: SimTime, ctx: &mut Ctx<'_>) {
+        match res {
+            Resolved::Send { peer, len, tag, .. } => {
+                let credits = self.cfg.noc.channel_credits;
+                let key = (c as u16, peer, tag);
+                let chan = self.channels.entry(key).or_default();
+                if chan.in_flight + chan.arrived.len() as u32 >= credits {
+                    chan.waiting_sends.push_back(Pending { core: c as u16, seq });
+                } else {
+                    chan.in_flight += 1;
+                    self.launch_send(key, Pending { core: c as u16, seq }, len, now, ctx);
+                }
+            }
+            Resolved::Recv {
+                peer,
+                block_len,
+                blocks,
+                tag,
+                ..
+            } => {
+                let key = (peer, c as u16, tag);
+                let recv_len = block_len * blocks;
+                let chan = self.channels.entry(key).or_default();
+                if let Some(msg) = chan.arrived.pop_front() {
+                    if msg.len != recv_len {
+                        let detail = format!(
+                            "send core{peer} len {} vs recv core{c} len {recv_len} (tag {tag})",
+                            msg.len
+                        );
+                        self.fail(SimError::TagMismatch { detail }, ctx);
+                        return;
+                    }
+                    self.finish_recv(c, seq, msg, ctx);
+                    // A credit freed: launch one waiting send, if any.
+                    self.kick_channel(key, now, ctx);
+                } else {
+                    debug_assert!(chan.parked_recv.is_none(), "transfer unit is single-occupancy");
+                    chan.parked_recv = Some(Pending { core: c as u16, seq });
+                }
+            }
+            Resolved::GLoad { len, .. } | Resolved::GStore { len, .. } => {
+                let m = CostModel::new(&self.cfg);
+                let hops = m.config().resources.mesh_hops(c as u16, 0) + 1;
+                let flits = m.flits_for_elems(len);
+                let e_txn = m.noc_energy(flits, hops) + m.global_mem_cost(len).energy;
+                let end = self.noc.memory_access(c as u16, len, now, &m);
+                self.energy.transfer += e_txn;
+                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
+                self.node_stats(tag).energy += e_txn;
+                ctx.schedule_at(end, move |w: &mut World, ctx| w.complete(c, seq, ctx));
+            }
+            other => unreachable!("transfer class mismatch: {other:?}"),
+        }
+    }
+
+    /// Puts a send on the wire; it deposits into the receiver's queue at
+    /// the tail-flit arrival time.
+    fn launch_send(
+        &mut self,
+        key: (u16, u16, u16),
+        send: Pending,
+        len: u32,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let m = CostModel::new(&self.cfg);
+        let hops = m.config().resources.mesh_hops(key.0, key.1);
+        let flits = m.flits_for_elems(len);
+        let e_txn = m.noc_energy(flits, hops);
+        let end = self.noc.message(key.0, key.1, len, now, &m);
+        self.energy.transfer += e_txn;
+        let tag = self.cores[send.core as usize]
+            .find(send.seq)
+            .map(|e| e.tag)
+            .unwrap_or(0);
+        self.node_stats(tag).energy += e_txn;
+        ctx.schedule_at(end, move |w: &mut World, ctx| w.deposit(key, send, len, ctx));
+    }
+
+    /// Tail flit arrived at the receiver: the send completes
+    /// ("synchronized"), and either a parked `RECV` consumes the message
+    /// immediately or it waits in the credit queue.
+    fn deposit(&mut self, key: (u16, u16, u16), send: Pending, len: u32, ctx: &mut Ctx<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        // Capture the payload while the sender's buffer is still hazard-protected.
+        let data = if self.functional {
+            let src = match self.cores[send.core as usize].find(send.seq) {
+                Some(e) => match e.res {
+                    Resolved::Send { src, .. } => src,
+                    _ => unreachable!("send side mismatch"),
+                },
+                None => return,
+            };
+            self.cores[send.core as usize].mem.read(src, len)
+        } else {
+            Vec::new()
+        };
+        // Complete the send side.
+        self.finish_transfer_side(send.core as usize, send.seq, ctx);
+        let chan = self.channels.entry(key).or_default();
+        chan.in_flight -= 1;
+        if let Some(recv) = chan.parked_recv.take() {
+            let rc = recv.core as usize;
+            let recv_len = self.cores[rc]
+                .find(recv.seq)
+                .map(|e| e.res.transfer_elems())
+                .unwrap_or(0);
+            if recv_len != len {
+                let detail = format!(
+                    "send core{} len {len} vs recv core{} len {recv_len} (tag {})",
+                    key.0, key.1, key.2
+                );
+                self.fail(SimError::TagMismatch { detail }, ctx);
+                return;
+            }
+            self.finish_recv(rc, recv.seq, ArrivedMsg { len, data }, ctx);
+            self.kick_channel(key, ctx.now(), ctx);
+        } else {
+            let chan = self.channels.entry(key).or_default();
+            chan.arrived.push_back(ArrivedMsg { len, data });
+        }
+    }
+
+    /// A credit became free: launch the oldest waiting send, if any.
+    fn kick_channel(&mut self, key: (u16, u16, u16), now: SimTime, ctx: &mut Ctx<'_>) {
+        let credits = self.cfg.noc.channel_credits;
+        let launch = {
+            let chan = self.channels.entry(key).or_default();
+            if chan.in_flight + chan.arrived.len() as u32 >= credits {
+                None
+            } else {
+                chan.waiting_sends.pop_front()
+            }
+        };
+        if let Some(send) = launch {
+            let len = self.cores[send.core as usize]
+                .find(send.seq)
+                .map(|e| e.res.transfer_elems())
+                .unwrap_or(0);
+            self.channels.entry(key).or_default().in_flight += 1;
+            self.launch_send(key, send, len, now, ctx);
+        }
+    }
+
+    /// Completes a `RECV`: writes the payload and retires the entry.
+    fn finish_recv(&mut self, c: usize, seq: u64, msg: ArrivedMsg, ctx: &mut Ctx<'_>) {
+        if self.functional {
+            if let Some(e) = self.cores[c].find(seq) {
+                if let Resolved::Recv {
+                    dst,
+                    block_len,
+                    dst_stride,
+                    ..
+                } = e.res
+                {
+                    let (dst, block_len, dst_stride) = (dst, block_len, dst_stride);
+                    let mem = &mut self.cores[c].mem;
+                    if block_len > 0 {
+                        for (b, chunk) in msg.data.chunks(block_len as usize).enumerate() {
+                            let d = (dst as i64 + b as i64 * dst_stride as i64).max(0) as u32;
+                            mem.write(d, chunk);
+                        }
+                    }
+                }
+            }
+        }
+        self.finish_transfer_side(c, seq, ctx);
+    }
+
+    /// Marks one transfer entry done, releases the unit, updates stats,
+    /// retires, and lets the core continue.
+    fn finish_transfer_side(&mut self, c: usize, seq: u64, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.finish_time = self.finish_time.max(now);
+        let (tag, span, text) = {
+            let Some(e) = self.cores[c].find(seq) else { return };
+            e.state = State::Done;
+            (e.tag, now.saturating_sub(e.issue_at), e.text.take())
+        };
+        if let Some(t) = text {
+            self.record_trace(now, c as u16, t);
+        }
+        self.cores[c].stats.transfer_busy += span;
+        self.node_stats(tag).comm_time += span;
+        self.retire(c);
+        self.try_issue(c, ctx);
+        self.try_advance(c, ctx);
+    }
+
+    // ---------------------------------------------------------- completion --
+
+    fn complete(&mut self, c: usize, seq: u64, ctx: &mut Ctx<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        self.finish_time = self.finish_time.max(now);
+        let functional = self.functional;
+        let (class, res, tag, span, text) = {
+            let Some(e) = self.cores[c].find(seq) else { return };
+            e.state = State::Done;
+            (
+                e.class,
+                e.res.clone(),
+                e.tag,
+                now.saturating_sub(e.issue_at),
+                e.text.take(),
+            )
+        };
+        if let Some(t) = text {
+            self.record_trace(now, c as u16, t);
+        }
+        match class {
+            InstrClass::Vector => {
+                self.cores[c].vector_busy = false;
+                self.cores[c].stats.vector_busy += span;
+                self.node_stats(tag).vector_time += span;
+                if functional {
+                    let core = &mut self.cores[c];
+                    // Split borrow: groups are not touched by vector ops.
+                    let groups = std::mem::take(&mut core.groups);
+                    execute_local(&res, &mut core.mem, &groups);
+                    core.groups = groups;
+                }
+            }
+            InstrClass::Matrix => {
+                let xbars = self.cores[c].find(seq).map(|e| e.xbars.clone()).unwrap_or_default();
+                self.cores[c].busy_xbars.retain(|x| !xbars.contains(x));
+                self.cores[c].stats.matrix_busy += span;
+                self.node_stats(tag).matrix_time += span;
+                if functional {
+                    let core = &mut self.cores[c];
+                    let groups = std::mem::take(&mut core.groups);
+                    execute_local(&res, &mut core.mem, &groups);
+                    core.groups = groups;
+                }
+            }
+            InstrClass::Transfer => {
+                // Only global-memory transfers complete through here.
+                self.cores[c].stats.transfer_busy += span;
+                self.node_stats(tag).comm_time += span;
+                if functional {
+                    match &res {
+                        Resolved::GLoad { dst, gaddr, len } => {
+                            let data: Vec<i32> =
+                                (0..*len as u64).map(|i| self.gmem.get(gaddr + i)).collect();
+                            self.cores[c].mem.write(*dst, &data);
+                        }
+                        Resolved::GStore { gaddr, src, len } => {
+                            let data = self.cores[c].mem.read(*src, *len);
+                            for (i, v) in data.into_iter().enumerate() {
+                                self.gmem.set(gaddr + i as u64, v);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            InstrClass::Scalar => unreachable!(),
+        }
+        self.retire(c);
+        self.try_issue(c, ctx);
+        self.try_advance(c, ctx);
+    }
+
+    fn retire(&mut self, c: usize) {
+        let core = &mut self.cores[c];
+        while matches!(core.rob.front(), Some(e) if e.state == State::Done) {
+            core.rob.pop_front();
+        }
+    }
+}
+
+/// Runs compiled [`Program`]s on a configured chip.
+///
+/// See the crate docs for the machine model.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator<'a> {
+    arch: &'a ArchConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over `arch`.
+    pub fn new(arch: &'a ArchConfig) -> Self {
+        Simulator { arch }
+    }
+
+    /// Runs `program` to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidProgram`] / [`SimError::Arch`] for malformed inputs,
+    /// * [`SimError::Deadlock`] when transfers can never match,
+    /// * [`SimError::Timeout`] at the `sim.max_cycles` horizon,
+    /// * [`SimError::TagMismatch`] for inconsistent payload lengths.
+    pub fn run(&self, program: &Program) -> Result<SimReport, SimError> {
+        self.arch.validate()?;
+        let limits = ProgramLimits {
+            cores: self.arch.resources.cores(),
+            xbars_per_core: self.arch.resources.xbars_per_core,
+            local_mem_elems: self.arch.resources.local_mem_elems(),
+            global_mem_elems: self.arch.resources.global_mem_elems(),
+        };
+        program.validate(&limits)?;
+
+        let model = CostModel::new(self.arch);
+        let clock = model.core_clock();
+        let functional = self.arch.sim.functional;
+        let dispatch_interval =
+            SimTime::from_ps(clock.period().as_ps() / self.arch.timing.dispatch_width.max(1) as u64);
+        let decode_offset = clock.cycles_to_time(self.arch.timing.decode_cycles as u64);
+
+        let n_cores = self.arch.resources.cores() as usize;
+        let mut cores = Vec::with_capacity(n_cores);
+        for cid in 0..n_cores {
+            let cp = program.cores.get(cid).cloned().unwrap_or_default();
+            let mut mem = Memory::default();
+            if functional {
+                for (start, values) in &cp.local_init {
+                    mem.write(*start, values);
+                }
+            }
+            cores.push(Core {
+                pc: 0,
+                regs: [0; 32],
+                halted: cp.instrs.is_empty(),
+                rob: VecDeque::new(),
+                rob_size: self.arch.resources.rob_size as usize,
+                next_dispatch: decode_offset,
+                advance_pending: false,
+                vector_busy: false,
+                busy_xbars: Vec::new(),
+                seq_next: 0,
+                instrs: cp.instrs,
+                groups: cp.groups,
+                tags: cp.instr_tags,
+                mem,
+                stats: CoreStats::default(),
+            });
+        }
+        let mut gmem = Memory::default();
+        if functional {
+            for (start, values) in &program.global_init {
+                for (i, v) in values.iter().enumerate() {
+                    gmem.set(start + i as u64, *v);
+                }
+            }
+        }
+
+        let world = World {
+            cfg: self.arch.clone(),
+            noc: Noc::new(self.arch.resources.core_rows, self.arch.resources.core_cols),
+            gmem,
+            cores,
+            channels: HashMap::new(),
+            functional,
+            dispatch_interval,
+            energy: EnergyBreakdown::default(),
+            class_counts: [0; 4],
+            instructions: 0,
+            per_node: Vec::new(),
+            error: None,
+            trace_on: self.arch.sim.trace,
+            trace: Vec::new(),
+            finish_time: SimTime::ZERO,
+        };
+
+        let mut kernel = Kernel::new(world);
+        for c in 0..n_cores {
+            if !kernel.world().cores[c].halted {
+                kernel.schedule_at(SimTime::ZERO, move |w: &mut World, ctx| w.try_advance(c, ctx));
+            }
+        }
+
+        let horizon = clock.cycles_to_time(self.arch.sim.max_cycles);
+        let result = kernel.run_until(horizon);
+        let events = kernel.stats().executed;
+        let mut world = kernel.into_world();
+        let now = world.finish_time;
+
+        if let Some(err) = world.error.take() {
+            return Err(err);
+        }
+        match result {
+            RunResult::Horizon | RunResult::StepBudget => {
+                return Err(SimError::Timeout {
+                    max_cycles: self.arch.sim.max_cycles,
+                })
+            }
+            RunResult::Stopped => unreachable!("stop implies a recorded error"),
+            RunResult::Exhausted => {}
+        }
+        // Everything drained: all cores must be halted with empty ROBs,
+        // otherwise some rendezvous never matched.
+        let stuck: Vec<String> = world
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, core)| !core.halted || !core.rob.is_empty())
+            .map(|(i, core)| {
+                let rob: Vec<String> = core
+                    .rob
+                    .iter()
+                    .map(|e| format!("{:?}/{:?}/{:?}", e.class, e.state, e.res))
+                    .collect();
+                format!(
+                    "core{i}: pc={} halted={} pending={} next_dispatch={} next_instr={:?} rob=[{}]",
+                    core.pc,
+                    core.halted,
+                    core.advance_pending,
+                    core.next_dispatch,
+                    core.instrs.get(core.pc as usize).map(|x| x.to_string()),
+                    rob.join(" | ")
+                )
+            })
+            .collect();
+        if !stuck.is_empty() {
+            let mut chans: Vec<String> = world
+                .channels
+                .iter()
+                .filter(|(_, ch)| {
+                    !ch.waiting_sends.is_empty() || !ch.arrived.is_empty() || ch.parked_recv.is_some() || ch.in_flight > 0
+                })
+                .map(|((s, d, t), ch)| {
+                    format!(
+                        "ch({s}->{d},tag{t}): inflight={} arrived={} waitsend={} parkedrecv={}",
+                        ch.in_flight,
+                        ch.arrived.len(),
+                        ch.waiting_sends.len(),
+                        ch.parked_recv.is_some()
+                    )
+                })
+                .collect();
+            chans.sort();
+            return Err(SimError::Deadlock {
+                time: now,
+                detail: format!("{}\n{}", stuck.join("; "), chans.join("\n")),
+            });
+        }
+
+        let latency = now;
+        world.energy.static_energy = CostModel::new(&world.cfg).static_energy(latency);
+        let per_core = world.cores.iter().map(|c| c.stats).collect();
+        Ok(SimReport {
+            latency,
+            energy: world.energy,
+            instructions: world.instructions,
+            class_counts: world.class_counts,
+            per_core,
+            per_node: world.per_node,
+            events,
+            trace: world.trace,
+            gmem: functional.then_some(world.gmem),
+            locals: functional.then(|| world.cores.into_iter().map(|c| c.mem).collect()),
+        })
+    }
+}

@@ -1,0 +1,190 @@
+//! The mesh NoC: XY routing over per-link occupancy, plus the global
+//! memory controller at corner (0, 0).
+
+use pimsim_arch::model::CostModel;
+use pimsim_event::SimTime;
+
+/// A unidirectional mesh link identified by `(from_router, to_router)`.
+/// The memory port uses `to_router == MEM_NODE`.
+pub const MEM_NODE: u16 = u16::MAX;
+
+/// Per-link and controller occupancy state.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    #[cfg_attr(not(test), allow(dead_code))]
+    rows: u16,
+    cols: u16,
+    /// `free_at` per directed link, keyed densely.
+    link_free: std::collections::HashMap<(u16, u16), SimTime>,
+    /// Global memory controller service queue.
+    mem_free: SimTime,
+}
+
+impl Noc {
+    pub fn new(rows: u16, cols: u16) -> Noc {
+        Noc {
+            rows,
+            cols,
+            link_free: std::collections::HashMap::new(),
+            mem_free: SimTime::ZERO,
+        }
+    }
+
+    fn pos(&self, core: u16) -> (u16, u16) {
+        (core / self.cols, core % self.cols)
+    }
+
+    /// The XY route between two routers as a list of directed links.
+    pub fn route(&self, from: u16, to: u16) -> Vec<(u16, u16)> {
+        let mut links = Vec::new();
+        if from == to {
+            return links;
+        }
+        let (_, fc) = self.pos(from);
+        let (tr, tc) = self.pos(to);
+        let mut cur = from;
+        // X first.
+        let mut c = fc;
+        while c != tc {
+            let next_c = if tc > c { c + 1 } else { c - 1 };
+            let next = (cur / self.cols) * self.cols + next_c;
+            links.push((cur, next));
+            cur = next;
+            c = next_c;
+        }
+        // Then Y.
+        let mut r = cur / self.cols;
+        while r != tr {
+            let next_r = if tr > r { r + 1 } else { r - 1 };
+            let next = next_r * self.cols + tc;
+            links.push((cur, next));
+            cur = next;
+            r = next_r;
+        }
+        debug_assert_eq!(cur, to);
+        links
+    }
+
+    /// Walks a packet of `flits` flits along `links` starting at `start`,
+    /// reserving each link in turn (wormhole-style head progression with
+    /// per-link serialization). Returns the delivery time of the tail flit.
+    pub fn traverse(
+        &mut self,
+        links: &[(u16, u16)],
+        start: SimTime,
+        flits: u64,
+        model: &CostModel<'_>,
+    ) -> SimTime {
+        let hop = model.noc_hop_latency(1);
+        let ser = model.link_serialization(flits);
+        let mut head = start;
+        let mut tail = start;
+        for link in links {
+            let free = self.link_free.get(link).copied().unwrap_or(SimTime::ZERO);
+            head = head.max(free) + hop;
+            tail = head + ser;
+            self.link_free.insert(*link, tail);
+        }
+        if links.is_empty() {
+            tail = start;
+        }
+        tail
+    }
+
+    /// Sends a core-to-core message; returns its delivery (completion) time.
+    pub fn message(
+        &mut self,
+        from: u16,
+        to: u16,
+        elems: u32,
+        start: SimTime,
+        model: &CostModel<'_>,
+    ) -> SimTime {
+        let flits = model.flits_for_elems(elems);
+        let links = self.route(from, to);
+        self.traverse(&links, start, flits, model)
+    }
+
+    /// A global-memory access from `core`: ride the mesh to corner (0,0),
+    /// queue at the controller, pay DRAM latency + bandwidth. Returns the
+    /// completion time.
+    pub fn memory_access(
+        &mut self,
+        core: u16,
+        elems: u32,
+        start: SimTime,
+        model: &CostModel<'_>,
+    ) -> SimTime {
+        let flits = model.flits_for_elems(elems);
+        let mut links = self.route(core, 0);
+        links.push((0, MEM_NODE));
+        let arrived = self.traverse(&links, start, flits, model);
+        let service_start = arrived.max(self.mem_free);
+        let done = service_start + model.global_mem_cost(elems).time;
+        self.mem_free = done;
+        done
+    }
+
+    /// Number of mesh rows.
+    #[cfg(test)]
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_arch::ArchConfig;
+
+    fn model(cfg: &ArchConfig) -> CostModel<'_> {
+        CostModel::new(cfg)
+    }
+
+    #[test]
+    fn xy_route_shape() {
+        let noc = Noc::new(4, 4);
+        // core 1 (0,1) -> core 14 (3,2): x to col 2, then y down.
+        let r = noc.route(1, 14);
+        assert_eq!(r, vec![(1, 2), (2, 6), (6, 10), (10, 14)]);
+        assert!(noc.route(5, 5).is_empty());
+        assert_eq!(noc.rows(), 4);
+    }
+
+    #[test]
+    fn farther_is_slower() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let mut noc = Noc::new(8, 8);
+        let near = noc.message(0, 1, 64, SimTime::ZERO, &m);
+        let mut noc2 = Noc::new(8, 8);
+        let far = noc2.message(0, 63, 64, SimTime::ZERO, &m);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_links() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let mut noc = Noc::new(8, 8);
+        let first = noc.message(0, 7, 1024, SimTime::ZERO, &m);
+        // Same path immediately afterwards: must wait behind the first.
+        let second = noc.message(0, 7, 1024, SimTime::ZERO, &m);
+        assert!(second > first);
+        // A disjoint path is unaffected.
+        let mut fresh = Noc::new(8, 8);
+        let disjoint_fresh = fresh.message(56, 63, 1024, SimTime::ZERO, &m);
+        let disjoint_after = noc.message(56, 63, 1024, SimTime::ZERO, &m);
+        assert_eq!(disjoint_fresh, disjoint_after);
+    }
+
+    #[test]
+    fn memory_controller_queues() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let mut noc = Noc::new(8, 8);
+        let a = noc.memory_access(0, 4096, SimTime::ZERO, &m);
+        let b = noc.memory_access(63, 4096, SimTime::ZERO, &m);
+        assert!(b > a, "controller should serialize concurrent streams");
+    }
+}

@@ -1,0 +1,430 @@
+//! Operand resolution: ISA instructions → absolute addresses + hazard
+//! ranges, using the dispatching core's register file.
+
+use pimsim_isa::{Addr, GroupId, Instruction, PoolOp, VBinOp, VImmOp, VUnOp};
+
+/// A half-open local-memory interval `[start, end)` used for hazard checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Range {
+    pub fn new(start: u32, len: u32) -> Range {
+        Range {
+            start,
+            end: start.saturating_add(len),
+        }
+    }
+
+    pub fn overlaps(&self, other: &Range) -> bool {
+        // Empty intervals intersect nothing.
+        self.start < self.end
+            && other.start < other.end
+            && self.start < other.end
+            && other.start < self.end
+    }
+
+    /// Conservative span of a strided 2-D access.
+    pub fn strided(base: u32, block_len: u32, blocks: u32, stride: i32) -> Range {
+        if blocks == 0 || block_len == 0 {
+            return Range::new(base, 0);
+        }
+        let last = base as i64 + (blocks as i64 - 1) * stride as i64;
+        let lo = (base as i64).min(last).max(0) as u32;
+        let hi = ((base as i64).max(last) + block_len as i64).max(0) as u32;
+        Range { start: lo, end: hi }
+    }
+}
+
+/// A memory-class instruction with every operand resolved to an absolute
+/// element address at dispatch time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resolved {
+    Mvm {
+        group: GroupId,
+        dst: u32,
+        src: u32,
+        len: u32,
+    },
+    VBin {
+        op: VBinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        len: u32,
+    },
+    VImm {
+        op: VImmOp,
+        dst: u32,
+        src: u32,
+        imm: i32,
+        len: u32,
+    },
+    VUn {
+        op: VUnOp,
+        dst: u32,
+        src: u32,
+        len: u32,
+    },
+    VFill {
+        dst: u32,
+        value: i32,
+        len: u32,
+    },
+    VCopy2d {
+        dst: u32,
+        src: u32,
+        block_len: u32,
+        blocks: u32,
+        src_stride: i32,
+        dst_stride: i32,
+    },
+    VPool {
+        op: PoolOp,
+        dst: u32,
+        src: u32,
+        channels: u32,
+        win_w: u32,
+        win_h: u32,
+        row_stride: i32,
+    },
+    Send {
+        peer: u16,
+        src: u32,
+        len: u32,
+        tag: u16,
+    },
+    /// `dst_stride == block_len` ⇒ contiguous (plain `recv`).
+    Recv {
+        peer: u16,
+        dst: u32,
+        block_len: u32,
+        blocks: u32,
+        dst_stride: i32,
+        tag: u16,
+    },
+    GLoad {
+        dst: u32,
+        gaddr: u64,
+        len: u32,
+    },
+    GStore {
+        gaddr: u64,
+        src: u32,
+        len: u32,
+    },
+}
+
+impl Resolved {
+    /// Total payload elements of a transfer (`0` for non-transfers).
+    pub fn transfer_elems(&self) -> u32 {
+        match self {
+            Resolved::Send { len, .. } | Resolved::GLoad { len, .. } | Resolved::GStore { len, .. } => {
+                *len
+            }
+            Resolved::Recv {
+                block_len, blocks, ..
+            } => block_len * blocks,
+            _ => 0,
+        }
+    }
+
+    /// Local-memory ranges read by this instruction.
+    pub fn reads(&self) -> Vec<Range> {
+        match self {
+            Resolved::Mvm { src, len, .. } => vec![Range::new(*src, *len)],
+            Resolved::VBin { a, b, len, .. } => {
+                vec![Range::new(*a, *len), Range::new(*b, *len)]
+            }
+            Resolved::VImm { src, len, .. } | Resolved::VUn { src, len, .. } => {
+                vec![Range::new(*src, *len)]
+            }
+            Resolved::VFill { .. } => vec![],
+            Resolved::VCopy2d {
+                src,
+                block_len,
+                blocks,
+                src_stride,
+                ..
+            } => vec![Range::strided(*src, *block_len, *blocks, *src_stride)],
+            Resolved::VPool {
+                src,
+                channels,
+                win_w,
+                win_h,
+                row_stride,
+                ..
+            } => vec![Range::strided(
+                *src,
+                win_w * channels,
+                (*win_h).max(1),
+                *row_stride,
+            )],
+            Resolved::Send { src, len, .. } => vec![Range::new(*src, *len)],
+            Resolved::Recv { .. } => vec![],
+            Resolved::GLoad { .. } => vec![],
+            Resolved::GStore { src, len, .. } => vec![Range::new(*src, *len)],
+        }
+    }
+
+    /// Local-memory ranges written by this instruction. For `MVM` the
+    /// output length is supplied by the caller (from the group table).
+    pub fn writes(&self, mvm_out_len: u32) -> Vec<Range> {
+        match self {
+            Resolved::Mvm { dst, .. } => vec![Range::new(*dst, mvm_out_len)],
+            Resolved::VBin { dst, len, .. }
+            | Resolved::VImm { dst, len, .. }
+            | Resolved::VUn { dst, len, .. }
+            | Resolved::VFill { dst, len, .. } => vec![Range::new(*dst, *len)],
+            Resolved::VCopy2d {
+                dst,
+                block_len,
+                blocks,
+                dst_stride,
+                ..
+            } => vec![Range::strided(*dst, *block_len, *blocks, *dst_stride)],
+            Resolved::VPool { dst, channels, .. } => vec![Range::new(*dst, *channels)],
+            Resolved::Send { .. } => vec![],
+            Resolved::Recv {
+                dst,
+                block_len,
+                blocks,
+                dst_stride,
+                ..
+            } => vec![Range::strided(*dst, *block_len, *blocks, *dst_stride)],
+            Resolved::GLoad { dst, len, .. } => vec![Range::new(*dst, *len)],
+            Resolved::GStore { .. } => vec![],
+        }
+    }
+}
+
+/// Resolves `addr` against a register file.
+fn abs(addr: Addr, regs: &[i32; 32]) -> u32 {
+    let base = regs[addr.base().index() as usize] as i64;
+    (base + addr.offset() as i64).max(0) as u32
+}
+
+/// Resolves a memory-class instruction. Returns `None` for scalar-class
+/// instructions (they execute at dispatch and never enter the ROB).
+pub fn resolve(instr: &Instruction, regs: &[i32; 32]) -> Option<Resolved> {
+    use Instruction as I;
+    Some(match instr {
+        I::Mvm {
+            group,
+            dst,
+            src,
+            len,
+        } => Resolved::Mvm {
+            group: *group,
+            dst: abs(*dst, regs),
+            src: abs(*src, regs),
+            len: *len,
+        },
+        I::VBin { op, dst, a, b, len } => Resolved::VBin {
+            op: *op,
+            dst: abs(*dst, regs),
+            a: abs(*a, regs),
+            b: abs(*b, regs),
+            len: *len,
+        },
+        I::VImm {
+            op,
+            dst,
+            src,
+            imm,
+            len,
+        } => Resolved::VImm {
+            op: *op,
+            dst: abs(*dst, regs),
+            src: abs(*src, regs),
+            imm: *imm,
+            len: *len,
+        },
+        I::VUn { op, dst, src, len } => Resolved::VUn {
+            op: *op,
+            dst: abs(*dst, regs),
+            src: abs(*src, regs),
+            len: *len,
+        },
+        I::VFill { dst, value, len } => Resolved::VFill {
+            dst: abs(*dst, regs),
+            value: *value,
+            len: *len,
+        },
+        I::VCopy2d {
+            dst,
+            src,
+            block_len,
+            blocks,
+            src_stride,
+            dst_stride,
+        } => Resolved::VCopy2d {
+            dst: abs(*dst, regs),
+            src: abs(*src, regs),
+            block_len: *block_len,
+            blocks: *blocks,
+            src_stride: *src_stride,
+            dst_stride: *dst_stride,
+        },
+        I::VPool {
+            op,
+            dst,
+            src,
+            channels,
+            win_w,
+            win_h,
+            row_stride,
+        } => Resolved::VPool {
+            op: *op,
+            dst: abs(*dst, regs),
+            src: abs(*src, regs),
+            channels: *channels,
+            win_w: *win_w,
+            win_h: *win_h,
+            row_stride: *row_stride,
+        },
+        I::Send {
+            peer,
+            src,
+            len,
+            tag,
+        } => Resolved::Send {
+            peer: peer.0,
+            src: abs(*src, regs),
+            len: *len,
+            tag: *tag,
+        },
+        I::Recv {
+            peer,
+            dst,
+            len,
+            tag,
+        } => Resolved::Recv {
+            peer: peer.0,
+            dst: abs(*dst, regs),
+            block_len: *len,
+            blocks: 1,
+            dst_stride: *len as i32,
+            tag: *tag,
+        },
+        I::Recv2d {
+            peer,
+            dst,
+            block_len,
+            blocks,
+            dst_stride,
+            tag,
+        } => Resolved::Recv {
+            peer: peer.0,
+            dst: abs(*dst, regs),
+            block_len: *block_len,
+            blocks: *blocks,
+            dst_stride: *dst_stride,
+            tag: *tag,
+        },
+        I::GLoad { dst, gaddr, len } => Resolved::GLoad {
+            dst: abs(*dst, regs),
+            gaddr: abs(*gaddr, regs) as u64,
+            len: *len,
+        },
+        I::GStore { gaddr, src, len } => Resolved::GStore {
+            gaddr: abs(*gaddr, regs) as u64,
+            src: abs(*src, regs),
+            len: *len,
+        },
+        I::SBin { .. } | I::SImm { .. } | I::Branch { .. } | I::Jump { .. } | I::Halt | I::Nop => {
+            return None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_isa::Reg;
+
+    fn regs_with(r1: i32) -> [i32; 32] {
+        let mut regs = [0i32; 32];
+        regs[1] = r1;
+        regs
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = Range::new(0, 10);
+        let b = Range::new(9, 1);
+        let c = Range::new(10, 5);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!Range::new(5, 0).overlaps(&a), "empty range never overlaps");
+    }
+
+    #[test]
+    fn strided_range_spans_both_directions() {
+        let r = Range::strided(100, 4, 3, 10);
+        assert_eq!((r.start, r.end), (100, 124));
+        let r = Range::strided(100, 4, 3, -10);
+        assert_eq!((r.start, r.end), (80, 104));
+    }
+
+    #[test]
+    fn resolution_uses_registers() {
+        let regs = regs_with(1000);
+        let i = pimsim_isa::asm::parse_instruction("vadd [r1+24], [r1+0], [r0+8], 8").unwrap();
+        let r = resolve(&i, &regs).unwrap();
+        match r {
+            Resolved::VBin { dst, a, b, len, .. } => {
+                assert_eq!((dst, a, b, len), (1024, 1000, 8, 8));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_instructions_do_not_resolve() {
+        let regs = [0i32; 32];
+        let i = pimsim_isa::Instruction::SImm {
+            op: pimsim_isa::SImmOp::Add,
+            rd: Reg::R1,
+            rs1: Reg::R0,
+            imm: 5,
+        };
+        assert!(resolve(&i, &regs).is_none());
+        assert!(resolve(&pimsim_isa::Instruction::Halt, &regs).is_none());
+    }
+
+    #[test]
+    fn recv_variants_unify() {
+        let regs = [0i32; 32];
+        let r1 = resolve(
+            &pimsim_isa::asm::parse_instruction("recv core1, [r0+64], 32, tag=7").unwrap(),
+            &regs,
+        )
+        .unwrap();
+        match r1 {
+            Resolved::Recv {
+                block_len,
+                blocks,
+                dst_stride,
+                ..
+            } => {
+                assert_eq!((block_len, blocks, dst_stride), (32, 1, 32));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hazard_ranges_cover_operands() {
+        let regs = [0i32; 32];
+        let i = pimsim_isa::asm::parse_instruction(
+            "vcopy2d [r0+0], [r0+1000], block=4, blocks=3, sstride=16, dstride=8",
+        )
+        .unwrap();
+        let r = resolve(&i, &regs).unwrap();
+        assert_eq!(r.reads(), vec![Range { start: 1000, end: 1036 }]);
+        assert_eq!(r.writes(0), vec![Range { start: 0, end: 20 }]);
+    }
+}

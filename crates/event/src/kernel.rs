@@ -1,0 +1,443 @@
+//! The event queue and dispatch loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::SimTime;
+
+/// A scheduled closure event. Boxed because events are heterogeneous.
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventCtx<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    /// Monotone sequence number; breaks ties so same-time events run FIFO.
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Context handed to every event handler, used to schedule follow-up events
+/// and to stop the simulation.
+///
+/// New events are buffered here and merged into the kernel queue after the
+/// handler returns; this keeps handlers free of any aliasing with the queue.
+pub struct EventCtx<W> {
+    now: SimTime,
+    buffered: Vec<(SimTime, EventFn<W>)>,
+    stop: bool,
+}
+
+impl<W> EventCtx<W> {
+    /// The current simulation time (the timestamp of the running event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `f` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: simulated causality
+    /// violations are always bugs.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut EventCtx<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.buffered.push((at, Box::new(f)));
+    }
+
+    /// Schedules `f` after a relative `delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut EventCtx<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.buffered.push((at, Box::new(f)));
+    }
+
+    /// Schedules `f` at the current time, after all other events already
+    /// buffered for this instant (deterministic FIFO).
+    pub fn schedule_now<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut W, &mut EventCtx<W>) + 'static,
+    {
+        self.buffered.push((self.now, Box::new(f)));
+    }
+
+    /// Requests that the kernel stop after the current event completes.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// Counters describing what a [`Kernel`] has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Events dispatched.
+    pub executed: u64,
+    /// Events scheduled (including those not yet dispatched).
+    pub scheduled: u64,
+    /// High-water mark of the pending-event queue.
+    pub max_queue_depth: usize,
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunResult {
+    /// The event queue drained completely.
+    Exhausted,
+    /// An event handler called [`EventCtx::stop`].
+    Stopped,
+    /// `run_until` reached its horizon with events still pending.
+    Horizon,
+    /// `run_steps` executed its step budget with events still pending.
+    StepBudget,
+}
+
+/// A deterministic discrete-event simulation kernel that owns the simulated
+/// *world* `W` and a time-ordered queue of closure events.
+///
+/// Determinism guarantee: events execute in nondecreasing time order, and
+/// events with equal timestamps execute in the exact order they were
+/// scheduled, regardless of heap internals.
+///
+/// ```rust
+/// use pimsim_event::{Kernel, SimTime};
+/// let mut k = Kernel::new(Vec::new());
+/// k.schedule_at(SimTime::from_ns(2), |w: &mut Vec<u32>, _| w.push(2));
+/// k.schedule_at(SimTime::from_ns(1), |w, _| w.push(1));
+/// k.run();
+/// assert_eq!(k.world(), &[1, 2]);
+/// ```
+pub struct Kernel<W> {
+    world: W,
+    queue: BinaryHeap<Scheduled<W>>,
+    now: SimTime,
+    seq: u64,
+    stats: KernelStats,
+    stop_requested: bool,
+}
+
+impl<W: fmt::Debug> fmt::Debug for Kernel<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("stats", &self.stats)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl<W> Kernel<W> {
+    /// Creates a kernel at time zero owning `world`.
+    pub fn new(world: W) -> Self {
+        Kernel {
+            world,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            stats: KernelStats::default(),
+            stop_requested: false,
+        }
+    }
+
+    /// The current simulation time (timestamp of the last executed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world state.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world state (e.g. to pre-load memories).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the kernel, returning the final world state.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Counters for executed/scheduled events and queue depth.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    fn push(&mut self, time: SimTime, f: EventFn<W>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.scheduled += 1;
+        self.queue.push(Scheduled { time, seq, f });
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+    }
+
+    /// Schedules `f` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut EventCtx<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.push(at, Box::new(f));
+    }
+
+    /// Schedules `f` after a relative `delay` from the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut EventCtx<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.push(at, Box::new(f));
+    }
+
+    /// Executes the single earliest pending event. Returns `false` if the
+    /// queue was empty (time does not advance), `true` otherwise.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "heap yielded an event from the past");
+        self.now = ev.time;
+        self.stats.executed += 1;
+        let mut ctx = EventCtx {
+            now: self.now,
+            buffered: Vec::new(),
+            stop: false,
+        };
+        (ev.f)(&mut self.world, &mut ctx);
+        let stop = ctx.stop;
+        for (t, f) in ctx.buffered {
+            self.push(t, f);
+        }
+        if stop {
+            self.stop_requested = true;
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or an event requests a stop.
+    pub fn run(&mut self) -> RunResult {
+        loop {
+            if !self.step() {
+                return RunResult::Exhausted;
+            }
+            if self.take_stop() {
+                return RunResult::Stopped;
+            }
+        }
+    }
+
+    /// Runs events with timestamps `<= horizon`, then advances the clock to
+    /// `horizon` if it is beyond the last executed event. Pending later
+    /// events stay queued.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunResult {
+        loop {
+            match self.peek_next_time() {
+                Some(t) if t <= horizon => {
+                    self.step();
+                    if self.take_stop() {
+                        return RunResult::Stopped;
+                    }
+                }
+                Some(_) => {
+                    self.now = self.now.max(horizon);
+                    return RunResult::Horizon;
+                }
+                None => {
+                    self.now = self.now.max(horizon);
+                    return RunResult::Exhausted;
+                }
+            }
+        }
+    }
+
+    /// Runs at most `max_steps` events.
+    pub fn run_steps(&mut self, max_steps: u64) -> RunResult {
+        for _ in 0..max_steps {
+            if !self.step() {
+                return RunResult::Exhausted;
+            }
+            if self.take_stop() {
+                return RunResult::Stopped;
+            }
+        }
+        if self.queue.is_empty() {
+            RunResult::Exhausted
+        } else {
+            RunResult::StepBudget
+        }
+    }
+
+    fn take_stop(&mut self) -> bool {
+        std::mem::take(&mut self.stop_requested)
+    }
+
+    /// `true` if the last executed event requested a stop that has not yet
+    /// been consumed by a run loop.
+    pub fn stop_pending(&self) -> bool {
+        self.stop_requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut k = Kernel::new(Vec::<u32>::new());
+        k.schedule_at(SimTime::from_ns(3), |w, _| w.push(3));
+        k.schedule_at(SimTime::from_ns(1), |w, _| w.push(1));
+        k.schedule_at(SimTime::from_ns(2), |w, _| w.push(2));
+        assert_eq!(k.run(), RunResult::Exhausted);
+        assert_eq!(k.world(), &[1, 2, 3]);
+        assert_eq!(k.now(), SimTime::from_ns(3));
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut k = Kernel::new(Vec::<u32>::new());
+        for i in 0..100 {
+            k.schedule_at(SimTime::from_ns(5), move |w, _| w.push(i));
+        }
+        k.run();
+        assert_eq!(*k.world(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        let mut k = Kernel::new(0u64);
+        k.schedule_at(SimTime::from_ns(1), |w, ctx| {
+            *w += 1;
+            ctx.schedule_in(SimTime::from_ns(2), |w, ctx| {
+                *w += 10;
+                ctx.schedule_now(|w, _| *w += 100);
+            });
+        });
+        k.run();
+        assert_eq!(*k.world(), 111);
+        assert_eq!(k.now(), SimTime::from_ns(3));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_and_advances_clock() {
+        let mut k = Kernel::new(Vec::<u64>::new());
+        for ns in [1u64, 2, 8] {
+            k.schedule_at(SimTime::from_ns(ns), move |w, _| w.push(ns));
+        }
+        let r = k.run_until(SimTime::from_ns(4));
+        assert_eq!(r, RunResult::Horizon);
+        assert_eq!(k.world(), &[1, 2]);
+        assert_eq!(k.now(), SimTime::from_ns(4));
+        assert_eq!(k.pending(), 1);
+        assert_eq!(k.run_until(SimTime::from_ns(100)), RunResult::Exhausted);
+        assert_eq!(k.now(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn stop_halts_run() {
+        let mut k = Kernel::new(Vec::<u32>::new());
+        k.schedule_at(SimTime::from_ns(1), |w, _| w.push(1));
+        k.schedule_at(SimTime::from_ns(2), |w, ctx| {
+            w.push(2);
+            ctx.stop();
+        });
+        k.schedule_at(SimTime::from_ns(3), |w, _| w.push(3));
+        assert_eq!(k.run(), RunResult::Stopped);
+        assert_eq!(k.world(), &[1, 2]);
+        assert_eq!(k.pending(), 1);
+        // A subsequent run resumes.
+        assert_eq!(k.run(), RunResult::Exhausted);
+        assert_eq!(k.world(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn run_steps_respects_budget() {
+        let mut k = Kernel::new(0u32);
+        for i in 0..10u64 {
+            k.schedule_at(SimTime::from_ns(i + 1), |w, _| *w += 1);
+        }
+        assert_eq!(k.run_steps(4), RunResult::StepBudget);
+        assert_eq!(*k.world(), 4);
+        assert_eq!(k.run_steps(100), RunResult::Exhausted);
+        assert_eq!(*k.world(), 10);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut k = Kernel::new(());
+        k.schedule_at(SimTime::from_ns(1), |_, ctx| {
+            ctx.schedule_in(SimTime::from_ns(1), |_, _| {});
+        });
+        k.schedule_at(SimTime::from_ns(1), |_, _| {});
+        k.run();
+        let s = k.stats();
+        assert_eq!(s.executed, 3);
+        assert_eq!(s.scheduled, 3);
+        assert!(s.max_queue_depth >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut k = Kernel::new(());
+        k.schedule_at(SimTime::from_ns(5), |_, ctx| {
+            ctx.schedule_at(SimTime::from_ns(1), |_, _| {});
+        });
+        k.run();
+    }
+
+    #[test]
+    fn step_on_empty_queue_is_noop() {
+        let mut k = Kernel::new(7u8);
+        assert!(!k.step());
+        assert_eq!(k.now(), SimTime::ZERO);
+        assert_eq!(k.into_world(), 7);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate is the reproduction's substitute for the SystemC engine used by
+//! the PIMSIM-NN paper. It provides exactly the scheduling primitives a
+//! cycle-accurate hardware simulator needs:
+//!
+//! * a simulated clock ([`SimTime`], picosecond resolution),
+//! * a priority event queue with **stable same-time ordering** (events
+//!   scheduled first run first, like SystemC delta cycles collapsed into a
+//!   deterministic FIFO),
+//! * closure events that mutate a user-supplied *world* state and may
+//!   schedule further events,
+//! * a [`Clock`] helper for cycle/time conversion, and
+//! * kernel statistics and an optional trace hook for debugging.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pimsim_event::{Kernel, SimTime};
+//!
+//! // The "world" is whatever state the simulation mutates.
+//! let mut kernel = Kernel::new(0u64);
+//! kernel.schedule_in(SimTime::from_ns(5), |world, ctx| {
+//!     *world += 1;
+//!     // Events may schedule follow-up events.
+//!     ctx.schedule_in(SimTime::from_ns(5), |world, _| *world += 10);
+//! });
+//! kernel.run();
+//! assert_eq!(*kernel.world(), 11);
+//! assert_eq!(kernel.now(), SimTime::from_ns(10));
+//! ```
+
+mod clock;
+mod kernel;
+mod time;
+
+pub use clock::Clock;
+pub use kernel::{EventCtx, Kernel, KernelStats, RunResult};
+pub use time::SimTime;

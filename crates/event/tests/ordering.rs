@@ -1,0 +1,57 @@
+//! Property-based tests for kernel determinism and ordering invariants.
+
+use pimsim_event::{Kernel, SimTime};
+use proptest::prelude::*;
+
+/// Run a batch of events scheduled at arbitrary times and record the
+/// (time, original_index) pairs in execution order.
+fn execute(times: &[u64]) -> Vec<(u64, usize)> {
+    let mut k = Kernel::new(Vec::new());
+    for (i, &t) in times.iter().enumerate() {
+        k.schedule_at(SimTime::from_ps(t), move |w: &mut Vec<(u64, usize)>, _| {
+            w.push((t, i));
+        });
+    }
+    k.run();
+    k.into_world()
+}
+
+proptest! {
+    /// Events always execute in nondecreasing time order, and ties preserve
+    /// scheduling order (stable FIFO).
+    #[test]
+    fn ordering_invariant(times in proptest::collection::vec(0u64..50, 0..200)) {
+        let order = execute(&times);
+        prop_assert_eq!(order.len(), times.len());
+        for pair in order.windows(2) {
+            let (t0, i0) = pair[0];
+            let (t1, i1) = pair[1];
+            prop_assert!(t0 <= t1, "time went backwards");
+            if t0 == t1 {
+                prop_assert!(i0 < i1, "same-time events reordered");
+            }
+        }
+    }
+
+    /// Two identical schedules produce identical execution orders.
+    #[test]
+    fn deterministic_replay(times in proptest::collection::vec(0u64..1000, 0..100)) {
+        prop_assert_eq!(execute(&times), execute(&times));
+    }
+
+    /// Chained events (each schedules the next) cover every hop exactly once.
+    #[test]
+    fn chained_events_complete(hops in 1usize..50, step in 1u64..100) {
+        let mut k = Kernel::new(0usize);
+        fn chain(remaining: usize, step: u64, w: &mut usize, ctx: &mut pimsim_event::EventCtx<usize>) {
+            *w += 1;
+            if remaining > 0 {
+                ctx.schedule_in(SimTime::from_ps(step), move |w, ctx| chain(remaining - 1, step, w, ctx));
+            }
+        }
+        k.schedule_at(SimTime::ZERO, move |w, ctx| chain(hops - 1, step, w, ctx));
+        k.run();
+        prop_assert_eq!(*k.world(), hops);
+        prop_assert_eq!(k.now(), SimTime::from_ps(step * (hops as u64 - 1)));
+    }
+}

@@ -1,0 +1,750 @@
+//! Fixed-width 128-bit binary instruction encoding.
+//!
+//! Every instruction packs into one `u128` word: an 8-bit opcode in the
+//! least-significant byte, followed by operand fields packed LSB-first in a
+//! fixed per-opcode order. Field widths come from [`crate::instr::limits`];
+//! encoding fails with [`IsaError::FieldRange`] when a value does not fit,
+//! so the compiler can never silently emit a corrupt program.
+//!
+//! Decoding is the exact inverse and is property-tested to round-trip.
+
+use crate::error::IsaError;
+use crate::instr::{
+    limits, Addr, BranchCond, CoreId, GroupId, Instruction, PoolOp, SBinOp, SImmOp, VBinOp,
+    VImmOp, VUnOp,
+};
+use crate::program::Program;
+use crate::reg::Reg;
+
+// Opcode bytes, grouped by class. Gaps leave room for extensions.
+const OP_NOP: u8 = 0x00;
+const OP_HALT: u8 = 0x01;
+const OP_JMP: u8 = 0x02;
+const OP_BEQ: u8 = 0x03;
+const OP_BNE: u8 = 0x04;
+const OP_BLT: u8 = 0x05;
+const OP_BGE: u8 = 0x06;
+
+const OP_ADD: u8 = 0x10;
+const OP_SUB: u8 = 0x11;
+const OP_MUL: u8 = 0x12;
+const OP_AND: u8 = 0x13;
+const OP_OR: u8 = 0x14;
+const OP_XOR: u8 = 0x15;
+const OP_SLT: u8 = 0x16;
+const OP_SLL: u8 = 0x17;
+const OP_SRL: u8 = 0x18;
+
+const OP_ADDI: u8 = 0x20;
+const OP_MULI: u8 = 0x21;
+const OP_SLLI: u8 = 0x22;
+const OP_SRLI: u8 = 0x23;
+const OP_ANDI: u8 = 0x24;
+const OP_ORI: u8 = 0x25;
+const OP_SLTI: u8 = 0x26;
+
+const OP_MVM: u8 = 0x30;
+
+const OP_VADD: u8 = 0x40;
+const OP_VSUB: u8 = 0x41;
+const OP_VMUL: u8 = 0x42;
+const OP_VMAX: u8 = 0x43;
+const OP_VMIN: u8 = 0x44;
+const OP_VADDI: u8 = 0x48;
+const OP_VMULI: u8 = 0x49;
+const OP_VSRAI: u8 = 0x4A;
+const OP_VRELU: u8 = 0x50;
+const OP_VSIGMOID: u8 = 0x51;
+const OP_VTANH: u8 = 0x52;
+const OP_VCOPY: u8 = 0x53;
+const OP_VNEG: u8 = 0x54;
+const OP_VABS: u8 = 0x55;
+const OP_VFILL: u8 = 0x58;
+const OP_VCOPY2D: u8 = 0x59;
+const OP_VPOOLMAX: u8 = 0x5A;
+const OP_VPOOLAVG: u8 = 0x5B;
+
+const OP_SEND: u8 = 0x60;
+const OP_RECV: u8 = 0x61;
+const OP_RECV2D: u8 = 0x62;
+const OP_GLOAD: u8 = 0x63;
+const OP_GSTORE: u8 = 0x64;
+
+/// LSB-first bit packer for one 128-bit instruction word.
+struct BitWriter {
+    word: u128,
+    pos: u32,
+}
+
+impl BitWriter {
+    fn new(opcode: u8) -> Self {
+        BitWriter {
+            word: opcode as u128,
+            pos: 8,
+        }
+    }
+
+    fn put_u(&mut self, field: &'static str, value: u64, bits: u32) -> Result<(), IsaError> {
+        if value > limits::umax(bits) {
+            return Err(IsaError::FieldRange {
+                field,
+                value: value as i64,
+                min: 0,
+                max: limits::umax(bits) as i64,
+            });
+        }
+        debug_assert!(self.pos + bits <= 128, "instruction word overflow");
+        self.word |= (value as u128) << self.pos;
+        self.pos += bits;
+        Ok(())
+    }
+
+    fn put_s(&mut self, field: &'static str, value: i64, bits: u32) -> Result<(), IsaError> {
+        let (lo, hi) = (limits::smin(bits), limits::smax(bits));
+        if value < lo || value > hi {
+            return Err(IsaError::FieldRange {
+                field,
+                value,
+                min: lo,
+                max: hi,
+            });
+        }
+        let mask = limits::umax(bits);
+        self.put_u(field, (value as u64) & mask, bits)
+    }
+
+    fn put_reg(&mut self, r: Reg) -> Result<(), IsaError> {
+        self.put_u("reg", r.index() as u64, 5)
+    }
+
+    fn put_addr(&mut self, a: Addr) -> Result<(), IsaError> {
+        self.put_reg(a.base())?;
+        self.put_s("addr offset", a.offset() as i64, limits::ADDR_OFFSET_BITS)
+    }
+
+    fn finish(self) -> u128 {
+        self.word
+    }
+}
+
+/// LSB-first bit reader over one 128-bit instruction word.
+struct BitReader {
+    word: u128,
+    pos: u32,
+}
+
+impl BitReader {
+    fn new(word: u128) -> (u8, Self) {
+        ((word & 0xff) as u8, BitReader { word, pos: 8 })
+    }
+
+    fn get_u(&mut self, bits: u32) -> u64 {
+        let v = (self.word >> self.pos) & (limits::umax(bits) as u128);
+        self.pos += bits;
+        v as u64
+    }
+
+    fn get_s(&mut self, bits: u32) -> i64 {
+        let raw = self.get_u(bits);
+        // Sign-extend from `bits`.
+        let shift = 64 - bits;
+        ((raw << shift) as i64) >> shift
+    }
+
+    fn get_reg(&mut self) -> Result<Reg, IsaError> {
+        Reg::new(self.get_u(5) as u8)
+    }
+
+    fn get_addr(&mut self) -> Result<Addr, IsaError> {
+        let base = self.get_reg()?;
+        let off = self.get_s(limits::ADDR_OFFSET_BITS) as i32;
+        Addr::new(base, off)
+    }
+}
+
+/// Encodes one instruction into its 128-bit word.
+///
+/// # Errors
+///
+/// Returns [`IsaError::FieldRange`] if any operand exceeds its encoding
+/// field (e.g. a transfer longer than 2^18−1 elements).
+pub fn encode(instr: &Instruction) -> Result<u128, IsaError> {
+    use Instruction::*;
+    let w = match instr {
+        Nop => BitWriter::new(OP_NOP),
+        Halt => BitWriter::new(OP_HALT),
+        Jump { target } => {
+            let mut w = BitWriter::new(OP_JMP);
+            w.put_u("jump target", *target as u64, limits::TARGET_BITS)?;
+            w
+        }
+        Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let op = match cond {
+                BranchCond::Eq => OP_BEQ,
+                BranchCond::Ne => OP_BNE,
+                BranchCond::Lt => OP_BLT,
+                BranchCond::Ge => OP_BGE,
+            };
+            let mut w = BitWriter::new(op);
+            w.put_reg(*rs1)?;
+            w.put_reg(*rs2)?;
+            w.put_u("branch target", *target as u64, limits::TARGET_BITS)?;
+            w
+        }
+        SBin { op, rd, rs1, rs2 } => {
+            let opc = match op {
+                SBinOp::Add => OP_ADD,
+                SBinOp::Sub => OP_SUB,
+                SBinOp::Mul => OP_MUL,
+                SBinOp::And => OP_AND,
+                SBinOp::Or => OP_OR,
+                SBinOp::Xor => OP_XOR,
+                SBinOp::Slt => OP_SLT,
+                SBinOp::Sll => OP_SLL,
+                SBinOp::Srl => OP_SRL,
+            };
+            let mut w = BitWriter::new(opc);
+            w.put_reg(*rd)?;
+            w.put_reg(*rs1)?;
+            w.put_reg(*rs2)?;
+            w
+        }
+        SImm { op, rd, rs1, imm } => {
+            let opc = match op {
+                SImmOp::Add => OP_ADDI,
+                SImmOp::Mul => OP_MULI,
+                SImmOp::Sll => OP_SLLI,
+                SImmOp::Srl => OP_SRLI,
+                SImmOp::And => OP_ANDI,
+                SImmOp::Or => OP_ORI,
+                SImmOp::Slt => OP_SLTI,
+            };
+            let mut w = BitWriter::new(opc);
+            w.put_reg(*rd)?;
+            w.put_reg(*rs1)?;
+            w.put_s("scalar immediate", *imm as i64, 32)?;
+            w
+        }
+        Mvm {
+            group,
+            dst,
+            src,
+            len,
+        } => {
+            let mut w = BitWriter::new(OP_MVM);
+            w.put_u("group id", group.0 as u64, limits::GROUP_BITS)?;
+            w.put_addr(*dst)?;
+            w.put_addr(*src)?;
+            w.put_u("mvm len", *len as u64, limits::LEN_BITS)?;
+            w
+        }
+        VBin {
+            op,
+            dst,
+            a,
+            b,
+            len,
+        } => {
+            let opc = match op {
+                VBinOp::Add => OP_VADD,
+                VBinOp::Sub => OP_VSUB,
+                VBinOp::Mul => OP_VMUL,
+                VBinOp::Max => OP_VMAX,
+                VBinOp::Min => OP_VMIN,
+            };
+            let mut w = BitWriter::new(opc);
+            w.put_addr(*dst)?;
+            w.put_addr(*a)?;
+            w.put_addr(*b)?;
+            w.put_u("vector len", *len as u64, limits::LEN_BITS)?;
+            w
+        }
+        VImm {
+            op,
+            dst,
+            src,
+            imm,
+            len,
+        } => {
+            let opc = match op {
+                VImmOp::Add => OP_VADDI,
+                VImmOp::Mul => OP_VMULI,
+                VImmOp::Sra => OP_VSRAI,
+            };
+            let mut w = BitWriter::new(opc);
+            w.put_addr(*dst)?;
+            w.put_addr(*src)?;
+            w.put_s("vector immediate", *imm as i64, limits::VIMM_BITS)?;
+            w.put_u("vector len", *len as u64, limits::LEN_BITS)?;
+            w
+        }
+        VUn { op, dst, src, len } => {
+            let opc = match op {
+                VUnOp::Relu => OP_VRELU,
+                VUnOp::Sigmoid => OP_VSIGMOID,
+                VUnOp::Tanh => OP_VTANH,
+                VUnOp::Copy => OP_VCOPY,
+                VUnOp::Neg => OP_VNEG,
+                VUnOp::Abs => OP_VABS,
+            };
+            let mut w = BitWriter::new(opc);
+            w.put_addr(*dst)?;
+            w.put_addr(*src)?;
+            w.put_u("vector len", *len as u64, limits::LEN_BITS)?;
+            w
+        }
+        VFill { dst, value, len } => {
+            let mut w = BitWriter::new(OP_VFILL);
+            w.put_addr(*dst)?;
+            w.put_s("fill value", *value as i64, 32)?;
+            w.put_u("vector len", *len as u64, limits::LEN_BITS)?;
+            w
+        }
+        VCopy2d {
+            dst,
+            src,
+            block_len,
+            blocks,
+            src_stride,
+            dst_stride,
+        } => {
+            let mut w = BitWriter::new(OP_VCOPY2D);
+            w.put_addr(*dst)?;
+            w.put_addr(*src)?;
+            w.put_u("block len", *block_len as u64, limits::BLOCK_BITS)?;
+            w.put_u("block count", *blocks as u64, limits::BLOCK_BITS)?;
+            w.put_s("src stride", *src_stride as i64, limits::STRIDE_BITS)?;
+            w.put_s("dst stride", *dst_stride as i64, limits::STRIDE_BITS)?;
+            w
+        }
+        VPool {
+            op,
+            dst,
+            src,
+            channels,
+            win_w,
+            win_h,
+            row_stride,
+        } => {
+            let opc = match op {
+                PoolOp::Max => OP_VPOOLMAX,
+                PoolOp::Avg => OP_VPOOLAVG,
+            };
+            let mut w = BitWriter::new(opc);
+            w.put_addr(*dst)?;
+            w.put_addr(*src)?;
+            w.put_u("channels", *channels as u64, limits::CHAN_BITS)?;
+            w.put_u("window width", *win_w as u64, limits::WIN_BITS)?;
+            w.put_u("window height", *win_h as u64, limits::WIN_BITS)?;
+            w.put_s("row stride", *row_stride as i64, limits::STRIDE_BITS)?;
+            w
+        }
+        Send {
+            peer,
+            src,
+            len,
+            tag,
+        } => {
+            let mut w = BitWriter::new(OP_SEND);
+            w.put_u("core id", peer.0 as u64, limits::CORE_BITS)?;
+            w.put_addr(*src)?;
+            w.put_u("transfer len", *len as u64, limits::LEN_BITS)?;
+            w.put_u("tag", *tag as u64, limits::TAG_BITS)?;
+            w
+        }
+        Recv {
+            peer,
+            dst,
+            len,
+            tag,
+        } => {
+            let mut w = BitWriter::new(OP_RECV);
+            w.put_u("core id", peer.0 as u64, limits::CORE_BITS)?;
+            w.put_addr(*dst)?;
+            w.put_u("transfer len", *len as u64, limits::LEN_BITS)?;
+            w.put_u("tag", *tag as u64, limits::TAG_BITS)?;
+            w
+        }
+        Recv2d {
+            peer,
+            dst,
+            block_len,
+            blocks,
+            dst_stride,
+            tag,
+        } => {
+            let mut w = BitWriter::new(OP_RECV2D);
+            w.put_u("core id", peer.0 as u64, limits::CORE_BITS)?;
+            w.put_addr(*dst)?;
+            w.put_u("block len", *block_len as u64, limits::BLOCK_BITS)?;
+            w.put_u("block count", *blocks as u64, limits::BLOCK_BITS)?;
+            w.put_s("dst stride", *dst_stride as i64, limits::STRIDE_BITS)?;
+            w.put_u("tag", *tag as u64, limits::TAG_BITS)?;
+            w
+        }
+        GLoad { dst, gaddr, len } => {
+            let mut w = BitWriter::new(OP_GLOAD);
+            w.put_addr(*dst)?;
+            w.put_addr(*gaddr)?;
+            w.put_u("transfer len", *len as u64, limits::LEN_BITS)?;
+            w
+        }
+        GStore { gaddr, src, len } => {
+            let mut w = BitWriter::new(OP_GSTORE);
+            w.put_addr(*gaddr)?;
+            w.put_addr(*src)?;
+            w.put_u("transfer len", *len as u64, limits::LEN_BITS)?;
+            w
+        }
+    };
+    Ok(w.finish())
+}
+
+/// Decodes a 128-bit word back into an [`Instruction`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::UnknownOpcode`] for unassigned opcode bytes.
+pub fn decode(word: u128) -> Result<Instruction, IsaError> {
+    use Instruction::*;
+    let (opcode, mut r) = BitReader::new(word);
+    let instr = match opcode {
+        OP_NOP => Nop,
+        OP_HALT => Halt,
+        OP_JMP => Jump {
+            target: r.get_u(limits::TARGET_BITS) as u32,
+        },
+        OP_BEQ | OP_BNE | OP_BLT | OP_BGE => {
+            let cond = match opcode {
+                OP_BEQ => BranchCond::Eq,
+                OP_BNE => BranchCond::Ne,
+                OP_BLT => BranchCond::Lt,
+                _ => BranchCond::Ge,
+            };
+            Branch {
+                cond,
+                rs1: r.get_reg()?,
+                rs2: r.get_reg()?,
+                target: r.get_u(limits::TARGET_BITS) as u32,
+            }
+        }
+        OP_ADD | OP_SUB | OP_MUL | OP_AND | OP_OR | OP_XOR | OP_SLT | OP_SLL | OP_SRL => {
+            let op = match opcode {
+                OP_ADD => SBinOp::Add,
+                OP_SUB => SBinOp::Sub,
+                OP_MUL => SBinOp::Mul,
+                OP_AND => SBinOp::And,
+                OP_OR => SBinOp::Or,
+                OP_XOR => SBinOp::Xor,
+                OP_SLT => SBinOp::Slt,
+                OP_SLL => SBinOp::Sll,
+                _ => SBinOp::Srl,
+            };
+            SBin {
+                op,
+                rd: r.get_reg()?,
+                rs1: r.get_reg()?,
+                rs2: r.get_reg()?,
+            }
+        }
+        OP_ADDI | OP_MULI | OP_SLLI | OP_SRLI | OP_ANDI | OP_ORI | OP_SLTI => {
+            let op = match opcode {
+                OP_ADDI => SImmOp::Add,
+                OP_MULI => SImmOp::Mul,
+                OP_SLLI => SImmOp::Sll,
+                OP_SRLI => SImmOp::Srl,
+                OP_ANDI => SImmOp::And,
+                OP_ORI => SImmOp::Or,
+                _ => SImmOp::Slt,
+            };
+            SImm {
+                op,
+                rd: r.get_reg()?,
+                rs1: r.get_reg()?,
+                imm: r.get_s(32) as i32,
+            }
+        }
+        OP_MVM => Mvm {
+            group: GroupId(r.get_u(limits::GROUP_BITS) as u16),
+            dst: r.get_addr()?,
+            src: r.get_addr()?,
+            len: r.get_u(limits::LEN_BITS) as u32,
+        },
+        OP_VADD | OP_VSUB | OP_VMUL | OP_VMAX | OP_VMIN => {
+            let op = match opcode {
+                OP_VADD => VBinOp::Add,
+                OP_VSUB => VBinOp::Sub,
+                OP_VMUL => VBinOp::Mul,
+                OP_VMAX => VBinOp::Max,
+                _ => VBinOp::Min,
+            };
+            VBin {
+                op,
+                dst: r.get_addr()?,
+                a: r.get_addr()?,
+                b: r.get_addr()?,
+                len: r.get_u(limits::LEN_BITS) as u32,
+            }
+        }
+        OP_VADDI | OP_VMULI | OP_VSRAI => {
+            let op = match opcode {
+                OP_VADDI => VImmOp::Add,
+                OP_VMULI => VImmOp::Mul,
+                _ => VImmOp::Sra,
+            };
+            VImm {
+                op,
+                dst: r.get_addr()?,
+                src: r.get_addr()?,
+                imm: r.get_s(limits::VIMM_BITS) as i32,
+                len: r.get_u(limits::LEN_BITS) as u32,
+            }
+        }
+        OP_VRELU | OP_VSIGMOID | OP_VTANH | OP_VCOPY | OP_VNEG | OP_VABS => {
+            let op = match opcode {
+                OP_VRELU => VUnOp::Relu,
+                OP_VSIGMOID => VUnOp::Sigmoid,
+                OP_VTANH => VUnOp::Tanh,
+                OP_VCOPY => VUnOp::Copy,
+                OP_VNEG => VUnOp::Neg,
+                _ => VUnOp::Abs,
+            };
+            VUn {
+                op,
+                dst: r.get_addr()?,
+                src: r.get_addr()?,
+                len: r.get_u(limits::LEN_BITS) as u32,
+            }
+        }
+        OP_VFILL => VFill {
+            dst: r.get_addr()?,
+            value: r.get_s(32) as i32,
+            len: r.get_u(limits::LEN_BITS) as u32,
+        },
+        OP_VCOPY2D => VCopy2d {
+            dst: r.get_addr()?,
+            src: r.get_addr()?,
+            block_len: r.get_u(limits::BLOCK_BITS) as u32,
+            blocks: r.get_u(limits::BLOCK_BITS) as u32,
+            src_stride: r.get_s(limits::STRIDE_BITS) as i32,
+            dst_stride: r.get_s(limits::STRIDE_BITS) as i32,
+        },
+        OP_VPOOLMAX | OP_VPOOLAVG => VPool {
+            op: if opcode == OP_VPOOLMAX {
+                PoolOp::Max
+            } else {
+                PoolOp::Avg
+            },
+            dst: r.get_addr()?,
+            src: r.get_addr()?,
+            channels: r.get_u(limits::CHAN_BITS) as u32,
+            win_w: r.get_u(limits::WIN_BITS) as u32,
+            win_h: r.get_u(limits::WIN_BITS) as u32,
+            row_stride: r.get_s(limits::STRIDE_BITS) as i32,
+        },
+        OP_SEND => Send {
+            peer: CoreId(r.get_u(limits::CORE_BITS) as u16),
+            src: r.get_addr()?,
+            len: r.get_u(limits::LEN_BITS) as u32,
+            tag: r.get_u(limits::TAG_BITS) as u16,
+        },
+        OP_RECV => Recv {
+            peer: CoreId(r.get_u(limits::CORE_BITS) as u16),
+            dst: r.get_addr()?,
+            len: r.get_u(limits::LEN_BITS) as u32,
+            tag: r.get_u(limits::TAG_BITS) as u16,
+        },
+        OP_RECV2D => Recv2d {
+            peer: CoreId(r.get_u(limits::CORE_BITS) as u16),
+            dst: r.get_addr()?,
+            block_len: r.get_u(limits::BLOCK_BITS) as u32,
+            blocks: r.get_u(limits::BLOCK_BITS) as u32,
+            dst_stride: r.get_s(limits::STRIDE_BITS) as i32,
+            tag: r.get_u(limits::TAG_BITS) as u16,
+        },
+        OP_GLOAD => GLoad {
+            dst: r.get_addr()?,
+            gaddr: r.get_addr()?,
+            len: r.get_u(limits::LEN_BITS) as u32,
+        },
+        OP_GSTORE => GStore {
+            gaddr: r.get_addr()?,
+            src: r.get_addr()?,
+            len: r.get_u(limits::LEN_BITS) as u32,
+        },
+        other => return Err(IsaError::UnknownOpcode(other)),
+    };
+    Ok(instr)
+}
+
+/// Encodes every core's instruction stream of `program` into binary words.
+///
+/// Returns one `Vec<u128>` per core, in core-id order. Useful for computing
+/// binary sizes and for tests that exercise the decoder at program scale.
+///
+/// # Errors
+///
+/// Propagates the first [`IsaError::FieldRange`] found.
+pub fn encode_program_words(program: &Program) -> Result<Vec<Vec<u128>>, IsaError> {
+    program
+        .cores
+        .iter()
+        .map(|cp| cp.instrs.iter().map(encode).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Addr;
+
+    fn addr(r: u8, off: i32) -> Addr {
+        Addr::new(Reg::new(r).unwrap(), off).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        let cases = vec![
+            Instruction::Nop,
+            Instruction::Halt,
+            Instruction::Jump { target: 12345 },
+            Instruction::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::R3,
+                rs2: Reg::R0,
+                target: 77,
+            },
+            Instruction::SBin {
+                op: SBinOp::Xor,
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                rs2: Reg::R3,
+            },
+            Instruction::SImm {
+                op: SImmOp::Add,
+                rd: Reg::R4,
+                rs1: Reg::R0,
+                imm: -123456,
+            },
+            Instruction::Mvm {
+                group: GroupId(409),
+                dst: addr(1, 100),
+                src: addr(2, -100),
+                len: 128,
+            },
+            Instruction::VBin {
+                op: VBinOp::Max,
+                dst: addr(1, 0),
+                a: addr(2, 64),
+                b: addr(3, 128),
+                len: 262143,
+            },
+            Instruction::VImm {
+                op: VImmOp::Sra,
+                dst: addr(1, 5),
+                src: addr(1, 5),
+                imm: -8,
+                len: 7,
+            },
+            Instruction::VUn {
+                op: VUnOp::Sigmoid,
+                dst: addr(9, 0),
+                src: addr(10, 0),
+                len: 1000,
+            },
+            Instruction::VFill {
+                dst: addr(1, 2),
+                value: i32::MIN,
+                len: 3,
+            },
+            Instruction::VCopy2d {
+                dst: addr(1, 0),
+                src: addr(2, 0),
+                block_len: 16383,
+                blocks: 16383,
+                src_stride: -131072,
+                dst_stride: 131071,
+            },
+            Instruction::VPool {
+                op: PoolOp::Avg,
+                dst: addr(1, 0),
+                src: addr(2, 0),
+                channels: 512,
+                win_w: 3,
+                win_h: 3,
+                row_stride: 14336,
+            },
+            Instruction::Send {
+                peer: CoreId(63),
+                src: addr(5, 17),
+                len: 512,
+                tag: 65535,
+            },
+            Instruction::Recv {
+                peer: CoreId(0),
+                dst: addr(6, -17),
+                len: 1,
+                tag: 0,
+            },
+            Instruction::Recv2d {
+                peer: CoreId(4095),
+                dst: addr(7, 0),
+                block_len: 64,
+                blocks: 49,
+                dst_stride: 256,
+                tag: 42,
+            },
+            Instruction::GLoad {
+                dst: addr(1, 0),
+                gaddr: addr(8, 2097151),
+                len: 4096,
+            },
+            Instruction::GStore {
+                gaddr: addr(8, -2097152),
+                src: addr(1, 0),
+                len: 4096,
+            },
+        ];
+        for instr in cases {
+            let word = encode(&instr).unwrap_or_else(|e| panic!("encode {instr}: {e}"));
+            let back = decode(word).unwrap_or_else(|e| panic!("decode {instr}: {e}"));
+            assert_eq!(back, instr, "roundtrip mismatch for {instr}");
+        }
+    }
+
+    #[test]
+    fn oversized_fields_rejected() {
+        let e = encode(&Instruction::Mvm {
+            group: GroupId(5000),
+            dst: addr(1, 0),
+            src: addr(2, 0),
+            len: 1,
+        });
+        assert!(matches!(e, Err(IsaError::FieldRange { field: "group id", .. })));
+
+        let e = encode(&Instruction::VBin {
+            op: VBinOp::Add,
+            dst: addr(1, 0),
+            a: addr(2, 0),
+            b: addr(3, 0),
+            len: 1 << 20,
+        });
+        assert!(matches!(e, Err(IsaError::FieldRange { field: "vector len", .. })));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(decode(0xFF), Err(IsaError::UnknownOpcode(0xFF))));
+    }
+
+    #[test]
+    fn opcode_is_low_byte() {
+        let w = encode(&Instruction::Halt).unwrap();
+        assert_eq!(w & 0xff, OP_HALT as u128);
+    }
+}

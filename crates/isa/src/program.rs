@@ -1,0 +1,488 @@
+//! The compiled program container consumed by the simulator.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+use crate::group::GroupConfig;
+use crate::instr::{Instruction, InstrClass};
+
+/// Structural limits used by [`Program::validate`]. These mirror the
+/// architecture configuration (core count, crossbars per core, local-memory
+/// capacity) without making this crate depend on the `pimsim-arch` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramLimits {
+    /// Number of cores on the chip.
+    pub cores: u16,
+    /// Crossbars per core.
+    pub xbars_per_core: u32,
+    /// Local memory capacity in 32-bit elements.
+    pub local_mem_elems: u32,
+    /// Global memory capacity in 32-bit elements.
+    pub global_mem_elems: u64,
+}
+
+impl ProgramLimits {
+    /// Generous limits for tests and tools that only need syntax checking.
+    pub fn relaxed() -> ProgramLimits {
+        ProgramLimits {
+            cores: u16::MAX,
+            xbars_per_core: u32::MAX,
+            local_mem_elems: u32::MAX,
+            global_mem_elems: u64::MAX,
+        }
+    }
+}
+
+/// Free-form metadata describing how a program was produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramMeta {
+    /// Program name (usually the network name).
+    pub name: String,
+    /// Mapping policy used by the compiler (e.g. `performance-first`).
+    pub mapping: String,
+    /// Human-readable notes (compiler version, parameters...).
+    pub notes: String,
+}
+
+/// One core's compiled artifact: instruction stream, crossbar group
+/// configuration, and local-memory preload image.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreProgram {
+    /// The instruction stream; `pc` indexes into this.
+    pub instrs: Vec<Instruction>,
+    /// Crossbar group descriptors (mapping registers), indexed by group id.
+    pub groups: Vec<GroupConfig>,
+    /// Local-memory preload segments: `(start element, values)`.
+    pub local_init: Vec<(u32, Vec<i32>)>,
+    /// Optional labels for disassembly readability: label → instruction index.
+    pub labels: BTreeMap<String, u32>,
+    /// Optional per-instruction tags (parallel to `instrs`) attributing each
+    /// instruction to a network node, used for per-layer statistics such as
+    /// the paper's communication-latency ratio. Empty = untagged.
+    #[serde(default)]
+    pub instr_tags: Vec<u16>,
+}
+
+impl CoreProgram {
+    /// `true` if this core has nothing to execute.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Instruction count by class, in `[matrix, vector, transfer, scalar]`
+    /// order. Static (not dynamic/executed) counts.
+    pub fn class_histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for i in &self.instrs {
+            match i.class() {
+                InstrClass::Matrix => h[0] += 1,
+                InstrClass::Vector => h[1] += 1,
+                InstrClass::Transfer => h[2] += 1,
+                InstrClass::Scalar => h[3] += 1,
+            }
+        }
+        h
+    }
+}
+
+/// A complete compiled program: one [`CoreProgram`] per core plus metadata.
+///
+/// Produced by the compiler (or the assembler), validated, then executed by
+/// the cycle-accurate simulator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Per-core programs, indexed by core id.
+    pub cores: Vec<CoreProgram>,
+    /// Global-memory preload segments: `(start element, values)`. Used to
+    /// stage network inputs for functional simulation.
+    #[serde(default)]
+    pub global_init: Vec<(u64, Vec<i32>)>,
+    /// Provenance metadata.
+    pub meta: ProgramMeta,
+}
+
+impl Program {
+    /// Creates an empty program with `cores` idle cores.
+    pub fn with_cores(cores: usize) -> Program {
+        Program {
+            cores: vec![CoreProgram::default(); cores],
+            global_init: Vec::new(),
+            meta: ProgramMeta::default(),
+        }
+    }
+
+    /// Total static instruction count across all cores.
+    pub fn total_instructions(&self) -> usize {
+        self.cores.iter().map(|c| c.instrs.len()).sum()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("program serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Parse`] on malformed JSON.
+    pub fn from_json(text: &str) -> Result<Program, IsaError> {
+        serde_json::from_str(text).map_err(|e| IsaError::Parse {
+            line: e.line(),
+            msg: e.to_string(),
+        })
+    }
+
+    /// Structural validation: every branch target in range, every referenced
+    /// group defined with matching `MVM` length, group crossbars within the
+    /// per-core budget and disjoint across groups, transfer peers in range,
+    /// init segments within local memory, and group weight shapes coherent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IsaError::Validate`] found.
+    pub fn validate(&self, limits: &ProgramLimits) -> Result<(), IsaError> {
+        if self.cores.len() > limits.cores as usize {
+            return Err(IsaError::Validate {
+                core: 0,
+                pc: None,
+                msg: format!(
+                    "program targets {} cores but the chip has {}",
+                    self.cores.len(),
+                    limits.cores
+                ),
+            });
+        }
+        for (start, values) in &self.global_init {
+            let end = start + values.len() as u64;
+            if end > limits.global_mem_elems {
+                return Err(IsaError::Validate {
+                    core: 0,
+                    pc: None,
+                    msg: format!(
+                        "global init segment [{start}, {end}) exceeds global memory of {} elements",
+                        limits.global_mem_elems
+                    ),
+                });
+            }
+        }
+        for (cid, cp) in self.cores.iter().enumerate() {
+            let cid16 = cid as u16;
+            let err = |pc: Option<u32>, msg: String| IsaError::Validate {
+                core: cid16,
+                pc,
+                msg,
+            };
+
+            // Group table coherence.
+            let mut used_xbars = std::collections::BTreeSet::new();
+            for (gi, g) in cp.groups.iter().enumerate() {
+                if g.id.as_usize() != gi {
+                    return Err(err(
+                        None,
+                        format!("group table entry {gi} has id {} (must be dense)", g.id),
+                    ));
+                }
+                if g.xbar_ids.is_empty() {
+                    return Err(err(None, format!("group {} has no crossbars", g.id)));
+                }
+                for &x in &g.xbar_ids {
+                    if x >= limits.xbars_per_core {
+                        return Err(err(
+                            None,
+                            format!(
+                                "group {} uses crossbar {x} but the core has {}",
+                                g.id, limits.xbars_per_core
+                            ),
+                        ));
+                    }
+                    if !used_xbars.insert(x) {
+                        return Err(err(
+                            None,
+                            format!("crossbar {x} assigned to more than one group"),
+                        ));
+                    }
+                }
+                if let Some(w) = &g.weights {
+                    if w.rows() != g.input_len || w.cols() != g.output_len {
+                        return Err(err(
+                            None,
+                            format!(
+                                "group {} weights {}x{} mismatch logical {}x{}",
+                                g.id,
+                                w.rows(),
+                                w.cols(),
+                                g.input_len,
+                                g.output_len
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            // Init segments.
+            for (start, values) in &cp.local_init {
+                let end = *start as u64 + values.len() as u64;
+                if end > limits.local_mem_elems as u64 {
+                    return Err(err(
+                        None,
+                        format!(
+                            "local init segment [{start}, {end}) exceeds local memory of {} elements",
+                            limits.local_mem_elems
+                        ),
+                    ));
+                }
+            }
+
+            // Labels point into the stream.
+            for (name, &target) in &cp.labels {
+                if target as usize > cp.instrs.len() {
+                    return Err(err(
+                        None,
+                        format!("label `{name}` points at {target}, past end of program"),
+                    ));
+                }
+            }
+
+            // Tag vector, when present, parallels the instruction stream.
+            if !cp.instr_tags.is_empty() && cp.instr_tags.len() != cp.instrs.len() {
+                return Err(err(
+                    None,
+                    format!(
+                        "instr_tags has {} entries for {} instructions",
+                        cp.instr_tags.len(),
+                        cp.instrs.len()
+                    ),
+                ));
+            }
+
+            // Instruction stream.
+            let n = cp.instrs.len() as u32;
+            for (pc, instr) in cp.instrs.iter().enumerate() {
+                let pc32 = pc as u32;
+                match instr {
+                    Instruction::Branch { target, .. } | Instruction::Jump { target } => {
+                        if *target >= n {
+                            return Err(err(
+                                Some(pc32),
+                                format!("control target {target} out of range (program has {n})"),
+                            ));
+                        }
+                    }
+                    Instruction::Mvm { group, len, .. } => {
+                        let Some(g) = cp.groups.get(group.as_usize()) else {
+                            return Err(err(Some(pc32), format!("mvm references undefined {group}")));
+                        };
+                        if *len != g.input_len {
+                            return Err(err(
+                                Some(pc32),
+                                format!(
+                                    "mvm len {len} does not match group {} input_len {}",
+                                    g.id, g.input_len
+                                ),
+                            ));
+                        }
+                    }
+                    Instruction::Send { peer, .. }
+                    | Instruction::Recv { peer, .. }
+                    | Instruction::Recv2d { peer, .. } => {
+                        if peer.as_usize() >= self.cores.len() {
+                            return Err(err(
+                                Some(pc32),
+                                format!("transfer peer {peer} out of range"),
+                            ));
+                        }
+                        if peer.as_usize() == cid {
+                            return Err(err(Some(pc32), "transfer peer is self".into()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{GroupConfig, WeightMatrix};
+    use crate::instr::{Addr, BranchCond, CoreId, GroupId};
+    use crate::reg::Reg;
+
+    fn limits() -> ProgramLimits {
+        ProgramLimits {
+            cores: 4,
+            xbars_per_core: 8,
+            local_mem_elems: 1024,
+            global_mem_elems: 1 << 20,
+        }
+    }
+
+    fn addr(off: i32) -> Addr {
+        Addr::new(Reg::R1, off).unwrap()
+    }
+
+    #[test]
+    fn empty_program_is_valid() {
+        let p = Program::with_cores(4);
+        assert!(p.validate(&limits()).is_ok());
+        assert_eq!(p.total_instructions(), 0);
+    }
+
+    #[test]
+    fn too_many_cores_rejected() {
+        let p = Program::with_cores(5);
+        assert!(p.validate(&limits()).is_err());
+    }
+
+    #[test]
+    fn branch_target_checked() {
+        let mut p = Program::with_cores(1);
+        p.cores[0].instrs = vec![Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::R0,
+            rs2: Reg::R0,
+            target: 9,
+        }];
+        let e = p.validate(&limits()).unwrap_err();
+        assert!(e.to_string().contains("control target"));
+    }
+
+    #[test]
+    fn mvm_group_reference_checked() {
+        let mut p = Program::with_cores(1);
+        p.cores[0].instrs = vec![Instruction::Mvm {
+            group: GroupId(0),
+            dst: addr(0),
+            src: addr(64),
+            len: 16,
+        }];
+        assert!(p.validate(&limits()).is_err());
+
+        p.cores[0].groups = vec![GroupConfig::new(GroupId(0), 16, 8, vec![0, 1])];
+        assert!(p.validate(&limits()).is_ok());
+
+        // Wrong MVM length.
+        p.cores[0].instrs = vec![Instruction::Mvm {
+            group: GroupId(0),
+            dst: addr(0),
+            src: addr(64),
+            len: 32,
+        }];
+        assert!(p.validate(&limits()).is_err());
+    }
+
+    #[test]
+    fn xbar_budget_and_disjointness() {
+        let mut p = Program::with_cores(1);
+        p.cores[0].groups = vec![
+            GroupConfig::new(GroupId(0), 4, 4, vec![0, 1]),
+            GroupConfig::new(GroupId(1), 4, 4, vec![1]),
+        ];
+        let e = p.validate(&limits()).unwrap_err();
+        assert!(e.to_string().contains("more than one group"));
+
+        p.cores[0].groups = vec![GroupConfig::new(GroupId(0), 4, 4, vec![99])];
+        assert!(p.validate(&limits()).is_err());
+    }
+
+    #[test]
+    fn transfer_peer_checked() {
+        let mut p = Program::with_cores(2);
+        p.cores[0].instrs = vec![Instruction::Send {
+            peer: CoreId(0),
+            src: addr(0),
+            len: 4,
+            tag: 1,
+        }];
+        let e = p.validate(&limits()).unwrap_err();
+        assert!(e.to_string().contains("self"));
+
+        p.cores[0].instrs = vec![Instruction::Send {
+            peer: CoreId(3),
+            src: addr(0),
+            len: 4,
+            tag: 1,
+        }];
+        assert!(p.validate(&limits()).is_err());
+    }
+
+    #[test]
+    fn init_segment_bounds_checked() {
+        let mut p = Program::with_cores(1);
+        p.cores[0].local_init = vec![(1020, vec![1, 2, 3, 4, 5])];
+        assert!(p.validate(&limits()).is_err());
+        p.cores[0].local_init = vec![(1020, vec![1, 2, 3, 4])];
+        assert!(p.validate(&limits()).is_ok());
+    }
+
+    #[test]
+    fn group_weight_shape_checked() {
+        let mut p = Program::with_cores(1);
+        let mut g = GroupConfig::new(GroupId(0), 4, 4, vec![0]);
+        g.weights = Some(WeightMatrix::zeros(3, 4)); // wrong shape, bypassing with_weights
+        p.cores[0].groups = vec![g];
+        assert!(p.validate(&limits()).is_err());
+    }
+
+    #[test]
+    fn global_init_bounds_checked() {
+        let mut p = Program::with_cores(1);
+        p.global_init = vec![((1 << 20) - 1, vec![1, 2])];
+        assert!(p.validate(&limits()).is_err());
+        p.global_init = vec![((1 << 20) - 2, vec![1, 2])];
+        assert!(p.validate(&limits()).is_ok());
+    }
+
+    #[test]
+    fn tag_vector_length_checked() {
+        let mut p = Program::with_cores(1);
+        p.cores[0].instrs = vec![Instruction::Nop, Instruction::Halt];
+        p.cores[0].instr_tags = vec![1];
+        assert!(p.validate(&limits()).is_err());
+        p.cores[0].instr_tags = vec![1, 1];
+        assert!(p.validate(&limits()).is_ok());
+        p.cores[0].instr_tags = vec![];
+        assert!(p.validate(&limits()).is_ok());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut p = Program::with_cores(2);
+        p.meta.name = "demo".into();
+        p.cores[1].instrs = vec![Instruction::Halt];
+        p.cores[1].labels.insert("end".into(), 0);
+        let text = p.to_json();
+        let back = Program::from_json(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn malformed_json_is_parse_error() {
+        assert!(matches!(
+            Program::from_json("{not json"),
+            Err(IsaError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let mut cp = CoreProgram::default();
+        cp.groups = vec![GroupConfig::new(GroupId(0), 4, 4, vec![0])];
+        cp.instrs = vec![
+            Instruction::Nop,
+            Instruction::Halt,
+            Instruction::VFill {
+                dst: addr(0),
+                value: 1,
+                len: 4,
+            },
+        ];
+        assert_eq!(cp.class_histogram(), [0, 1, 0, 2]);
+        assert!(!cp.is_empty());
+    }
+}

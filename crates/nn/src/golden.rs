@@ -1,0 +1,427 @@
+//! The golden functional model: a reference forward pass whose integer
+//! semantics exactly match the simulator's functional mode.
+//!
+//! Shared arithmetic rules (also implemented by the vector/matrix units in
+//! `pimsim-core`):
+//!
+//! * MVM accumulates in `i64` and saturates to `i32`.
+//! * Additions (bias, residual) saturate.
+//! * Requantization is an arithmetic shift right by `requant_shift`,
+//!   applied to weight-layer outputs *after* bias, *before* activation.
+//! * Average pooling divides the `i64` window sum by the window size with
+//!   truncation toward zero.
+//! * Sigmoid/tanh use the shared Q8.8 fixed-point helpers
+//!   [`fixed_sigmoid`] / [`fixed_tanh`].
+
+use crate::layer::{Activation, Layer};
+use crate::network::{Network, NnError, PortRef};
+use crate::shape::Shape;
+use crate::weights::WeightGen;
+
+/// Default requantization shift used by the compiler and tests.
+pub const DEFAULT_REQUANT_SHIFT: u32 = 6;
+
+/// Q8.8 fixed-point sigmoid: interprets `x` as `x / 256`, returns
+/// `round(sigmoid(x/256) * 256)`.
+pub fn fixed_sigmoid(x: i32) -> i32 {
+    let v = x as f64 / 256.0;
+    let y = 1.0 / (1.0 + (-v).exp());
+    (y * 256.0).round() as i32
+}
+
+/// Q8.8 fixed-point tanh: interprets `x` as `x / 256`, returns
+/// `round(tanh(x/256) * 256)`.
+pub fn fixed_tanh(x: i32) -> i32 {
+    let v = x as f64 / 256.0;
+    (v.tanh() * 256.0).round() as i32
+}
+
+/// Applies an activation with the shared integer semantics.
+pub fn apply_activation(act: Activation, x: i32) -> i32 {
+    match act {
+        Activation::Relu => x.max(0),
+        Activation::Sigmoid => fixed_sigmoid(x),
+        Activation::Tanh => fixed_tanh(x),
+    }
+}
+
+/// The reference forward pass over a [`Network`] with [`WeightGen`]
+/// synthetic weights.
+///
+/// ```rust
+/// use pimsim_nn::{zoo, GoldenModel, WeightGen};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = zoo::tiny_mlp();
+/// let gen = WeightGen::for_network(&net);
+/// let golden = GoldenModel::new(&net, gen);
+/// let input = gen.input(net.input_shape.elems());
+/// let logits = golden.run(&input)?;
+/// assert_eq!(logits.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoldenModel<'a> {
+    net: &'a Network,
+    gen: WeightGen,
+    shift: u32,
+}
+
+impl<'a> GoldenModel<'a> {
+    /// Creates a model with the default requantization shift.
+    pub fn new(net: &'a Network, gen: WeightGen) -> Self {
+        GoldenModel {
+            net,
+            gen,
+            shift: DEFAULT_REQUANT_SHIFT,
+        }
+    }
+
+    /// Overrides the requantization shift (must match the compiler's).
+    pub fn with_requant_shift(mut self, shift: u32) -> Self {
+        self.shift = shift;
+        self
+    }
+
+    /// Runs the network, returning the output node's tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `input` does not match the network's
+    /// input shape, or validation errors from the graph.
+    pub fn run(&self, input: &[i32]) -> Result<Vec<i32>, NnError> {
+        Ok(self.run_all(input)?.pop().expect("validated net is non-empty"))
+    }
+
+    /// Runs the network, returning every node's output tensor in node
+    /// order (useful to localize mismatches in tests).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GoldenModel::run`].
+    pub fn run_all(&self, input: &[i32]) -> Result<Vec<Vec<i32>>, NnError> {
+        self.net.validate()?;
+        if input.len() != self.net.input_shape.elems() as usize {
+            return Err(NnError::Shape(format!(
+                "input has {} elements, network expects {} ({})",
+                input.len(),
+                self.net.input_shape.elems(),
+                self.net.input_shape
+            )));
+        }
+        let shapes = self.net.inferred_shapes()?;
+        let mut outputs: Vec<Vec<i32>> = Vec::with_capacity(self.net.nodes.len());
+        for (i, node) in self.net.nodes.iter().enumerate() {
+            let fetch = |p: &PortRef| -> (&[i32], Shape) {
+                match p {
+                    PortRef::Input => (input, self.net.input_shape),
+                    PortRef::Node(id) => (&outputs[id.as_usize()], shapes[id.as_usize()]),
+                }
+            };
+            let ins: Vec<(&[i32], Shape)> = node.inputs.iter().map(fetch).collect();
+            let out_shape = shapes[i];
+            let out = self.eval_layer(node.id.as_usize(), &node.layer, &ins, out_shape);
+            debug_assert_eq!(out.len(), out_shape.elems() as usize);
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    fn eval_layer(
+        &self,
+        node_idx: usize,
+        layer: &Layer,
+        ins: &[(&[i32], Shape)],
+        out_shape: Shape,
+    ) -> Vec<i32> {
+        use crate::network::NodeId;
+        let nid = NodeId(node_idx as u32);
+        match layer {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                activation,
+            } => {
+                let (data, s) = ins[0];
+                let k = *kernel;
+                let rows = k * k * s.channels;
+                let w = self.gen.matrix(nid, rows, *out_channels);
+                let bias = self.gen.bias(nid, *out_channels);
+                let mut out = vec![0i32; out_shape.elems() as usize];
+                let mut window = vec![0i32; rows as usize];
+                for oy in 0..out_shape.height {
+                    for ox in 0..out_shape.width {
+                        gather_window(data, s, oy, ox, k, *stride, *padding, &mut window);
+                        let acc = mvm(&window, &w, *out_channels);
+                        for (c, a) in acc.into_iter().enumerate() {
+                            let v = finish_weight_output(a, bias[c], self.shift, *activation);
+                            out[out_shape.index(oy, ox, c as u32)] = v;
+                        }
+                    }
+                }
+                out
+            }
+            Layer::Linear {
+                out_features,
+                activation,
+            } => {
+                let (data, s) = ins[0];
+                let rows = s.elems();
+                let w = self.gen.matrix(nid, rows, *out_features);
+                let bias = self.gen.bias(nid, *out_features);
+                let acc = mvm(data, &w, *out_features);
+                acc.into_iter()
+                    .enumerate()
+                    .map(|(c, a)| finish_weight_output(a, bias[c], self.shift, *activation))
+                    .collect()
+            }
+            Layer::MaxPool2d { kernel, stride, padding }
+            | Layer::AvgPool2d { kernel, stride, padding } => {
+                let is_max = matches!(layer, Layer::MaxPool2d { .. });
+                let (data, s) = ins[0];
+                let k = *kernel;
+                let mut out = vec![0i32; out_shape.elems() as usize];
+                for oy in 0..out_shape.height {
+                    for ox in 0..out_shape.width {
+                        for c in 0..s.channels {
+                            let mut m = i32::MIN;
+                            let mut sum = 0i64;
+                            for wy in 0..k {
+                                let iy = (oy * stride + wy) as i64 - *padding as i64;
+                                for wx in 0..k {
+                                    let ix = (ox * stride + wx) as i64 - *padding as i64;
+                                    let v = if iy >= 0
+                                        && iy < s.height as i64
+                                        && ix >= 0
+                                        && ix < s.width as i64
+                                    {
+                                        data[s.index(iy as u32, ix as u32, c)]
+                                    } else {
+                                        0
+                                    };
+                                    m = m.max(v);
+                                    sum += v as i64;
+                                }
+                            }
+                            let v = if is_max {
+                                m
+                            } else {
+                                clamp_i64(sum / (k as i64 * k as i64))
+                            };
+                            out[out_shape.index(oy, ox, c)] = v;
+                        }
+                    }
+                }
+                out
+            }
+            Layer::GlobalAvgPool => {
+                let (data, s) = ins[0];
+                let pixels = (s.height * s.width) as i64;
+                (0..s.channels)
+                    .map(|c| {
+                        let mut sum = 0i64;
+                        for y in 0..s.height {
+                            for x in 0..s.width {
+                                sum += data[s.index(y, x, c)] as i64;
+                            }
+                        }
+                        clamp_i64(sum / pixels)
+                    })
+                    .collect()
+            }
+            Layer::Add { activation } => {
+                let (a, _) = ins[0];
+                let (b, _) = ins[1];
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| {
+                        let v = x.saturating_add(y);
+                        activation.map_or(v, |act| apply_activation(act, v))
+                    })
+                    .collect()
+            }
+            Layer::Concat => {
+                let (h, w) = (out_shape.height, out_shape.width);
+                let mut out = Vec::with_capacity(out_shape.elems() as usize);
+                for y in 0..h {
+                    for x in 0..w {
+                        for (data, s) in ins {
+                            let base = s.index(y, x, 0);
+                            out.extend_from_slice(&data[base..base + s.channels as usize]);
+                        }
+                    }
+                }
+                out
+            }
+            Layer::Flatten => ins[0].0.to_vec(),
+            Layer::Activation(act) => {
+                ins[0].0.iter().map(|&x| apply_activation(*act, x)).collect()
+            }
+        }
+    }
+}
+
+/// Gathers a zero-padded convolution window in HWC im2col order.
+fn gather_window(
+    data: &[i32],
+    s: Shape,
+    oy: u32,
+    ox: u32,
+    kernel: u32,
+    stride: u32,
+    padding: u32,
+    out: &mut [i32],
+) {
+    let mut idx = 0;
+    for ky in 0..kernel {
+        let iy = (oy * stride + ky) as i64 - padding as i64;
+        for kx in 0..kernel {
+            let ix = (ox * stride + kx) as i64 - padding as i64;
+            for c in 0..s.channels {
+                out[idx] = if iy >= 0 && iy < s.height as i64 && ix >= 0 && ix < s.width as i64 {
+                    data[s.index(iy as u32, ix as u32, c)]
+                } else {
+                    0
+                };
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// `out[j] = sat(Σ_i in[i] * w[i][j])` with row-major `w`.
+fn mvm(input: &[i32], w: &[i8], cols: u32) -> Vec<i64> {
+    let cols = cols as usize;
+    let mut acc = vec![0i64; cols];
+    for (i, &x) in input.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let row = &w[i * cols..(i + 1) * cols];
+        for (a, &wv) in acc.iter_mut().zip(row) {
+            *a += x as i64 * wv as i64;
+        }
+    }
+    acc
+}
+
+fn clamp_i64(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// Shared epilogue for weight layers: saturate, add bias (saturating),
+/// requantize (arithmetic shift), activate.
+fn finish_weight_output(acc: i64, bias: i32, shift: u32, act: Option<Activation>) -> i32 {
+    let v = clamp_i64(acc).saturating_add(bias) >> shift;
+    act.map_or(v, |a| apply_activation(a, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::zoo;
+
+    #[test]
+    fn fixed_point_activations() {
+        assert_eq!(fixed_sigmoid(0), 128); // sigmoid(0) = 0.5 -> 128
+        assert!(fixed_sigmoid(10_000) > 250);
+        assert!(fixed_sigmoid(-10_000) < 6);
+        assert_eq!(fixed_tanh(0), 0);
+        assert!(fixed_tanh(10_000) > 250);
+        assert!(fixed_tanh(-10_000) < -250);
+        assert_eq!(apply_activation(Activation::Relu, -5), 0);
+        assert_eq!(apply_activation(Activation::Relu, 5), 5);
+    }
+
+    #[test]
+    fn mlp_runs_and_is_deterministic() {
+        let net = zoo::tiny_mlp();
+        let gen = WeightGen::for_network(&net);
+        let golden = GoldenModel::new(&net, gen);
+        let input = gen.input(net.input_shape.elems());
+        let a = golden.run(&input).unwrap();
+        let b = golden.run(&input).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().any(|&v| v != 0), "outputs should be non-trivial");
+    }
+
+    #[test]
+    fn cnn_with_all_layer_kinds_runs() {
+        let net = zoo::tiny_cnn();
+        let gen = WeightGen::for_network(&net);
+        let golden = GoldenModel::new(&net, gen);
+        let input = gen.input(net.input_shape.elems());
+        let outs = golden.run_all(&input).unwrap();
+        assert_eq!(outs.len(), net.nodes.len());
+    }
+
+    #[test]
+    fn wrong_input_length_rejected() {
+        let net = zoo::tiny_mlp();
+        let gen = WeightGen::for_network(&net);
+        let golden = GoldenModel::new(&net, gen);
+        assert!(golden.run(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn requant_shift_scales_outputs() {
+        let net = zoo::tiny_mlp();
+        let gen = WeightGen::for_network(&net);
+        let input = gen.input(net.input_shape.elems());
+        let small = GoldenModel::new(&net, gen)
+            .with_requant_shift(8)
+            .run(&input)
+            .unwrap();
+        let large = GoldenModel::new(&net, gen)
+            .with_requant_shift(2)
+            .run(&input)
+            .unwrap();
+        let sum_small: i64 = small.iter().map(|&v| (v as i64).abs()).sum();
+        let sum_large: i64 = large.iter().map(|&v| (v as i64).abs()).sum();
+        assert!(sum_large > sum_small);
+    }
+
+    #[test]
+    fn avg_pool_truncates_toward_zero() {
+        // A 2x2 single-channel map: avg of [1, 2, 2, 2] = 7/4 = 1 (trunc).
+        let mut b = Network::builder("avg", crate::Shape::new(2, 2, 1));
+        b.add(
+            "p",
+            Layer::AvgPool2d { kernel: 2, stride: 2, padding: 0 },
+            vec![crate::PortRef::Input],
+        );
+        let net = b.finish().unwrap();
+        let golden = GoldenModel::new(&net, WeightGen::new(0));
+        assert_eq!(golden.run(&[1, 2, 2, 2]).unwrap(), vec![1]);
+        assert_eq!(golden.run(&[-1, -2, -2, -2]).unwrap(), vec![-1]);
+    }
+
+    #[test]
+    fn concat_interleaves_channels() {
+        use crate::{PortRef, Shape};
+        let mut b = Network::builder("cc", Shape::new(1, 2, 1));
+        let a1 = b.add("id1", Layer::Activation(Activation::Relu), vec![PortRef::Input]);
+        let a2 = b.add("id2", Layer::Activation(Activation::Relu), vec![PortRef::Input]);
+        b.add("cat", Layer::Concat, vec![a1, a2]);
+        let net = b.finish().unwrap();
+        let golden = GoldenModel::new(&net, WeightGen::new(0));
+        // Input pixels [10, 20] -> per-pixel channel concat: [10,10,20,20]
+        assert_eq!(golden.run(&[10, 20]).unwrap(), vec![10, 10, 20, 20]);
+    }
+
+    #[test]
+    fn residual_add_saturates() {
+        use crate::{PortRef, Shape};
+        let mut b = Network::builder("sat", Shape::new(1, 1, 1));
+        let x = b.add("id", Layer::Activation(Activation::Relu), vec![PortRef::Input]);
+        b.add("sum", Layer::Add { activation: None }, vec![x, x]);
+        let net = b.finish().unwrap();
+        let golden = GoldenModel::new(&net, WeightGen::new(0));
+        assert_eq!(golden.run(&[i32::MAX]).unwrap(), vec![i32::MAX]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic synthetic weights.
+//!
+//! Trained weight values do not influence the performance model (latency
+//! and energy depend only on layer geometry), but the simulator's
+//! *functional* mode needs concrete numbers so compiled programs can be
+//! checked bit-exactly against the golden forward pass. `WeightGen`
+//! produces the same int8 weights and int32 biases for a given
+//! `(seed, node)` on every call, so the compiler and the golden model agree
+//! without ever sharing state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::{Network, NodeId};
+
+/// Deterministic per-layer weight generator.
+///
+/// ```rust
+/// use pimsim_nn::{NodeId, WeightGen};
+/// let g = WeightGen::for_network_name("demo");
+/// let a = g.matrix(NodeId(0), 4, 3);
+/// let b = g.matrix(NodeId(0), 4, 3);
+/// assert_eq!(a, b, "same (seed, node, shape) -> same weights");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightGen {
+    seed: u64,
+}
+
+impl WeightGen {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> WeightGen {
+        WeightGen { seed }
+    }
+
+    /// Seeds from a network name (stable FNV-1a hash).
+    pub fn for_network_name(name: &str) -> WeightGen {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        WeightGen { seed: h }
+    }
+
+    /// Seeds from a network's name.
+    pub fn for_network(net: &Network) -> WeightGen {
+        WeightGen::for_network_name(&net.name)
+    }
+
+    fn rng(&self, node: NodeId, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(node.0 as u64)
+                .wrapping_add(stream << 32),
+        )
+    }
+
+    /// The im2col weight matrix for a node: `rows × cols` int8 values in
+    /// row-major order. Values are small (−8..=8) so shallow test networks
+    /// stay far from i32 overflow.
+    pub fn matrix(&self, node: NodeId, rows: u32, cols: u32) -> Vec<i8> {
+        let mut rng = self.rng(node, 0);
+        (0..rows as usize * cols as usize)
+            .map(|_| rng.gen_range(-8i8..=8))
+            .collect()
+    }
+
+    /// The bias vector for a node: `n` int32 values in −64..=64.
+    pub fn bias(&self, node: NodeId, n: u32) -> Vec<i32> {
+        let mut rng = self.rng(node, 1);
+        (0..n as usize).map(|_| rng.gen_range(-64i32..=64)).collect()
+    }
+
+    /// A deterministic input feature map for tests/benches: `n` int32
+    /// activations in 0..=32 (post-ReLU-like range).
+    pub fn input(&self, n: u32) -> Vec<i32> {
+        let mut rng = self.rng(NodeId(u32::MAX), 2);
+        (0..n as usize).map(|_| rng.gen_range(0i32..=32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let g = WeightGen::new(42);
+        assert_eq!(g.matrix(NodeId(3), 8, 8), g.matrix(NodeId(3), 8, 8));
+        assert_eq!(g.bias(NodeId(3), 8), g.bias(NodeId(3), 8));
+        assert_eq!(g.input(16), g.input(16));
+    }
+
+    #[test]
+    fn different_nodes_differ() {
+        let g = WeightGen::new(42);
+        assert_ne!(g.matrix(NodeId(0), 8, 8), g.matrix(NodeId(1), 8, 8));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            WeightGen::new(1).matrix(NodeId(0), 8, 8),
+            WeightGen::new(2).matrix(NodeId(0), 8, 8)
+        );
+    }
+
+    #[test]
+    fn name_seeding_is_stable() {
+        let a = WeightGen::for_network_name("alexnet");
+        let b = WeightGen::for_network_name("alexnet");
+        let c = WeightGen::for_network_name("resnet18");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn value_ranges() {
+        let g = WeightGen::new(7);
+        assert!(g.matrix(NodeId(0), 32, 32).iter().all(|&w| (-8..=8).contains(&w)));
+        assert!(g.bias(NodeId(0), 100).iter().all(|&b| (-64..=64).contains(&b)));
+        assert!(g.input(100).iter().all(|&x| (0..=32).contains(&x)));
+    }
+
+    #[test]
+    fn weights_and_bias_are_independent_streams() {
+        let g = WeightGen::new(9);
+        let m = g.matrix(NodeId(0), 1, 4);
+        let b = g.bias(NodeId(0), 4);
+        // Not a strict requirement, but the streams should not be identical.
+        assert_ne!(m.iter().map(|&v| v as i32).collect::<Vec<_>>(), b);
+    }
+}

@@ -1,0 +1,59 @@
+//! Programming the accelerator by hand in assembly.
+//!
+//! Demonstrates the ISA directly: crossbar group configuration, the four
+//! instruction classes, scalar loops, and synchronized transfers between
+//! two cores — then runs the program on the cycle-accurate simulator.
+//!
+//! ```sh
+//! cargo run --release --example assembler
+//! ```
+
+use pimsim::isa::asm;
+use pimsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = ArchConfig::small_test();
+
+    // Core 0 owns a 16x16 crossbar group (timing-only weights), fills an
+    // input vector, runs 4 MVMs in a scalar loop and streams each result
+    // to core 1, which accumulates them.
+    let program = asm::assemble(
+        r#"
+        ; producer core: crossbar MVMs in a loop
+        .core 0
+        .group 0 in=16 out=16 xbars=0,1
+            vfill   [r0+0], 3, 16          ; input vector
+            li      r1, 4                  ; loop counter
+    loop:
+            mvm     g0, [r0+32], [r0+0], 16  ; timing-only MVM (no weights)
+            vaddi   [r0+0], [r0+0], 1, 16    ; perturb inputs
+            send    core1, [r0+0], 16, tag=7 ; stream the live inputs
+            addi    r1, r1, -1
+            bne     r1, r0, loop
+            halt
+
+        ; consumer core: receive and accumulate
+        .core 1
+            vfill   [r0+64], 0, 16
+            li      r2, 4
+    drain:
+            recv    core0, [r0+0], 16, tag=7
+            vadd    [r0+64], [r0+64], [r0+0], 16
+            addi    r2, r2, -1
+            bne     r2, r0, drain
+            vrelu   [r0+64], [r0+64], 16
+            halt
+    "#,
+    )?;
+
+    println!("{}", asm::disassemble(&program));
+    let report = Simulator::new(&arch).run(&program)?;
+    println!("latency      : {}", report.latency);
+    println!("instructions : {}", report.instructions);
+    println!(
+        "classes      : matrix {}, vector {}, transfer {}, scalar {}",
+        report.class_counts[0], report.class_counts[1], report.class_counts[2], report.class_counts[3]
+    );
+    println!("accumulator  : {:?}", report.read_local(1, 64, 4));
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Hardware design-space exploration — the use case the paper's abstract
+//! promises ("a more convenient way to evaluate the effectiveness of
+//! software/hardware optimizations").
+//!
+//! Sweeps three hardware knobs independently around the paper's baseline
+//! chip and reports simulated latency/energy for vgg8, holding the
+//! software (network, mapping, batch) fixed:
+//!
+//! * ADCs per crossbar (the ADC-sharing bottleneck),
+//! * vector SIMD lanes,
+//! * NoC link width (flit bytes),
+//! * the crossbar structure hazard (ablation: what an idealized
+//!   conflict-free matrix unit would buy).
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use pimsim::nn::zoo;
+use pimsim::prelude::*;
+
+fn measure(arch: &ArchConfig) -> (SimTime, f64) {
+    let net = zoo::vgg8(32);
+    let compiled = Compiler::new(arch)
+        .mapping(MappingPolicy::PerformanceFirst)
+        .functional(false)
+        .batch(2)
+        .compile(&net)
+        .expect("compiles");
+    let report = Simulator::new(arch).run(&compiled.program).expect("runs");
+    (report.latency / 2, report.energy.total().as_uj() / 2.0)
+}
+
+fn main() {
+    let base = ArchConfig::paper_default().with_rob(8);
+    let (lat0, e0) = measure(&base);
+    println!("baseline (paper chip, ROB=8): {lat0} / {e0:.1} uJ per image\n");
+    println!("{:<28} {:>12} {:>10} {:>12} {:>10}", "variant", "latency", "vs base", "energy", "vs base");
+
+    let mut show = |name: &str, arch: &ArchConfig| {
+        let (lat, e) = measure(arch);
+        println!(
+            "{name:<28} {:>12} {:>9.2}x {:>10.1} uJ {:>9.2}x",
+            format!("{lat}"),
+            lat.as_ns_f64() / lat0.as_ns_f64(),
+            e,
+            e / e0
+        );
+    };
+
+    for adcs in [2u32, 4, 8] {
+        let mut a = base.clone();
+        a.resources.adcs_per_xbar = adcs;
+        show(&format!("adcs_per_xbar = {adcs}"), &a);
+    }
+    for lanes in [16u32, 64, 128] {
+        let mut a = base.clone();
+        a.resources.vector_lanes = lanes;
+        show(&format!("vector_lanes = {lanes}"), &a);
+    }
+    for flit in [8u32, 64] {
+        let mut a = base.clone();
+        a.noc.flit_bytes = flit;
+        show(&format!("noc flit = {flit} B"), &a);
+    }
+    {
+        let mut a = base.clone();
+        a.sim.structure_hazard = false;
+        show("no structure hazard (ideal)", &a);
+    }
+    println!("\nEach row re-runs the same compiled workload on a different chip —");
+    println!("the ISA boundary is what makes the sweep a one-liner (paper §I).");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the full PIMSIM-NN workflow on a small CNN.
+//!
+//! 1. Pick an architecture configuration (the paper's "architecture
+//!    configuration file").
+//! 2. Pick a network description.
+//! 3. Compile it (mapping + scheduling + code generation).
+//! 4. Run the cycle-accurate simulator and read latency/energy/power.
+//! 5. Because this run is *functional*, also check the simulated output
+//!    bit-exactly against the golden reference model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pimsim::prelude::*;
+use pimsim::nn::{zoo, GoldenModel, WeightGen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small test chip (3x3 cores, 16x16 crossbars) with functional
+    // simulation enabled; `ArchConfig::paper_default()` is the paper's
+    // 64-core evaluation chip.
+    let arch = ArchConfig::small_test();
+    let net = zoo::tiny_cnn();
+    println!(
+        "network `{}`: {} layers, {} MACs, input {}",
+        net.name,
+        net.nodes.len(),
+        net.total_macs(),
+        net.input_shape
+    );
+
+    // Compile under the paper's performance-first mapping.
+    let compiled = Compiler::new(&arch)
+        .mapping(MappingPolicy::PerformanceFirst)
+        .compile(&net)?;
+    println!(
+        "compiled: {} instructions across {} cores",
+        compiled.program.total_instructions(),
+        compiled.placement.cores_used
+    );
+
+    // Simulate.
+    let report = Simulator::new(&arch).run(&compiled.program)?;
+    println!("latency : {}", report.latency);
+    println!("energy  : {}", report.energy.total());
+    println!("power   : {:.3} W", report.avg_power_w());
+    println!(
+        "instrs  : {} (matrix {}, vector {}, transfer {}, scalar {})",
+        report.instructions,
+        report.class_counts[0],
+        report.class_counts[1],
+        report.class_counts[2],
+        report.class_counts[3]
+    );
+
+    // Functional check: simulated output == golden forward pass.
+    let sim_out = report.read_global(compiled.output.gaddr, compiled.output.elems);
+    let gen = WeightGen::for_network(&net);
+    let golden = GoldenModel::new(&net, gen).run(&gen.input(net.input_shape.elems()))?;
+    assert_eq!(sim_out, golden, "simulator must match the golden model");
+    println!("output  : {sim_out:?} (bit-exact vs golden model)");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Hardware ROB-capacity exploration (the paper's Fig. 4 experiment).
+//!
+//! Sweeps the re-order buffer size over {1, 4, 8, 12, 16} and prints
+//! latency normalized to ROB=1 for each evaluation network. The paper's
+//! observation: latency falls as the ROB grows, but the 12→16 step gains
+//! little because back-to-back `MVM`s on the same crossbars hit the
+//! *structure hazard*.
+//!
+//! ```sh
+//! cargo run --release --example rob_sweep
+//! ```
+
+use pimsim::prelude::*;
+use pimsim::nn::zoo;
+
+const NETWORKS: &[&str] = &["alexnet", "googlenet", "resnet18", "squeezenet"];
+const ROBS: &[u32] = &[1, 4, 8, 12, 16];
+const RESOLUTION: u32 = 64;
+const BATCH: u32 = 4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("normalized latency vs ROB size (performance-first, batch {BATCH})");
+    print!("{:<11}", "network");
+    for rob in ROBS {
+        print!(" {:>8}", format!("rob={rob}"));
+    }
+    println!();
+    for name in NETWORKS {
+        let net = zoo::by_name(name, RESOLUTION).expect("zoo network");
+        print!("{name:<11}");
+        let mut base = None;
+        for &rob in ROBS {
+            let arch = ArchConfig::paper_default().with_rob(rob);
+            let compiled = Compiler::new(&arch)
+                .mapping(MappingPolicy::PerformanceFirst)
+                .batch(BATCH)
+                .compile(&net)?;
+            let report = Simulator::new(&arch).run(&compiled.program)?;
+            let lat = report.latency.as_ns_f64();
+            let b = *base.get_or_insert(lat);
+            print!(" {:>8.3}", lat / b);
+        }
+        println!();
+    }
+    println!("\npaper Fig. 4: monotone decrease with a small 12->16 step (structure hazard)");
+    Ok(())
+}

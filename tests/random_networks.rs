@@ -1,0 +1,212 @@
+//! Property-based end-to-end test: random small CNNs compile, simulate and
+//! match the golden model bit-exactly under both mapping policies.
+
+use pimsim::nn::{Activation, GoldenModel, Layer, Network, PortRef, Shape, WeightGen};
+use pimsim::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Conv { ch: u8, k: u8, stride: u8, act: u8 },
+    Pool { max: bool, k: u8 },
+    Act(u8),
+    Residual,
+    Branch { ch: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..=12, 1u8..=3, 1u8..=2, 0u8..3).prop_map(|(ch, k, stride, act)| Op::Conv {
+            ch,
+            k,
+            stride,
+            act
+        }),
+        (any::<bool>(), 2u8..=3).prop_map(|(max, k)| Op::Pool { max, k }),
+        (0u8..3).prop_map(Op::Act),
+        Just(Op::Residual),
+        (1u8..=8).prop_map(|ch| Op::Branch { ch }),
+    ]
+}
+
+fn act_of(code: u8) -> Option<Activation> {
+    match code {
+        0 => Some(Activation::Relu),
+        1 => Some(Activation::Sigmoid),
+        _ => Some(Activation::Tanh),
+    }
+}
+
+/// Builds a random-but-valid network from an op list, skipping ops that
+/// would not type-check at the current shape.
+fn build(ops: &[Op], hw: u8, in_ch: u8) -> Option<Network> {
+    let mut b = Network::builder("random", Shape::new(hw as u32, hw as u32, in_ch as u32));
+    let mut cur = PortRef::Input;
+    let mut shape = Shape::new(hw as u32, hw as u32, in_ch as u32);
+    let mut n = 0;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Conv { ch, k, stride, act } => {
+                let k = (*k).min(shape.height.min(shape.width) as u8);
+                if k == 0 {
+                    continue;
+                }
+                let stride = (*stride).clamp(1, k);
+                cur = b.add(
+                    format!("conv{i}"),
+                    Layer::Conv2d {
+                        out_channels: *ch as u32,
+                        kernel: k as u32,
+                        stride: stride as u32,
+                        padding: (k / 2) as u32,
+                        activation: act_of(*act),
+                    },
+                    vec![cur],
+                );
+                let pad = (k / 2) as u32;
+                let h = (shape.height + 2 * pad - k as u32) / stride as u32 + 1;
+                let w = (shape.width + 2 * pad - k as u32) / stride as u32 + 1;
+                shape = Shape::new(h, w, *ch as u32);
+                n += 1;
+            }
+            Op::Pool { max, k } => {
+                let k = (*k).min(shape.height.min(shape.width) as u8);
+                if k < 2 {
+                    continue;
+                }
+                let layer = if *max {
+                    Layer::MaxPool2d {
+                        kernel: k as u32,
+                        stride: k as u32,
+                        padding: 0,
+                    }
+                } else {
+                    Layer::AvgPool2d {
+                        kernel: k as u32,
+                        stride: k as u32,
+                        padding: 0,
+                    }
+                };
+                cur = b.add(format!("pool{i}"), layer, vec![cur]);
+                shape = Shape::new(shape.height / k as u32, shape.width / k as u32, shape.channels);
+            }
+            Op::Act(code) => {
+                cur = b.add(
+                    format!("act{i}"),
+                    Layer::Activation(act_of(*code).unwrap()),
+                    vec![cur],
+                );
+            }
+            Op::Residual => {
+                // x + conv(x), same shape.
+                let side = b.add(
+                    format!("res{i}/conv"),
+                    Layer::Conv2d {
+                        out_channels: shape.channels,
+                        kernel: 3.min(shape.height.min(shape.width)),
+                        stride: 1,
+                        padding: 3u32.min(shape.height.min(shape.width)) / 2,
+                        activation: None,
+                    },
+                    vec![cur],
+                );
+                // Only valid when the conv preserves shape (k odd => same).
+                if 3u32.min(shape.height.min(shape.width)) % 2 == 1 {
+                    cur = b.add(
+                        format!("res{i}/add"),
+                        Layer::Add {
+                            activation: Some(Activation::Relu),
+                        },
+                        vec![cur, side],
+                    );
+                } else {
+                    cur = side;
+                    shape = Shape::new(shape.height, shape.width, shape.channels);
+                }
+                n += 1;
+            }
+            Op::Branch { ch } => {
+                // concat(conv1x1(x), conv3x3(x)) when wide enough.
+                if shape.height < 3 || shape.width < 3 {
+                    continue;
+                }
+                let b1 = b.add(
+                    format!("br{i}/a"),
+                    Layer::Conv2d {
+                        out_channels: *ch as u32,
+                        kernel: 1,
+                        stride: 1,
+                        padding: 0,
+                        activation: Some(Activation::Relu),
+                    },
+                    vec![cur],
+                );
+                let b2 = b.add(
+                    format!("br{i}/b"),
+                    Layer::Conv2d {
+                        out_channels: *ch as u32,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                        activation: Some(Activation::Relu),
+                    },
+                    vec![cur],
+                );
+                cur = b.add(format!("br{i}/cat"), Layer::Concat, vec![b1, b2]);
+                shape = Shape::new(shape.height, shape.width, 2 * *ch as u32);
+                n += 2;
+            }
+        }
+        if shape.height == 0 || shape.width == 0 {
+            return None;
+        }
+    }
+    let flat = b.add("flatten", Layer::Flatten, vec![cur]);
+    b.add(
+        "head",
+        Layer::Linear {
+            out_features: 4,
+            activation: None,
+        },
+        vec![flat],
+    );
+    let _ = n;
+    b.finish().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 40,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_networks_match_golden(
+        ops in proptest::collection::vec(op_strategy(), 1..5),
+        hw in 6u8..=10,
+        in_ch in 1u8..=4,
+    ) {
+        let Some(net) = build(&ops, hw, in_ch) else {
+            return Ok(()); // degenerate shape; skip
+        };
+        let arch = ArchConfig::small_test();
+        let gen = WeightGen::for_network(&net);
+        let golden = GoldenModel::new(&net, gen)
+            .run(&gen.input(net.input_shape.elems()))
+            .unwrap();
+        for policy in [MappingPolicy::PerformanceFirst, MappingPolicy::UtilizationFirst] {
+            let compiled = match Compiler::new(&arch).mapping(policy).compile(&net) {
+                Ok(c) => c,
+                // Running out of crossbars on the tiny test chip is a
+                // legitimate outcome for a random net; anything else is not.
+                Err(pimsim::compiler::CompileError::Unmappable { .. }) => continue,
+                Err(e) => panic!("unexpected compile error: {e}"),
+            };
+            let report = Simulator::new(&arch).run(&compiled.program)
+                .unwrap_or_else(|e| panic!("simulate failed under {policy}: {e}"));
+            let out = report.read_global(compiled.output.gaddr, compiled.output.elems);
+            prop_assert_eq!(&out, &golden, "mismatch under {}", policy);
+        }
+    }
+}
