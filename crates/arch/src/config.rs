@@ -367,7 +367,10 @@ impl ArchConfig {
             return bad("resources.xbars_per_core", "need at least one crossbar");
         }
         if r.xbar_rows == 0 || r.xbar_cols == 0 {
-            return bad("resources.xbar_rows", "crossbar dimensions must be positive");
+            return bad(
+                "resources.xbar_rows",
+                "crossbar dimensions must be positive",
+            );
         }
         if r.adcs_per_xbar == 0 {
             return bad("resources.adcs_per_xbar", "need at least one ADC");
@@ -413,7 +416,10 @@ impl ArchConfig {
             return bad("timing.fetch_width", "pipeline widths must be positive");
         }
         if !(t.global_mem_bw_elems_per_ns.is_finite() && t.global_mem_bw_elems_per_ns > 0.0) {
-            return bad("timing.global_mem_bw_elems_per_ns", "bandwidth must be positive");
+            return bad(
+                "timing.global_mem_bw_elems_per_ns",
+                "bandwidth must be positive",
+            );
         }
         let n = &self.noc;
         if !(n.freq_ghz.is_finite() && n.freq_ghz > 0.0) {
@@ -539,7 +545,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let cfg = ArchConfig::paper_default().with_rob(16).with_functional(true);
+        let cfg = ArchConfig::paper_default()
+            .with_rob(16)
+            .with_functional(true);
         assert_eq!(cfg.resources.rob_size, 16);
         assert!(cfg.sim.functional);
     }

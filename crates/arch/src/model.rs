@@ -89,7 +89,8 @@ impl<'a> CostModel<'a> {
     /// `output_len` logical outputs over `xbar_count` crossbars.
     fn worst_cols(&self, output_len: u32, xbar_count: u32) -> u32 {
         let phys = output_len * self.cfg.resources.cells_per_weight();
-        phys.div_ceil(xbar_count.max(1)).min(self.cfg.resources.xbar_cols)
+        phys.div_ceil(xbar_count.max(1))
+            .min(self.cfg.resources.xbar_cols)
     }
 
     /// Cost of one `MVM` on a group with `input_len` inputs, `output_len`

@@ -263,10 +263,7 @@ impl<'a> BaselineSimulator<'a> {
         let per_pixel = model.mvm_cost(r.xbar_rows.min(rows), cols, xbars_per_block);
         // Energy counts every group.
         let pixel_energy = per_pixel.energy * row_blocks as f64;
-        (
-            per_pixel.time * pixels,
-            pixel_energy * pixels as f64,
-        )
+        (per_pixel.time * pixels, pixel_energy * pixels as f64)
     }
 }
 

@@ -24,11 +24,7 @@ fn main() {
         let (_, perf) = run(&arch, &net, MappingPolicy::PerformanceFirst, BATCH);
         let ul = per_image(util.latency, BATCH).as_ns_f64();
         let pl = per_image(perf.latency, BATCH).as_ns_f64();
-        row(&[
-            name.to_string(),
-            "1.000".into(),
-            format!("{:.3}", pl / ul),
-        ]);
+        row(&[name.to_string(), "1.000".into(), format!("{:.3}", pl / ul)]);
         speedups.push(ul / pl);
         energies.push((util.energy.total().as_pj(), perf.energy.total().as_pj()));
     }
@@ -39,7 +35,10 @@ fn main() {
         row(&[name.to_string(), "1.000".into(), format!("{:.3}", pe / ue)]);
     }
 
-    let mean = speedups.iter().product::<f64>().powf(1.0 / speedups.len() as f64);
+    let mean = speedups
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / speedups.len() as f64);
     println!("\nmean latency improvement of performance-first: {mean:.2}x");
     println!("paper: performance-first wins on every network, ~2x improvement on average");
 }

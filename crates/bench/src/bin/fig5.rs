@@ -14,7 +14,13 @@ fn main() {
     let arch = ArchConfig::paper_default().with_rob(16);
     println!("# Fig. 5 — latency normalized to the MNSIM2.0-like baseline");
     println!("# same crossbar configuration for both simulators; inputs {FIG5_RESOLUTION}x{FIG5_RESOLUTION}\n");
-    header(&["network", "MNSIM2.0-like", "ours", "conv2 comm (base)", "conv2 comm (ours)"]);
+    header(&[
+        "network",
+        "MNSIM2.0-like",
+        "ours",
+        "conv2 comm (base)",
+        "conv2 comm (ours)",
+    ]);
 
     for name in FIG5_NETWORKS {
         let net = network(name, FIG5_RESOLUTION);
@@ -34,10 +40,7 @@ fn main() {
         row(&[
             name.to_string(),
             "1.000".into(),
-            format!(
-                "{:.3}",
-                ours.latency.as_ns_f64() / base.latency.as_ns_f64()
-            ),
+            format!("{:.3}", ours.latency.as_ns_f64() / base.latency.as_ns_f64()),
             format!("{:.0}%", 100.0 * base.per_layer[conv2].comm_ratio()),
             format!("{:.0}%", 100.0 * ours.comm_ratio(conv2 as u16)),
         ]);

@@ -69,7 +69,10 @@ pub fn row(cells: &[String]) {
 /// Prints a markdown-style table header.
 pub fn header(cells: &[&str]) {
     row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

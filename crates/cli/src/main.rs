@@ -194,7 +194,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         if arch.sim.trace {
             println!("  trace (first 20 of {}):", report.trace.len());
             for t in report.trace.iter().take(20) {
-                println!("    {:>12}  core{:<3} {}", format!("{}", t.time), t.core, t.instr);
+                println!(
+                    "    {:>12}  core{:<3} {}",
+                    format!("{}", t.time),
+                    t.core,
+                    t.instr
+                );
             }
         }
     }

@@ -328,9 +328,8 @@ impl<'a> Emitter<'a> {
 
     /// Global-memory operand (element address).
     fn gaddr(&mut self, core: u16, abs: u64) -> Result<Addr> {
-        let abs32 = u32::try_from(abs).map_err(|_| {
-            CompileError::Internal(format!("global address {abs} exceeds 32 bits"))
-        })?;
+        let abs32 = u32::try_from(abs)
+            .map_err(|_| CompileError::Internal(format!("global address {abs} exceeds 32 bits")))?;
         self.addr(core, abs32)
     }
 
@@ -464,7 +463,15 @@ impl<'a> Emitter<'a> {
             let n = (len - done).min(LEN_MAX);
             let d = self.addr(core, dst + done)?;
             let s = self.addr(core, src + done)?;
-            self.push(core, Instruction::VUn { op, dst: d, src: s, len: n });
+            self.push(
+                core,
+                Instruction::VUn {
+                    op,
+                    dst: d,
+                    src: s,
+                    len: n,
+                },
+            );
             done += n;
         }
         Ok(())
@@ -636,7 +643,10 @@ impl<'a> Emitter<'a> {
                         let slot = win + (1 + max_groups) * max_cols.max(1);
                         let b = self.alloc(cc, SCRATCH_SLOTS * slot, &format!("{name} scratch"))?;
                         self.bufs.insert(
-                            BufKey::Scratch { node: nid, core: cc },
+                            BufKey::Scratch {
+                                node: nid,
+                                core: cc,
+                            },
                             Buf {
                                 base: b,
                                 elems: SCRATCH_SLOTS * slot,
@@ -661,7 +671,10 @@ impl<'a> Emitter<'a> {
                             let st = out_s.height * out_s.width * c_here.max(1);
                             let b = self.alloc(cc, st, &format!("{name} slice output"))?;
                             self.bufs.insert(
-                                BufKey::Staging { node: nid, core: cc },
+                                BufKey::Staging {
+                                    node: nid,
+                                    core: cc,
+                                },
                                 Buf { base: b, elems: st },
                             );
                         }
@@ -669,7 +682,10 @@ impl<'a> Emitter<'a> {
                         let bias_elems = if cc == home { m.cols } else { c_here };
                         let b = self.alloc(cc, bias_elems.max(1), &format!("{name} bias"))?;
                         self.bufs.insert(
-                            BufKey::Bias { node: nid, core: cc },
+                            BufKey::Bias {
+                                node: nid,
+                                core: cc,
+                            },
                             Buf {
                                 base: b,
                                 elems: bias_elems,
@@ -719,7 +735,11 @@ impl<'a> Emitter<'a> {
                     let elems = (s.height + 2 * padding) * (s.width + 2 * padding) * s.channels;
                     let b = self.alloc(home, elems, &format!("{name} input"))?;
                     self.bufs.insert(
-                        BufKey::EdgeIn { node: nid, edge: 0, core: home },
+                        BufKey::EdgeIn {
+                            node: nid,
+                            edge: 0,
+                            core: home,
+                        },
                         Buf { base: b, elems },
                     );
                 }
@@ -728,8 +748,15 @@ impl<'a> Emitter<'a> {
                     let s = node.in_shapes[0];
                     let b = self.alloc(home, s.elems(), &format!("{name} input"))?;
                     self.bufs.insert(
-                        BufKey::EdgeIn { node: nid, edge: 0, core: home },
-                        Buf { base: b, elems: s.elems() },
+                        BufKey::EdgeIn {
+                            node: nid,
+                            edge: 0,
+                            core: home,
+                        },
+                        Buf {
+                            base: b,
+                            elems: s.elems(),
+                        },
                     );
                 }
                 LoweredKind::Add { .. } => {
@@ -738,8 +765,15 @@ impl<'a> Emitter<'a> {
                         let s = node.in_shapes[e as usize];
                         let b = self.alloc(home, s.elems(), &format!("{name} input {e}"))?;
                         self.bufs.insert(
-                            BufKey::EdgeIn { node: nid, edge: e, core: home },
-                            Buf { base: b, elems: s.elems() },
+                            BufKey::EdgeIn {
+                                node: nid,
+                                edge: e,
+                                core: home,
+                            },
+                            Buf {
+                                base: b,
+                                elems: s.elems(),
+                            },
                         );
                     }
                 }
@@ -748,7 +782,11 @@ impl<'a> Emitter<'a> {
                     let elems = node.out_shape.elems();
                     let b = self.alloc(home, elems, &format!("{name} assembly"))?;
                     self.bufs.insert(
-                        BufKey::EdgeIn { node: nid, edge: 0, core: home },
+                        BufKey::EdgeIn {
+                            node: nid,
+                            edge: 0,
+                            core: home,
+                        },
                         Buf { base: b, elems },
                     );
                 }
@@ -768,9 +806,7 @@ impl<'a> Emitter<'a> {
                 .weights
                 .as_ref()
                 .map(|g| g.matrix(node.id, m.rows, m.cols));
-            for (si_local, s) in self
-                .placement
-                .node_slices[node.id.as_usize()]
+            for (si_local, s) in self.placement.node_slices[node.id.as_usize()]
                 .iter()
                 .map(|&si| &self.placement.slices[si])
                 .enumerate()
@@ -806,8 +842,7 @@ impl<'a> Emitter<'a> {
                     self.progs[core].groups.push(g);
                     gids.push(gid);
                 }
-                self.slice_groups
-                    .insert((node.id.0, si_local as u32), gids);
+                self.slice_groups.insert((node.id.0, si_local as u32), gids);
             }
         }
         Ok(())
@@ -885,7 +920,9 @@ impl<'a> Emitter<'a> {
 
     /// Source rows needed before producing output row `y` of a windowed op.
     fn rows_needed(y: u32, kernel: u32, stride: u32, padding: u32, h_in: u32) -> u32 {
-        (y * stride + kernel).saturating_sub(padding + 1).min(h_in - 1)
+        (y * stride + kernel)
+            .saturating_sub(padding + 1)
+            .min(h_in - 1)
     }
 
     // ------------------------------------------------------- row forwarding --
@@ -1018,14 +1055,15 @@ impl<'a> Emitter<'a> {
             let full_bias = gen.bias(node.id, m.cols);
             let cores = self.placement.compute_cores(node.id);
             for cc in cores {
-                let b = self.buf(BufKey::Bias { node: node.id.0, core: cc })?;
+                let b = self.buf(BufKey::Bias {
+                    node: node.id.0,
+                    core: cc,
+                })?;
                 let vals = if cc == home {
                     full_bias.clone()
                 } else {
                     let mut v = Vec::new();
-                    for s in self
-                        .placement
-                        .node_slices[node.id.as_usize()]
+                    for s in self.placement.node_slices[node.id.as_usize()]
                         .iter()
                         .map(|&si| &self.placement.slices[si])
                         .filter(|s| s.core == cc)
@@ -1044,9 +1082,7 @@ impl<'a> Emitter<'a> {
 
         // Slices grouped per core; remember each slice's local staging
         // column offset on its core.
-        let slices: Vec<(u32, Slice)> = self
-            .placement
-            .node_slices[node.id.as_usize()]
+        let slices: Vec<(u32, Slice)> = self.placement.node_slices[node.id.as_usize()]
             .iter()
             .enumerate()
             .map(|(i, &si)| (i as u32, self.placement.slices[si].clone()))
@@ -1075,15 +1111,39 @@ impl<'a> Emitter<'a> {
 
         // Per core: emit its section.
         for &cc in &cores {
-            let my: Vec<(u32, Slice)> = slices.iter().filter(|(_, s)| s.core == cc).cloned().collect();
-            let in_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: cc })?.base;
-            let scratch = self.buf(BufKey::Scratch { node: node.id.0, core: cc })?.base;
+            let my: Vec<(u32, Slice)> = slices
+                .iter()
+                .filter(|(_, s)| s.core == cc)
+                .cloned()
+                .collect();
+            let in_buf = self
+                .buf(BufKey::EdgeIn {
+                    node: node.id.0,
+                    edge: 0,
+                    core: cc,
+                })?
+                .base;
+            let scratch = self
+                .buf(BufKey::Scratch {
+                    node: node.id.0,
+                    core: cc,
+                })?
+                .base;
             let staging = if cc == home {
                 0
             } else {
-                self.buf(BufKey::Staging { node: node.id.0, core: cc })?.base
+                self.buf(BufKey::Staging {
+                    node: node.id.0,
+                    core: cc,
+                })?
+                .base
             };
-            let bias = self.buf(BufKey::Bias { node: node.id.0, core: cc })?.base;
+            let bias = self
+                .buf(BufKey::Bias {
+                    node: node.id.0,
+                    core: cc,
+                })?
+                .base;
             let max_cols = my.iter().map(|(_, s)| s.cols).max().unwrap_or(1);
             let win_len = if is_linear { 0 } else { m.rows };
             let max_groups = m.rows.div_ceil(xr);
@@ -1149,8 +1209,8 @@ impl<'a> Emitter<'a> {
                     } else if m.kernel == 1 && m.stride == 1 && m.padding == 0 {
                         Some(in_buf + (y * in_s.width + x) * in_s.channels)
                     } else {
-                        let src0 =
-                            in_buf + (y * m.stride * (in_s.width + 2 * m.padding) + x * m.stride)
+                        let src0 = in_buf
+                            + (y * m.stride * (in_s.width + 2 * m.padding) + x * m.stride)
                                 * in_s.channels;
                         let d = self.addr(cc, win)?;
                         let s = self.addr(cc, src0)?;
@@ -1179,7 +1239,10 @@ impl<'a> Emitter<'a> {
                             row_base + x * c_here + loff
                         } else if cc == home {
                             let accrow = self
-                                .buf(BufKey::AccRow { node: node.id.0, col_start: s.col_start })?
+                                .buf(BufKey::AccRow {
+                                    node: node.id.0,
+                                    col_start: s.col_start,
+                                })?
                                 .base;
                             accrow + (y * w_out + x) * s.cols
                         } else {
@@ -1241,7 +1304,6 @@ impl<'a> Emitter<'a> {
                         }
                     }
                 }
-
             }
             // Windows may not cover the bottom input rows (e.g. stride-2
             // pointwise convs); drain them anyway so every sent row is
@@ -1276,11 +1338,17 @@ impl<'a> Emitter<'a> {
                             );
                         } else {
                             let pin = self
-                                .buf(BufKey::PartialIn { node: node.id.0, slice: *si })?
+                                .buf(BufKey::PartialIn {
+                                    node: node.id.0,
+                                    slice: *si,
+                                })?
                                 .base;
                             self.recv(home, sl.core, pin, w_out * sl.cols, tag)?;
                             let accrow = self
-                                .buf(BufKey::AccRow { node: node.id.0, col_start: sl.col_start })?
+                                .buf(BufKey::AccRow {
+                                    node: node.id.0,
+                                    col_start: sl.col_start,
+                                })?
                                 .base;
                             self.vbin(
                                 home,
@@ -1299,7 +1367,10 @@ impl<'a> Emitter<'a> {
                         }
                         done_ranges.push(sl.col_start);
                         let accrow = self
-                            .buf(BufKey::AccRow { node: node.id.0, col_start: sl.col_start })?
+                            .buf(BufKey::AccRow {
+                                node: node.id.0,
+                                col_start: sl.col_start,
+                            })?
                             .base;
                         for x in 0..w_out {
                             let dst = row_base + x * out_s.channels + sl.col_start;
@@ -1334,7 +1405,7 @@ impl<'a> Emitter<'a> {
                 for y in 0..h_out {
                     for (si, sl) in &my {
                         let tag = self.gather_tag(node.id.0, *si)?;
-                        let src = staging + y * row_len_out + local_off[si] ;
+                        let src = staging + y * row_len_out + local_off[si];
                         // Per-pixel segments of this slice are strided by
                         // c_here; contiguous only when the slice owns the
                         // whole local row.
@@ -1380,7 +1451,13 @@ impl<'a> Emitter<'a> {
     // -------------------------------------------------------- other nodes --
 
     fn emit_pool(&mut self, node: &LoweredNode, out_node: NodeId, out_gaddr: u64) -> Result<()> {
-        let LoweredKind::Pool { is_max, kernel, stride, padding } = node.kind else {
+        let LoweredKind::Pool {
+            is_max,
+            kernel,
+            stride,
+            padding,
+        } = node.kind
+        else {
             unreachable!("emit_pool on non-pool");
         };
         if kernel > WIN_MAX {
@@ -1391,7 +1468,13 @@ impl<'a> Emitter<'a> {
         let home = self.placement.home[node.id.as_usize()];
         let in_s = node.in_shapes[0];
         let out_s = node.out_shape;
-        let in_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        let in_buf = self
+            .buf(BufKey::EdgeIn {
+                node: node.id.0,
+                edge: 0,
+                core: home,
+            })?
+            .base;
         let w_pad_elems = (in_s.width + 2 * padding) * in_s.channels;
         let op = if is_max { PoolOp::Max } else { PoolOp::Avg };
         let mut acquired: i64 = -1;
@@ -1405,7 +1488,8 @@ impl<'a> Emitter<'a> {
                 acquired = need as i64;
             }
             for x in 0..out_s.width {
-                let src = in_buf + (y * stride * (in_s.width + 2 * padding) + x * stride) * in_s.channels;
+                let src =
+                    in_buf + (y * stride * (in_s.width + 2 * padding) + x * stride) * in_s.channels;
                 let d = self.addr(home, row_base + x * out_s.channels)?;
                 let s = self.addr(home, src)?;
                 self.push(
@@ -1443,7 +1527,13 @@ impl<'a> Emitter<'a> {
                 in_s.height, in_s.width
             )));
         }
-        let in_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        let in_buf = self
+            .buf(BufKey::EdgeIn {
+                node: node.id.0,
+                edge: 0,
+                core: home,
+            })?
+            .base;
         self.acquire_rows(node, 0, home, 0, self.eff_rows(node, 0) - 1)?;
         let outbuf = self.buf(BufKey::OutBuf { node: node.id.0 })?.base;
         let d = self.addr(home, outbuf)?;
@@ -1475,7 +1565,13 @@ impl<'a> Emitter<'a> {
         };
         let home = self.placement.home[node.id.as_usize()];
         let in_s = node.in_shapes[0];
-        let in_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        let in_buf = self
+            .buf(BufKey::EdgeIn {
+                node: node.id.0,
+                edge: 0,
+                core: home,
+            })?
+            .base;
         let row = in_s.width * in_s.channels;
         let outbuf = self.buf(BufKey::OutBuf { node: node.id.0 })?.base;
         let eff = self.eff_rows(node, 0);
@@ -1504,8 +1600,20 @@ impl<'a> Emitter<'a> {
         };
         let home = self.placement.home[node.id.as_usize()];
         let s = node.out_shape;
-        let a_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
-        let b_buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 1, core: home })?.base;
+        let a_buf = self
+            .buf(BufKey::EdgeIn {
+                node: node.id.0,
+                edge: 0,
+                core: home,
+            })?
+            .base;
+        let b_buf = self
+            .buf(BufKey::EdgeIn {
+                node: node.id.0,
+                edge: 1,
+                core: home,
+            })?
+            .base;
         let row = s.width * s.channels;
         let outbuf = self.buf(BufKey::OutBuf { node: node.id.0 })?.base;
         // Drain edges in producer order; the last one pipelines row by row
@@ -1542,7 +1650,13 @@ impl<'a> Emitter<'a> {
     fn emit_concat(&mut self, node: &LoweredNode, out_node: NodeId, out_gaddr: u64) -> Result<()> {
         let home = self.placement.home[node.id.as_usize()];
         let s = node.out_shape;
-        let buf = self.buf(BufKey::EdgeIn { node: node.id.0, edge: 0, core: home })?.base;
+        let buf = self
+            .buf(BufKey::EdgeIn {
+                node: node.id.0,
+                edge: 0,
+                core: home,
+            })?
+            .base;
         // Drain every branch fully, in producer order.
         for e in self.edges_in_drain_order(node) {
             let h = self.eff_rows(node, e);

@@ -227,7 +227,10 @@ mod tests {
         let resolved = resolve_alias(&lowered, PortRef::Node(lowered[flat_idx].id));
         match resolved {
             PortRef::Node(id) => {
-                assert!(matches!(lowered[id.as_usize()].kind, LoweredKind::Pool { .. }))
+                assert!(matches!(
+                    lowered[id.as_usize()].kind,
+                    LoweredKind::Pool { .. }
+                ))
             }
             PortRef::Input => panic!("should resolve to a node"),
         }

@@ -233,9 +233,9 @@ pub fn place(
         let idx = node.id.as_usize();
         home[idx] = match &node.kind {
             LoweredKind::Matrix(_) => {
-                let first = node_slices[idx]
-                    .first()
-                    .ok_or_else(|| CompileError::Internal(format!("{} has no slices", node.name)))?;
+                let first = node_slices[idx].first().ok_or_else(|| {
+                    CompileError::Internal(format!("{} has no slices", node.name))
+                })?;
                 slices[*first].core
             }
             _ => {
@@ -254,9 +254,11 @@ pub fn place(
         };
     }
 
-    let cores_used = used.iter().filter(|&&u| u > 0).count().max(
-        home.iter().map(|&h| h as usize + 1).max().unwrap_or(1),
-    );
+    let cores_used = used
+        .iter()
+        .filter(|&&u| u > 0)
+        .count()
+        .max(home.iter().map(|&h| h as usize + 1).max().unwrap_or(1));
     Ok(Placement {
         slices,
         node_slices,
@@ -273,11 +275,7 @@ mod tests {
     use pimsim_arch::ArchConfig;
     use pimsim_nn::zoo;
 
-    fn place_net(
-        net: &pimsim_nn::Network,
-        arch: &ArchConfig,
-        policy: MappingPolicy,
-    ) -> Placement {
+    fn place_net(net: &pimsim_nn::Network, arch: &ArchConfig, policy: MappingPolicy) -> Placement {
         let lowered = lower(net).unwrap();
         place(&lowered, arch, policy).unwrap()
     }
@@ -316,7 +314,10 @@ mod tests {
         let arch = ArchConfig::paper_default();
         let net = zoo::resnet18(64);
         let p = place_net(&net, &arch, MappingPolicy::UtilizationFirst);
-        assert!(p.cores_shared_between_layers(), "packing should share cores");
+        assert!(
+            p.cores_shared_between_layers(),
+            "packing should share cores"
+        );
         assert_full_coverage(&net, &p);
         // All but the last used weight core are completely full.
         let last_used = p.xbars_used.iter().rposition(|&u| u > 0).unwrap();
@@ -401,7 +402,13 @@ mod tests {
 
     #[test]
     fn policy_display() {
-        assert_eq!(MappingPolicy::UtilizationFirst.to_string(), "utilization-first");
-        assert_eq!(MappingPolicy::PerformanceFirst.to_string(), "performance-first");
+        assert_eq!(
+            MappingPolicy::UtilizationFirst.to_string(),
+            "utilization-first"
+        );
+        assert_eq!(
+            MappingPolicy::PerformanceFirst.to_string(),
+            "performance-first"
+        );
     }
 }

@@ -8,10 +8,20 @@ use pimsim_nn::zoo;
 #[test]
 fn zoo_compiles_under_both_policies_on_paper_chip() {
     let arch = ArchConfig::paper_default();
-    for name in ["alexnet", "googlenet", "resnet18", "squeezenet", "vgg8", "vgg16"] {
+    for name in [
+        "alexnet",
+        "googlenet",
+        "resnet18",
+        "squeezenet",
+        "vgg8",
+        "vgg16",
+    ] {
         let hw = if name.starts_with("vgg") { 32 } else { 64 };
         let net = zoo::by_name(name, hw).unwrap();
-        for policy in [MappingPolicy::UtilizationFirst, MappingPolicy::PerformanceFirst] {
+        for policy in [
+            MappingPolicy::UtilizationFirst,
+            MappingPolicy::PerformanceFirst,
+        ] {
             let compiled = Compiler::new(&arch)
                 .mapping(policy)
                 .compile(&net)
@@ -56,7 +66,10 @@ fn functional_compile_attaches_weights_and_input() {
 fn timing_only_compile_stays_lean() {
     let arch = ArchConfig::paper_default();
     let net = zoo::vgg8(32);
-    let compiled = Compiler::new(&arch).functional(false).compile(&net).unwrap();
+    let compiled = Compiler::new(&arch)
+        .functional(false)
+        .compile(&net)
+        .unwrap();
     assert!(compiled.program.global_init.is_empty());
     assert!(compiled
         .program

@@ -164,7 +164,9 @@ pub fn execute_local(r: &Resolved, mem: &mut Memory, groups: &[GroupConfig]) {
             }
             mem.write(*dst, &out);
         }
-        Resolved::Send { .. } | Resolved::Recv { .. } | Resolved::GLoad { .. }
+        Resolved::Send { .. }
+        | Resolved::Recv { .. }
+        | Resolved::GLoad { .. }
         | Resolved::GStore { .. } => {
             unreachable!("transfers are executed by the machine, not execute_local")
         }

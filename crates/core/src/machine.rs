@@ -9,7 +9,7 @@ use pimsim_arch::model::CostModel;
 use pimsim_arch::{ArchConfig, ArchError};
 use pimsim_event::{EventCtx, Kernel, RunResult, SimTime};
 use pimsim_isa::{
-    BranchCond, GroupConfig, Instruction, InstrClass, IsaError, Program, ProgramLimits, SBinOp,
+    BranchCond, GroupConfig, InstrClass, Instruction, IsaError, Program, ProgramLimits, SBinOp,
     SImmOp,
 };
 
@@ -54,7 +54,10 @@ impl fmt::Display for SimError {
                 write!(f, "deadlock at {time}: {detail}")
             }
             SimError::Timeout { max_cycles } => {
-                write!(f, "simulation exceeded the {max_cycles}-cycle safety horizon")
+                write!(
+                    f,
+                    "simulation exceeded the {max_cycles}-cycle safety horizon"
+                )
             }
             SimError::TagMismatch { detail } => write!(f, "transfer tag mismatch: {detail}"),
         }
@@ -410,18 +413,25 @@ impl World {
                         if older.state == State::Done {
                             continue;
                         }
-                        let raw = e.reads.iter().any(|r| older.writes.iter().any(|w| r.overlaps(w)));
-                        let waw = e.writes.iter().any(|r| older.writes.iter().any(|w| r.overlaps(w)));
-                        let war = e.writes.iter().any(|r| older.reads.iter().any(|w| r.overlaps(w)));
+                        let raw = e
+                            .reads
+                            .iter()
+                            .any(|r| older.writes.iter().any(|w| r.overlaps(w)));
+                        let waw = e
+                            .writes
+                            .iter()
+                            .any(|r| older.writes.iter().any(|w| r.overlaps(w)));
+                        let war = e
+                            .writes
+                            .iter()
+                            .any(|r| older.reads.iter().any(|w| r.overlaps(w)));
                         if raw || waw || war || gmem_conflict(&e.gmem, &older.gmem) {
                             continue 'scan;
                         }
                         // Transfers may overtake each other *across*
                         // channels, but each (src, dst, tag) channel stays
                         // FIFO so messages match in program order.
-                        if e.class == InstrClass::Transfer
-                            && older.class == InstrClass::Transfer
-                        {
+                        if e.class == InstrClass::Transfer && older.class == InstrClass::Transfer {
                             let ek = Self::channel_key(c as u16, &e.res);
                             let ok = Self::channel_key(c as u16, &older.res);
                             if ek.is_some() && ek == ok {
@@ -519,17 +529,36 @@ impl World {
         }
     }
 
-    fn start_transfer(&mut self, c: usize, seq: u64, res: Resolved, now: SimTime, ctx: &mut Ctx<'_>) {
+    fn start_transfer(
+        &mut self,
+        c: usize,
+        seq: u64,
+        res: Resolved,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+    ) {
         match res {
             Resolved::Send { peer, len, tag, .. } => {
                 let credits = self.cfg.noc.channel_credits;
                 let key = (c as u16, peer, tag);
                 let chan = self.channels.entry(key).or_default();
                 if chan.in_flight + chan.arrived.len() as u32 >= credits {
-                    chan.waiting_sends.push_back(Pending { core: c as u16, seq });
+                    chan.waiting_sends.push_back(Pending {
+                        core: c as u16,
+                        seq,
+                    });
                 } else {
                     chan.in_flight += 1;
-                    self.launch_send(key, Pending { core: c as u16, seq }, len, now, ctx);
+                    self.launch_send(
+                        key,
+                        Pending {
+                            core: c as u16,
+                            seq,
+                        },
+                        len,
+                        now,
+                        ctx,
+                    );
                 }
             }
             Resolved::Recv {
@@ -555,8 +584,14 @@ impl World {
                     // A credit freed: launch one waiting send, if any.
                     self.kick_channel(key, now, ctx);
                 } else {
-                    debug_assert!(chan.parked_recv.is_none(), "transfer unit is single-occupancy");
-                    chan.parked_recv = Some(Pending { core: c as u16, seq });
+                    debug_assert!(
+                        chan.parked_recv.is_none(),
+                        "transfer unit is single-occupancy"
+                    );
+                    chan.parked_recv = Some(Pending {
+                        core: c as u16,
+                        seq,
+                    });
                 }
             }
             Resolved::GLoad { len, .. } | Resolved::GStore { len, .. } => {
@@ -595,7 +630,9 @@ impl World {
             .map(|e| e.tag)
             .unwrap_or(0);
         self.node_stats(tag).energy += e_txn;
-        ctx.schedule_at(end, move |w: &mut World, ctx| w.deposit(key, send, len, ctx));
+        ctx.schedule_at(end, move |w: &mut World, ctx| {
+            w.deposit(key, send, len, ctx)
+        });
     }
 
     /// Tail flit arrived at the receiver: the send completes
@@ -696,7 +733,9 @@ impl World {
         let now = ctx.now();
         self.finish_time = self.finish_time.max(now);
         let (tag, span, text) = {
-            let Some(e) = self.cores[c].find(seq) else { return };
+            let Some(e) = self.cores[c].find(seq) else {
+                return;
+            };
             e.state = State::Done;
             (e.tag, now.saturating_sub(e.issue_at), e.text.take())
         };
@@ -720,7 +759,9 @@ impl World {
         self.finish_time = self.finish_time.max(now);
         let functional = self.functional;
         let (class, res, tag, span, text) = {
-            let Some(e) = self.cores[c].find(seq) else { return };
+            let Some(e) = self.cores[c].find(seq) else {
+                return;
+            };
             e.state = State::Done;
             (
                 e.class,
@@ -747,7 +788,10 @@ impl World {
                 }
             }
             InstrClass::Matrix => {
-                let xbars = self.cores[c].find(seq).map(|e| e.xbars.clone()).unwrap_or_default();
+                let xbars = self.cores[c]
+                    .find(seq)
+                    .map(|e| e.xbars.clone())
+                    .unwrap_or_default();
                 self.cores[c].busy_xbars.retain(|x| !xbars.contains(x));
                 self.cores[c].stats.matrix_busy += span;
                 self.node_stats(tag).matrix_time += span;
@@ -829,8 +873,9 @@ impl<'a> Simulator<'a> {
         let model = CostModel::new(self.arch);
         let clock = model.core_clock();
         let functional = self.arch.sim.functional;
-        let dispatch_interval =
-            SimTime::from_ps(clock.period().as_ps() / self.arch.timing.dispatch_width.max(1) as u64);
+        let dispatch_interval = SimTime::from_ps(
+            clock.period().as_ps() / self.arch.timing.dispatch_width.max(1) as u64,
+        );
         let decode_offset = clock.cycles_to_time(self.arch.timing.decode_cycles as u64);
 
         let n_cores = self.arch.resources.cores() as usize;
@@ -891,7 +936,9 @@ impl<'a> Simulator<'a> {
         let mut kernel = Kernel::new(world);
         for c in 0..n_cores {
             if !kernel.world().cores[c].halted {
-                kernel.schedule_at(SimTime::ZERO, move |w: &mut World, ctx| w.try_advance(c, ctx));
+                kernel.schedule_at(SimTime::ZERO, move |w: &mut World, ctx| {
+                    w.try_advance(c, ctx)
+                });
             }
         }
 
@@ -942,7 +989,10 @@ impl<'a> Simulator<'a> {
                 .channels
                 .iter()
                 .filter(|(_, ch)| {
-                    !ch.waiting_sends.is_empty() || !ch.arrived.is_empty() || ch.parked_recv.is_some() || ch.in_flight > 0
+                    !ch.waiting_sends.is_empty()
+                        || !ch.arrived.is_empty()
+                        || ch.parked_recv.is_some()
+                        || ch.in_flight > 0
                 })
                 .map(|((s, d, t), ch)| {
                     format!(

@@ -121,9 +121,9 @@ impl Resolved {
     /// Total payload elements of a transfer (`0` for non-transfers).
     pub fn transfer_elems(&self) -> u32 {
         match self {
-            Resolved::Send { len, .. } | Resolved::GLoad { len, .. } | Resolved::GStore { len, .. } => {
-                *len
-            }
+            Resolved::Send { len, .. }
+            | Resolved::GLoad { len, .. }
+            | Resolved::GStore { len, .. } => *len,
             Resolved::Recv {
                 block_len, blocks, ..
             } => block_len * blocks,
@@ -424,7 +424,13 @@ mod tests {
         )
         .unwrap();
         let r = resolve(&i, &regs).unwrap();
-        assert_eq!(r.reads(), vec![Range { start: 1000, end: 1036 }]);
+        assert_eq!(
+            r.reads(),
+            vec![Range {
+                start: 1000,
+                end: 1036
+            }]
+        );
         assert_eq!(r.writes(0), vec![Range { start: 0, end: 20 }]);
     }
 }

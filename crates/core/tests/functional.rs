@@ -46,7 +46,10 @@ fn mlp_matches_golden_utilization_first() {
 fn cnn_with_every_operator_matches_golden() {
     let arch = ArchConfig::small_test();
     let net = zoo::tiny_cnn();
-    for policy in [MappingPolicy::PerformanceFirst, MappingPolicy::UtilizationFirst] {
+    for policy in [
+        MappingPolicy::PerformanceFirst,
+        MappingPolicy::UtilizationFirst,
+    ] {
         let (sim, gold) = run_both(&net, &arch, policy);
         assert_eq!(sim, gold, "mismatch under {policy}");
     }
@@ -60,7 +63,10 @@ fn forced_multi_core_spanning_matches_golden() {
     arch.resources.core_cols = 4;
     arch.resources.xbars_per_core = 2;
     let net = zoo::tiny_mlp();
-    for policy in [MappingPolicy::PerformanceFirst, MappingPolicy::UtilizationFirst] {
+    for policy in [
+        MappingPolicy::PerformanceFirst,
+        MappingPolicy::UtilizationFirst,
+    ] {
         let (sim, gold) = run_both(&net, &arch, policy);
         assert_eq!(sim, gold, "mismatch under {policy}");
     }
@@ -71,7 +77,10 @@ fn deep_residual_net_matches_golden() {
     // A deeper residual/catenated network at a slightly larger resolution.
     let arch = ArchConfig::small_test();
     let net = tiny_resnet();
-    for policy in [MappingPolicy::PerformanceFirst, MappingPolicy::UtilizationFirst] {
+    for policy in [
+        MappingPolicy::PerformanceFirst,
+        MappingPolicy::UtilizationFirst,
+    ] {
         let (sim, gold) = run_both(&net, &arch, policy);
         assert_eq!(sim, gold, "mismatch under {policy}");
     }

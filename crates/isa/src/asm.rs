@@ -142,8 +142,12 @@ impl<'a> Operands<'a> {
     fn gaddr(&mut self) -> Result<Addr, IsaError> {
         let line = self.line;
         let tok = self.take()?;
-        parse_addr(&tok, true)
-            .ok_or_else(|| perr(line, format!("expected global address like g[r1+8], got `{tok}`")))
+        parse_addr(&tok, true).ok_or_else(|| {
+            perr(
+                line,
+                format!("expected global address like g[r1+8], got `{tok}`"),
+            )
+        })
     }
 
     fn core(&mut self) -> Result<CoreId, IsaError> {
@@ -207,8 +211,12 @@ impl<'a> Operands<'a> {
         let (w, h) = val
             .split_once('x')
             .ok_or_else(|| perr(line, format!("expected `win=WxH`, got `{tok}`")))?;
-        let w: u32 = w.parse().map_err(|_| perr(line, format!("bad window `{tok}`")))?;
-        let h: u32 = h.parse().map_err(|_| perr(line, format!("bad window `{tok}`")))?;
+        let w: u32 = w
+            .parse()
+            .map_err(|_| perr(line, format!("bad window `{tok}`")))?;
+        let h: u32 = h
+            .parse()
+            .map_err(|_| perr(line, format!("bad window `{tok}`")))?;
         Ok((w, h))
     }
 
@@ -630,7 +638,11 @@ pub fn assemble(text: &str) -> Result<Program, IsaError> {
     }
 
     // Resolve label fixups and build the program.
-    let max_core = cores.keys().next_back().map(|&c| c as usize + 1).unwrap_or(0);
+    let max_core = cores
+        .keys()
+        .next_back()
+        .map(|&c| c as usize + 1)
+        .unwrap_or(0);
     let mut program = Program::with_cores(max_core);
     program.meta = ProgramMeta {
         name: "assembled".into(),
@@ -730,15 +742,35 @@ mod tests {
         assert_eq!(i.to_string(), "vadd [r1+0], [r2+8], [r3-8], 64");
 
         let i = parse_instruction("mvm g2, [r1+0], [r2+0], 128").unwrap();
-        assert!(matches!(i, Instruction::Mvm { group: GroupId(2), len: 128, .. }));
+        assert!(matches!(
+            i,
+            Instruction::Mvm {
+                group: GroupId(2),
+                len: 128,
+                ..
+            }
+        ));
 
         let i = parse_instruction("send core3, [r1+0], 16, tag=9").unwrap();
-        assert!(matches!(i, Instruction::Send { peer: CoreId(3), tag: 9, .. }));
+        assert!(matches!(
+            i,
+            Instruction::Send {
+                peer: CoreId(3),
+                tag: 9,
+                ..
+            }
+        ));
 
         let i = parse_instruction("vpool.max [r1+0], [r2+0], ch=64, win=3x3, rstride=448").unwrap();
         assert!(matches!(
             i,
-            Instruction::VPool { op: PoolOp::Max, channels: 64, win_w: 3, win_h: 3, .. }
+            Instruction::VPool {
+                op: PoolOp::Max,
+                channels: 64,
+                win_w: 3,
+                win_h: 3,
+                ..
+            }
         ));
 
         let i = parse_instruction("gload [r1+0], g[r2+4096], 64").unwrap();

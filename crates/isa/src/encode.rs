@@ -10,8 +10,8 @@
 
 use crate::error::IsaError;
 use crate::instr::{
-    limits, Addr, BranchCond, CoreId, GroupId, Instruction, PoolOp, SBinOp, SImmOp, VBinOp,
-    VImmOp, VUnOp,
+    limits, Addr, BranchCond, CoreId, GroupId, Instruction, PoolOp, SBinOp, SImmOp, VBinOp, VImmOp,
+    VUnOp,
 };
 use crate::program::Program;
 use crate::reg::Reg;
@@ -243,13 +243,7 @@ pub fn encode(instr: &Instruction) -> Result<u128, IsaError> {
             w.put_u("mvm len", *len as u64, limits::LEN_BITS)?;
             w
         }
-        VBin {
-            op,
-            dst,
-            a,
-            b,
-            len,
-        } => {
+        VBin { op, dst, a, b, len } => {
             let opc = match op {
                 VBinOp::Add => OP_VADD,
                 VBinOp::Sub => OP_VSUB,
@@ -725,7 +719,13 @@ mod tests {
             src: addr(2, 0),
             len: 1,
         });
-        assert!(matches!(e, Err(IsaError::FieldRange { field: "group id", .. })));
+        assert!(matches!(
+            e,
+            Err(IsaError::FieldRange {
+                field: "group id",
+                ..
+            })
+        ));
 
         let e = encode(&Instruction::VBin {
             op: VBinOp::Add,
@@ -734,7 +734,13 @@ mod tests {
             b: addr(3, 0),
             len: 1 << 20,
         });
-        assert!(matches!(e, Err(IsaError::FieldRange { field: "vector len", .. })));
+        assert!(matches!(
+            e,
+            Err(IsaError::FieldRange {
+                field: "vector len",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl WeightMatrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, row: u32, col: u32) -> i8 {
-        assert!(row < self.rows && col < self.cols, "weight index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "weight index out of bounds"
+        );
         self.data[row as usize * self.cols as usize + col as usize]
     }
 
@@ -78,7 +81,10 @@ impl WeightMatrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, row: u32, col: u32, w: i8) {
-        assert!(row < self.rows && col < self.cols, "weight index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "weight index out of bounds"
+        );
         self.data[row as usize * self.cols as usize + col as usize] = w;
     }
 

@@ -626,7 +626,11 @@ impl Instruction {
         use Instruction::*;
         match self {
             Mvm { .. } => InstrClass::Matrix,
-            VBin { .. } | VImm { .. } | VUn { .. } | VFill { .. } | VCopy2d { .. }
+            VBin { .. }
+            | VImm { .. }
+            | VUn { .. }
+            | VFill { .. }
+            | VCopy2d { .. }
             | VPool { .. } => InstrClass::Vector,
             Send { .. } | Recv { .. } | Recv2d { .. } | GLoad { .. } | GStore { .. } => {
                 InstrClass::Transfer

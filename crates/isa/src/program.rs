@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::IsaError;
 use crate::group::GroupConfig;
-use crate::instr::{Instruction, InstrClass};
+use crate::instr::{InstrClass, Instruction};
 
 /// Structural limits used by [`Program::validate`]. These mirror the
 /// architecture configuration (core count, crossbars per core, local-memory
@@ -273,7 +273,10 @@ impl Program {
                     }
                     Instruction::Mvm { group, len, .. } => {
                         let Some(g) = cp.groups.get(group.as_usize()) else {
-                            return Err(err(Some(pc32), format!("mvm references undefined {group}")));
+                            return Err(err(
+                                Some(pc32),
+                                format!("mvm references undefined {group}"),
+                            ));
                         };
                         if *len != g.input_len {
                             return Err(err(

@@ -65,39 +65,131 @@ fn instruction_strategy() -> impl Strategy<Value = Instruction> {
         Just(Instruction::Nop),
         Just(Instruction::Halt),
         (0u32..=67_108_863).prop_map(|target| Instruction::Jump { target }),
-        (branch_cond(), reg_strategy(), reg_strategy(), 0u32..=67_108_863)
-            .prop_map(|(cond, rs1, rs2, target)| Instruction::Branch { cond, rs1, rs2, target }),
+        (
+            branch_cond(),
+            reg_strategy(),
+            reg_strategy(),
+            0u32..=67_108_863
+        )
+            .prop_map(|(cond, rs1, rs2, target)| Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target
+            }),
         (sbin_op(), reg_strategy(), reg_strategy(), reg_strategy())
             .prop_map(|(op, rd, rs1, rs2)| Instruction::SBin { op, rd, rs1, rs2 }),
         (simm_op(), reg_strategy(), reg_strategy(), any::<i32>())
             .prop_map(|(op, rd, rs1, imm)| Instruction::SImm { op, rd, rs1, imm }),
-        (0u16..=4095, addr_strategy(), addr_strategy(), len_strategy())
+        (
+            0u16..=4095,
+            addr_strategy(),
+            addr_strategy(),
+            len_strategy()
+        )
             .prop_map(|(g, dst, src, len)| Instruction::Mvm {
-                group: GroupId(g), dst, src, len
+                group: GroupId(g),
+                dst,
+                src,
+                len
             }),
-        (vbin_op(), addr_strategy(), addr_strategy(), addr_strategy(), len_strategy())
+        (
+            vbin_op(),
+            addr_strategy(),
+            addr_strategy(),
+            addr_strategy(),
+            len_strategy()
+        )
             .prop_map(|(op, dst, a, b, len)| Instruction::VBin { op, dst, a, b, len }),
-        (vimm_op(), addr_strategy(), addr_strategy(), -8_388_608i32..=8_388_607, len_strategy())
-            .prop_map(|(op, dst, src, imm, len)| Instruction::VImm { op, dst, src, imm, len }),
+        (
+            vimm_op(),
+            addr_strategy(),
+            addr_strategy(),
+            -8_388_608i32..=8_388_607,
+            len_strategy()
+        )
+            .prop_map(|(op, dst, src, imm, len)| Instruction::VImm {
+                op,
+                dst,
+                src,
+                imm,
+                len
+            }),
         (vun_op(), addr_strategy(), addr_strategy(), len_strategy())
             .prop_map(|(op, dst, src, len)| Instruction::VUn { op, dst, src, len }),
         (addr_strategy(), any::<i32>(), len_strategy())
             .prop_map(|(dst, value, len)| Instruction::VFill { dst, value, len }),
-        (addr_strategy(), addr_strategy(), block.clone(), block.clone(), stride.clone(), stride.clone())
+        (
+            addr_strategy(),
+            addr_strategy(),
+            block.clone(),
+            block.clone(),
+            stride.clone(),
+            stride.clone()
+        )
             .prop_map(|(dst, src, block_len, blocks, src_stride, dst_stride)| {
-                Instruction::VCopy2d { dst, src, block_len, blocks, src_stride, dst_stride }
+                Instruction::VCopy2d {
+                    dst,
+                    src,
+                    block_len,
+                    blocks,
+                    src_stride,
+                    dst_stride,
+                }
             }),
-        (pool_op(), addr_strategy(), addr_strategy(), 0u32..=16_383, 0u32..=63, 0u32..=63, stride.clone())
+        (
+            pool_op(),
+            addr_strategy(),
+            addr_strategy(),
+            0u32..=16_383,
+            0u32..=63,
+            0u32..=63,
+            stride.clone()
+        )
             .prop_map(|(op, dst, src, channels, win_w, win_h, row_stride)| {
-                Instruction::VPool { op, dst, src, channels, win_w, win_h, row_stride }
+                Instruction::VPool {
+                    op,
+                    dst,
+                    src,
+                    channels,
+                    win_w,
+                    win_h,
+                    row_stride,
+                }
             }),
-        (0u16..=4095, addr_strategy(), len_strategy(), any::<u16>())
-            .prop_map(|(c, src, len, tag)| Instruction::Send { peer: CoreId(c), src, len, tag }),
-        (0u16..=4095, addr_strategy(), len_strategy(), any::<u16>())
-            .prop_map(|(c, dst, len, tag)| Instruction::Recv { peer: CoreId(c), dst, len, tag }),
-        (0u16..=4095, addr_strategy(), block.clone(), block, stride, any::<u16>())
+        (0u16..=4095, addr_strategy(), len_strategy(), any::<u16>()).prop_map(
+            |(c, src, len, tag)| Instruction::Send {
+                peer: CoreId(c),
+                src,
+                len,
+                tag
+            }
+        ),
+        (0u16..=4095, addr_strategy(), len_strategy(), any::<u16>()).prop_map(
+            |(c, dst, len, tag)| Instruction::Recv {
+                peer: CoreId(c),
+                dst,
+                len,
+                tag
+            }
+        ),
+        (
+            0u16..=4095,
+            addr_strategy(),
+            block.clone(),
+            block,
+            stride,
+            any::<u16>()
+        )
             .prop_map(|(c, dst, block_len, blocks, dst_stride, tag)| {
-                Instruction::Recv2d { peer: CoreId(c), dst, block_len, blocks, dst_stride, tag }
+                Instruction::Recv2d {
+                    peer: CoreId(c),
+                    dst,
+                    block_len,
+                    blocks,
+                    dst_stride,
+                    tag,
+                }
             }),
         (addr_strategy(), addr_strategy(), len_strategy())
             .prop_map(|(dst, gaddr, len)| Instruction::GLoad { dst, gaddr, len }),

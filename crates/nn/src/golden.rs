@@ -91,7 +91,10 @@ impl<'a> GoldenModel<'a> {
     /// Returns [`NnError::Shape`] if `input` does not match the network's
     /// input shape, or validation errors from the graph.
     pub fn run(&self, input: &[i32]) -> Result<Vec<i32>, NnError> {
-        Ok(self.run_all(input)?.pop().expect("validated net is non-empty"))
+        Ok(self
+            .run_all(input)?
+            .pop()
+            .expect("validated net is non-empty"))
     }
 
     /// Runs the network, returning every node's output tensor in node
@@ -178,8 +181,16 @@ impl<'a> GoldenModel<'a> {
                     .map(|(c, a)| finish_weight_output(a, bias[c], self.shift, *activation))
                     .collect()
             }
-            Layer::MaxPool2d { kernel, stride, padding }
-            | Layer::AvgPool2d { kernel, stride, padding } => {
+            Layer::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            }
+            | Layer::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
                 let is_max = matches!(layer, Layer::MaxPool2d { .. });
                 let (data, s) = ins[0];
                 let k = *kernel;
@@ -257,9 +268,11 @@ impl<'a> GoldenModel<'a> {
                 out
             }
             Layer::Flatten => ins[0].0.to_vec(),
-            Layer::Activation(act) => {
-                ins[0].0.iter().map(|&x| apply_activation(*act, x)).collect()
-            }
+            Layer::Activation(act) => ins[0]
+                .0
+                .iter()
+                .map(|&x| apply_activation(*act, x))
+                .collect(),
         }
     }
 }
@@ -392,7 +405,11 @@ mod tests {
         let mut b = Network::builder("avg", crate::Shape::new(2, 2, 1));
         b.add(
             "p",
-            Layer::AvgPool2d { kernel: 2, stride: 2, padding: 0 },
+            Layer::AvgPool2d {
+                kernel: 2,
+                stride: 2,
+                padding: 0,
+            },
             vec![crate::PortRef::Input],
         );
         let net = b.finish().unwrap();
@@ -405,8 +422,16 @@ mod tests {
     fn concat_interleaves_channels() {
         use crate::{PortRef, Shape};
         let mut b = Network::builder("cc", Shape::new(1, 2, 1));
-        let a1 = b.add("id1", Layer::Activation(Activation::Relu), vec![PortRef::Input]);
-        let a2 = b.add("id2", Layer::Activation(Activation::Relu), vec![PortRef::Input]);
+        let a1 = b.add(
+            "id1",
+            Layer::Activation(Activation::Relu),
+            vec![PortRef::Input],
+        );
+        let a2 = b.add(
+            "id2",
+            Layer::Activation(Activation::Relu),
+            vec![PortRef::Input],
+        );
         b.add("cat", Layer::Concat, vec![a1, a2]);
         let net = b.finish().unwrap();
         let golden = GoldenModel::new(&net, WeightGen::new(0));
@@ -418,7 +443,11 @@ mod tests {
     fn residual_add_saturates() {
         use crate::{PortRef, Shape};
         let mut b = Network::builder("sat", Shape::new(1, 1, 1));
-        let x = b.add("id", Layer::Activation(Activation::Relu), vec![PortRef::Input]);
+        let x = b.add(
+            "id",
+            Layer::Activation(Activation::Relu),
+            vec![PortRef::Input],
+        );
         b.add("sum", Layer::Add { activation: None }, vec![x, x]);
         let net = b.finish().unwrap();
         let golden = GoldenModel::new(&net, WeightGen::new(0));

@@ -151,10 +151,19 @@ impl Layer {
                 ..
             } => {
                 let s = one()?;
-                conv_output(s, *kernel, *stride, *padding).map(|(h, w)| Shape::new(h, w, *out_channels))
+                conv_output(s, *kernel, *stride, *padding)
+                    .map(|(h, w)| Shape::new(h, w, *out_channels))
             }
-            Layer::MaxPool2d { kernel, stride, padding }
-            | Layer::AvgPool2d { kernel, stride, padding } => {
+            Layer::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            }
+            | Layer::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
                 let s = one()?;
                 conv_output(s, *kernel, *stride, *padding)
                     .map(|(h, w)| Shape::new(h, w, s.channels))
@@ -224,7 +233,8 @@ impl Layer {
                 Some(s),
             ) => match conv_output(*s, *kernel, *stride, *padding) {
                 Ok((h, w)) => {
-                    h as u64 * w as u64
+                    h as u64
+                        * w as u64
                         * *out_channels as u64
                         * (*kernel as u64 * *kernel as u64 * s.channels as u64)
                 }
@@ -248,7 +258,10 @@ impl fmt::Display for Layer {
                 padding,
                 activation,
             } => {
-                write!(f, "conv{kernel}x{kernel}/{stride} p{padding} -> {out_channels}")?;
+                write!(
+                    f,
+                    "conv{kernel}x{kernel}/{stride} p{padding} -> {out_channels}"
+                )?;
                 if let Some(a) = activation {
                     write!(f, " +{a}")?;
                 }
@@ -264,10 +277,18 @@ impl fmt::Display for Layer {
                 }
                 Ok(())
             }
-            Layer::MaxPool2d { kernel, stride, padding } => {
+            Layer::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
                 write!(f, "maxpool{kernel}x{kernel}/{stride} p{padding}")
             }
-            Layer::AvgPool2d { kernel, stride, padding } => {
+            Layer::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
                 write!(f, "avgpool{kernel}x{kernel}/{stride} p{padding}")
             }
             Layer::GlobalAvgPool => write!(f, "global-avgpool"),
@@ -316,7 +337,10 @@ fn conv_output(s: Shape, kernel: u32, stride: u32, padding: u32) -> Result<(u32,
             "window {kernel} larger than padded input {padded_h}x{padded_w}"
         )));
     }
-    Ok(((padded_h - kernel) / stride + 1, (padded_w - kernel) / stride + 1))
+    Ok((
+        (padded_h - kernel) / stride + 1,
+        (padded_w - kernel) / stride + 1,
+    ))
 }
 
 #[cfg(test)]
@@ -348,7 +372,11 @@ mod tests {
 
     #[test]
     fn pool_and_global_pool() {
-        let pool = Layer::MaxPool2d { kernel: 2, stride: 2, padding: 0 };
+        let pool = Layer::MaxPool2d {
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        };
         assert_eq!(
             pool.infer_shape(&[Shape::new(32, 32, 64)]).unwrap(),
             Shape::new(16, 16, 64)
@@ -368,7 +396,10 @@ mod tests {
             activation: None,
         };
         assert!(lin.infer_shape(&[Shape::new(2, 2, 4)]).is_err());
-        assert_eq!(lin.infer_shape(&[Shape::flat(16)]).unwrap(), Shape::flat(10));
+        assert_eq!(
+            lin.infer_shape(&[Shape::flat(16)]).unwrap(),
+            Shape::flat(10)
+        );
     }
 
     #[test]
@@ -405,7 +436,11 @@ mod tests {
 
     #[test]
     fn window_too_large_rejected() {
-        let pool = Layer::MaxPool2d { kernel: 9, stride: 1, padding: 0 };
+        let pool = Layer::MaxPool2d {
+            kernel: 9,
+            stride: 1,
+            padding: 0,
+        };
         assert!(pool.infer_shape(&[Shape::new(8, 8, 4)]).is_err());
     }
 

@@ -70,7 +70,9 @@ impl WeightGen {
     /// The bias vector for a node: `n` int32 values in −64..=64.
     pub fn bias(&self, node: NodeId, n: u32) -> Vec<i32> {
         let mut rng = self.rng(node, 1);
-        (0..n as usize).map(|_| rng.gen_range(-64i32..=64)).collect()
+        (0..n as usize)
+            .map(|_| rng.gen_range(-64i32..=64))
+            .collect()
     }
 
     /// A deterministic input feature map for tests/benches: `n` int32
@@ -119,8 +121,14 @@ mod tests {
     #[test]
     fn value_ranges() {
         let g = WeightGen::new(7);
-        assert!(g.matrix(NodeId(0), 32, 32).iter().all(|&w| (-8..=8).contains(&w)));
-        assert!(g.bias(NodeId(0), 100).iter().all(|&b| (-64..=64).contains(&b)));
+        assert!(g
+            .matrix(NodeId(0), 32, 32)
+            .iter()
+            .all(|&w| (-8..=8).contains(&w)));
+        assert!(g
+            .bias(NodeId(0), 100)
+            .iter()
+            .all(|&b| (-64..=64).contains(&b)));
         assert!(g.input(100).iter().all(|&x| (0..=32).contains(&x)));
     }
 

@@ -40,11 +40,32 @@ fn conv(
     )
 }
 
-fn maxpool(b: &mut NetworkBuilder, name: &str, input: PortRef, kernel: u32, stride: u32, padding: u32) -> PortRef {
-    b.add(name, Layer::MaxPool2d { kernel, stride, padding }, vec![input])
+fn maxpool(
+    b: &mut NetworkBuilder,
+    name: &str,
+    input: PortRef,
+    kernel: u32,
+    stride: u32,
+    padding: u32,
+) -> PortRef {
+    b.add(
+        name,
+        Layer::MaxPool2d {
+            kernel,
+            stride,
+            padding,
+        },
+        vec![input],
+    )
 }
 
-fn linear(b: &mut NetworkBuilder, name: &str, input: PortRef, out: u32, act: Option<Activation>) -> PortRef {
+fn linear(
+    b: &mut NetworkBuilder,
+    name: &str,
+    input: PortRef,
+    out: u32,
+    act: Option<Activation>,
+) -> PortRef {
     b.add(
         name,
         Layer::Linear {
@@ -131,8 +152,21 @@ fn inception(
     let b5r = conv(b, &format!("{name}/5x5_reduce"), input, ch5r, 1, 1, 0, RELU);
     let b5 = conv(b, &format!("{name}/5x5"), b5r, ch5, 5, 1, 2, RELU);
     let bp = maxpool(b, &format!("{name}/pool"), input, 3, 1, 1);
-    let bpp = conv(b, &format!("{name}/pool_proj"), bp, pool_proj, 1, 1, 0, RELU);
-    b.add(format!("{name}/concat"), Layer::Concat, vec![b1, b3, b5, bpp])
+    let bpp = conv(
+        b,
+        &format!("{name}/pool_proj"),
+        bp,
+        pool_proj,
+        1,
+        1,
+        0,
+        RELU,
+    );
+    b.add(
+        format!("{name}/concat"),
+        Layer::Concat,
+        vec![b1, b3, b5, bpp],
+    )
 }
 
 /// GoogLeNet (Inception v1, aux classifiers dropped, LRN omitted).
@@ -169,10 +203,28 @@ fn basic_block(
     stride: u32,
     project: bool,
 ) -> PortRef {
-    let c1 = conv(b, &format!("{name}/conv1"), input, channels, 3, stride, 1, RELU);
+    let c1 = conv(
+        b,
+        &format!("{name}/conv1"),
+        input,
+        channels,
+        3,
+        stride,
+        1,
+        RELU,
+    );
     let c2 = conv(b, &format!("{name}/conv2"), c1, channels, 3, 1, 1, None);
     let shortcut = if project {
-        conv(b, &format!("{name}/downsample"), input, channels, 1, stride, 0, None)
+        conv(
+            b,
+            &format!("{name}/downsample"),
+            input,
+            channels,
+            1,
+            stride,
+            0,
+            None,
+        )
     } else {
         input
     };
@@ -285,13 +337,21 @@ pub fn lenet(input_hw: u32) -> Network {
     let c1 = conv(&mut b, "c1", PortRef::Input, 6, 5, 1, 0, TANH);
     let s2 = b.add(
         "s2",
-        Layer::AvgPool2d { kernel: 2, stride: 2, padding: 0 },
+        Layer::AvgPool2d {
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        },
         vec![c1],
     );
     let c3 = conv(&mut b, "c3", s2, 16, 5, 1, 0, TANH);
     let s4 = b.add(
         "s4",
-        Layer::AvgPool2d { kernel: 2, stride: 2, padding: 0 },
+        Layer::AvgPool2d {
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        },
         vec![c3],
     );
     let c5 = conv(&mut b, "c5", s4, 120, 5, 1, 0, TANH);
@@ -308,7 +368,16 @@ pub fn vgg11(input_hw: u32) -> Network {
     let stages: [(u32, u32); 5] = [(64, 1), (128, 1), (256, 2), (512, 2), (512, 2)];
     for (si, (ch, n)) in stages.iter().enumerate() {
         for li in 0..*n {
-            x = conv(&mut b, &format!("conv{}_{}", si + 1, li + 1), x, *ch, 3, 1, 1, RELU);
+            x = conv(
+                &mut b,
+                &format!("conv{}_{}", si + 1, li + 1),
+                x,
+                *ch,
+                3,
+                1,
+                1,
+                RELU,
+            );
         }
         x = maxpool(&mut b, &format!("pool{}", si + 1), x, 2, 2, 0);
     }
@@ -330,7 +399,14 @@ pub fn resnet34(input_hw: u32) -> Network {
         for bi in 0..*blocks {
             let stride = if si > 0 && bi == 0 { 2 } else { 1 };
             let project = si > 0 && bi == 0;
-            x = basic_block(&mut b, &format!("layer{}.{}", si + 1, bi), x, *ch, stride, project);
+            x = basic_block(
+                &mut b,
+                &format!("layer{}.{}", si + 1, bi),
+                x,
+                *ch,
+                stride,
+                project,
+            );
         }
     }
     let gap = b.add("gap", Layer::GlobalAvgPool, vec![x]);
@@ -389,7 +465,8 @@ mod tests {
             ("vgg16", 224),
         ] {
             let net = by_name(name, hw).unwrap();
-            net.validate().unwrap_or_else(|e| panic!("{name}@{hw}: {e}"));
+            net.validate()
+                .unwrap_or_else(|e| panic!("{name}@{hw}: {e}"));
         }
     }
 
@@ -404,14 +481,20 @@ mod tests {
             ("vgg16", 32),
         ] {
             let net = by_name(name, hw).unwrap();
-            net.validate().unwrap_or_else(|e| panic!("{name}@{hw}: {e}"));
+            net.validate()
+                .unwrap_or_else(|e| panic!("{name}@{hw}: {e}"));
         }
     }
 
     #[test]
     fn classifier_widths() {
         assert_eq!(
-            alexnet(224).inferred_shapes().unwrap().last().unwrap().channels,
+            alexnet(224)
+                .inferred_shapes()
+                .unwrap()
+                .last()
+                .unwrap()
+                .channels,
             1000
         );
         assert_eq!(
@@ -436,31 +519,40 @@ mod tests {
         // GoogLeNet: 9 inception modules of 8 nodes each + stem/tail.
         let g = googlenet(224);
         assert_eq!(
-            g.nodes.iter().filter(|n| n.layer.kind_name() == "concat").count(),
+            g.nodes
+                .iter()
+                .filter(|n| n.layer.kind_name() == "concat")
+                .count(),
             9
         );
         // ResNet-18 has 8 residual adds and 20 convolutions (incl. 3 projections).
         let r = resnet18(224);
         assert_eq!(
-            r.nodes.iter().filter(|n| n.layer.kind_name() == "add").count(),
+            r.nodes
+                .iter()
+                .filter(|n| n.layer.kind_name() == "add")
+                .count(),
             8
         );
         assert_eq!(
-            r.nodes.iter().filter(|n| n.layer.kind_name() == "conv").count(),
+            r.nodes
+                .iter()
+                .filter(|n| n.layer.kind_name() == "conv")
+                .count(),
             20
         );
         // SqueezeNet: 8 fire modules -> 8 concats.
         let s = squeezenet(224);
         assert_eq!(
-            s.nodes.iter().filter(|n| n.layer.kind_name() == "concat").count(),
+            s.nodes
+                .iter()
+                .filter(|n| n.layer.kind_name() == "concat")
+                .count(),
             8
         );
         // VGG-16: 13 convs + 3 fc.
         let v = vgg16(224);
-        assert_eq!(
-            v.nodes.iter().filter(|n| n.layer.has_weights()).count(),
-            16
-        );
+        assert_eq!(v.nodes.iter().filter(|n| n.layer.has_weights()).count(), 16);
     }
 
     #[test]
@@ -487,18 +579,30 @@ mod tests {
 
     #[test]
     fn extended_zoo_networks_validate() {
-        for (name, hw) in [("lenet", 32), ("vgg11", 32), ("resnet34", 32), ("resnet34", 224)] {
+        for (name, hw) in [
+            ("lenet", 32),
+            ("vgg11", 32),
+            ("resnet34", 32),
+            ("resnet34", 224),
+        ] {
             let net = by_name(name, hw).unwrap();
-            net.validate().unwrap_or_else(|e| panic!("{name}@{hw}: {e}"));
+            net.validate()
+                .unwrap_or_else(|e| panic!("{name}@{hw}: {e}"));
         }
         // ResNet-34: 16 basic blocks -> 16 adds; 36 convs total.
         let r = resnet34(224);
         assert_eq!(
-            r.nodes.iter().filter(|n| n.layer.kind_name() == "add").count(),
+            r.nodes
+                .iter()
+                .filter(|n| n.layer.kind_name() == "add")
+                .count(),
             16
         );
         assert_eq!(
-            r.nodes.iter().filter(|n| n.layer.kind_name() == "conv").count(),
+            r.nodes
+                .iter()
+                .filter(|n| n.layer.kind_name() == "conv")
+                .count(),
             36
         );
         // ResNet-34 at 224 is ~3.6 GMACs in the literature.

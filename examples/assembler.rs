@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("instructions : {}", report.instructions);
     println!(
         "classes      : matrix {}, vector {}, transfer {}, scalar {}",
-        report.class_counts[0], report.class_counts[1], report.class_counts[2], report.class_counts[3]
+        report.class_counts[0],
+        report.class_counts[1],
+        report.class_counts[2],
+        report.class_counts[3]
     );
     println!("accumulator  : {:?}", report.read_local(1, 64, 4));
     Ok(())

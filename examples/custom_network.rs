@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gen = WeightGen::for_network(&net);
     let golden = GoldenModel::new(&net, gen).run(&gen.input(net.input_shape.elems()))?;
 
-    for policy in [MappingPolicy::UtilizationFirst, MappingPolicy::PerformanceFirst] {
+    for policy in [
+        MappingPolicy::UtilizationFirst,
+        MappingPolicy::PerformanceFirst,
+    ] {
         let compiled = Compiler::new(&arch).mapping(policy).compile(&net)?;
         let report = Simulator::new(&arch).run(&compiled.program)?;
         let out = report.read_global(compiled.output.gaddr, compiled.output.elems);

@@ -35,9 +35,12 @@ fn main() {
     let base = ArchConfig::paper_default().with_rob(8);
     let (lat0, e0) = measure(&base);
     println!("baseline (paper chip, ROB=8): {lat0} / {e0:.1} uJ per image\n");
-    println!("{:<28} {:>12} {:>10} {:>12} {:>10}", "variant", "latency", "vs base", "energy", "vs base");
+    println!(
+        "{:<28} {:>12} {:>10} {:>12} {:>10}",
+        "variant", "latency", "vs base", "energy", "vs base"
+    );
 
-    let mut show = |name: &str, arch: &ArchConfig| {
+    let show = |name: &str, arch: &ArchConfig| {
         let (lat, e) = measure(arch);
         println!(
             "{name:<28} {:>12} {:>9.2}x {:>10.1} uJ {:>9.2}x",

@@ -8,8 +8,8 @@
 //! cargo run --release --example mapping_exploration
 //! ```
 
-use pimsim::prelude::*;
 use pimsim::nn::zoo;
+use pimsim::prelude::*;
 
 const NETWORKS: &[&str] = &["alexnet", "googlenet", "resnet18", "squeezenet"];
 const RESOLUTION: u32 = 64;
@@ -25,8 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in NETWORKS {
         let net = zoo::by_name(name, RESOLUTION).expect("zoo network");
         let mut results = Vec::new();
-        for policy in [MappingPolicy::UtilizationFirst, MappingPolicy::PerformanceFirst] {
-            let compiled = Compiler::new(&arch).mapping(policy).batch(BATCH).compile(&net)?;
+        for policy in [
+            MappingPolicy::UtilizationFirst,
+            MappingPolicy::PerformanceFirst,
+        ] {
+            let compiled = Compiler::new(&arch)
+                .mapping(policy)
+                .batch(BATCH)
+                .compile(&net)?;
             let report = Simulator::new(&arch).run(&compiled.program)?;
             results.push((
                 report.latency / BATCH as u64,

@@ -12,8 +12,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pimsim::prelude::*;
 use pimsim::nn::{zoo, GoldenModel, WeightGen};
+use pimsim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small test chip (3x3 cores, 16x16 crossbars) with functional

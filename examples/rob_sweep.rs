@@ -10,8 +10,8 @@
 //! cargo run --release --example rob_sweep
 //! ```
 
-use pimsim::prelude::*;
 use pimsim::nn::zoo;
+use pimsim::prelude::*;
 
 const NETWORKS: &[&str] = &["alexnet", "googlenet", "resnet18", "squeezenet"];
 const ROBS: &[u32] = &[1, 4, 8, 12, 16];

@@ -277,5 +277,8 @@ fn lenet_matches_golden_functionally() {
     let golden = GoldenModel::new(&net, gen)
         .run(&gen.input(net.input_shape.elems()))
         .unwrap();
-    assert_eq!(simulate(&net, &arch, MappingPolicy::PerformanceFirst), golden);
+    assert_eq!(
+        simulate(&net, &arch, MappingPolicy::PerformanceFirst),
+        golden
+    );
 }

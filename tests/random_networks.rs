@@ -88,7 +88,11 @@ fn build(ops: &[Op], hw: u8, in_ch: u8) -> Option<Network> {
                     }
                 };
                 cur = b.add(format!("pool{i}"), layer, vec![cur]);
-                shape = Shape::new(shape.height / k as u32, shape.width / k as u32, shape.channels);
+                shape = Shape::new(
+                    shape.height / k as u32,
+                    shape.width / k as u32,
+                    shape.channels,
+                );
             }
             Op::Act(code) => {
                 cur = b.add(

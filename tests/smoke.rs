@@ -1,0 +1,50 @@
+//! Build-system smoke tests.
+//!
+//! These exist to catch workspace regressions (broken manifests, missing
+//! re-exports, vendored-dependency drift) with the cheapest possible
+//! signal: the paper's default configuration must validate, and the facade
+//! quickstart path — compile a zoo network, simulate it, observe non-zero
+//! latency — must keep working end to end.
+
+use pimsim::prelude::*;
+use pimsim::{compiler::MappingPolicy, nn::zoo};
+
+#[test]
+fn paper_default_config_validates() {
+    let arch = ArchConfig::paper_default();
+    arch.validate().expect("the paper's configuration is valid");
+}
+
+#[test]
+fn small_test_config_validates() {
+    ArchConfig::small_test()
+        .validate()
+        .expect("the scaled-down test configuration is valid");
+}
+
+#[test]
+fn facade_quickstart_runs() {
+    let arch = ArchConfig::small_test();
+    let net = zoo::tiny_mlp();
+    let compiled = Compiler::new(&arch)
+        .mapping(MappingPolicy::PerformanceFirst)
+        .compile(&net)
+        .expect("tiny_mlp fits the small test chip");
+    let report = Simulator::new(&arch)
+        .run(&compiled.program)
+        .expect("compiled program simulates");
+    assert!(
+        report.latency.as_ns_f64() > 0.0,
+        "simulated latency must be non-zero"
+    );
+    let out = report.read_global(compiled.output.gaddr, compiled.output.elems);
+    assert_eq!(out.len(), compiled.output.elems as usize);
+}
+
+#[test]
+fn config_roundtrips_through_json() {
+    let arch = ArchConfig::paper_default();
+    let text = arch.to_json();
+    let back = ArchConfig::from_json(&text).expect("printed config parses back");
+    assert_eq!(back.to_json(), text);
+}

@@ -1,0 +1,91 @@
+//! Case execution: configuration, failure type, and the case loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Controls how many cases each property runs.
+///
+/// `max_shrink_iters` is accepted for source compatibility with the real
+/// proptest but ignored: this stub reports the failing input without
+/// shrinking it.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Ignored (no shrinking in the offline stub).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single case failed (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion inside the property body did not hold.
+    Fail(String),
+    /// The input was rejected as not applicable (counts as a skip).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+/// Runs `case` for each of `config.cases` deterministic seeds, panicking
+/// (failing the enclosing `#[test]`) on the first failure.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+) {
+    // Seed derived from the test name so distinct properties explore
+    // distinct streams, yet every run is reproducible.
+    let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    for case_index in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(name_hash ^ u64::from(case_index));
+        let (input, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest case {case_index} of `{test_name}` failed: {msg}\n\
+                 input: {input}"
+            ),
+        }
+    }
+}

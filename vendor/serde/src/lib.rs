@@ -1,0 +1,375 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! fetched. This crate provides a simplified but fully functional
+//! serialization framework with the same *spelling* as serde — `#[derive(
+//! Serialize, Deserialize)]`, `#[serde(...)]` attributes — so the workspace
+//! code is source-compatible with the real crate.
+//!
+//! Instead of serde's visitor-based zero-copy data model, everything round
+//! trips through an owned JSON-like [`Value`] tree: `Serialize` renders a
+//! value *to* a [`Value`], `Deserialize` rebuilds one *from* a [`Value`].
+//! The companion `serde_json` stub handles text parsing and printing.
+//!
+//! Supported `#[serde(...)]` attributes (the set the workspace uses):
+//! `transparent`, `deny_unknown_fields`, `default` (field),
+//! `try_from = "T"` / `into = "T"`.
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+// Re-export the derive macros under the trait names, as the real serde does.
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Error produced when a [`Value`] cannot be rebuilt into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with an arbitrary message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Standard "expected X, found Y" mismatch error.
+    pub fn mismatch(expected: &str, found: &Value) -> Self {
+        DeError(format!("expected {expected}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Converts a value tree back into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::from_u64(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::mismatch(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )+};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::from_i64(*self as i64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::mismatch(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )+};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // JSON numbers cannot hold u128 losslessly; encode as a decimal string.
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => s
+                .parse()
+                .map_err(|_| DeError::custom(format!("invalid u128 literal `{s}`"))),
+            Value::Number(n) => n
+                .as_u64()
+                .map(u128::from)
+                .ok_or_else(|| DeError::mismatch("u128", v)),
+            other => Err(DeError::mismatch("u128", other)),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::mismatch("bool", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::mismatch("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::mismatch("f32", v))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::mismatch("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::mismatch("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::mismatch("tuple array", other)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.clone(), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::mismatch("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output, matching BTreeMap behaviour.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut map = Map::new();
+        for k in keys {
+            map.insert(k.clone(), self[k].to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::mismatch("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Support items referenced by derive-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::{DeError, Deserialize, Map, Number, Serialize, Value};
+
+    /// Looks up a field, enforcing presence.
+    pub fn require<'v>(map: &'v Map, field: &str, ty: &str) -> Result<&'v Value, DeError> {
+        map.get(field)
+            .ok_or_else(|| DeError::custom(format!("missing field `{field}` in {ty}")))
+    }
+
+    /// Rejects keys that are not in `known` (for `deny_unknown_fields`).
+    pub fn deny_unknown(map: &Map, known: &[&str], ty: &str) -> Result<(), DeError> {
+        for (k, _) in map.iter() {
+            if !known.contains(&k.as_str()) {
+                return Err(DeError::custom(format!("unknown field `{k}` in {ty}")));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,346 @@
+//! The JSON-like value tree both stub traits round-trip through.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An ordered string-keyed map, preserving insertion order so printed JSON
+/// follows struct declaration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts a key, replacing any existing entry with the same key.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a key mutably, inserting [`Value::Null`] when absent.
+    pub fn entry_or_null(&mut self, key: &str) -> &mut Value {
+        if let Some(idx) = self.entries.iter().position(|(k, _)| k == key) {
+            &mut self.entries[idx].1
+        } else {
+            self.entries.push((key.to_owned(), Value::Null));
+            &mut self.entries.last_mut().unwrap().1
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, Value)> {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer (fits `u64`).
+    PosInt(u64),
+    /// A negative integer (fits `i64`).
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// Builds from a `u64`.
+    pub fn from_u64(n: u64) -> Self {
+        Number::PosInt(n)
+    }
+
+    /// Builds from an `i64`, normalising non-negatives to [`Number::PosInt`].
+    pub fn from_i64(n: i64) -> Self {
+        if n >= 0 {
+            Number::PosInt(n as u64)
+        } else {
+            Number::NegInt(n)
+        }
+    }
+
+    /// Builds from an `f64`.
+    pub fn from_f64(n: f64) -> Self {
+        Number::Float(n)
+    }
+
+    /// The value as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(_) => None,
+            Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always possible, may round).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            // `{:?}` prints the shortest representation that round-trips,
+            // always including a decimal point or exponent.
+            Number::Float(x) if x.is_finite() => write!(f, "{x:?}"),
+            // JSON has no Inf/NaN; mirror serde_json's `null` behaviour.
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The boolean payload, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Non-panicking indexing: `None` when the key/index is absent or the
+    /// value is not a container of the right kind.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Returns the member, or `Null` when absent (matching `serde_json`).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Returns the member, inserting `Null` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(map) => map.entry_or_null(key),
+            other => panic!("cannot index a JSON {} with a string key", other.kind()),
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Returns the element, or `Null` when out of bounds or not an array.
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty => $ctor:ident),+ $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value { Value::Number(Number::$ctor(n.into())) }
+        }
+    )+};
+}
+
+impl_value_from_int!(u8 => from_u64, u16 => from_u64, u32 => from_u64, u64 => from_u64,
+                     i8 => from_i64, i16 => from_i64, i32 => from_i64, i64 => from_i64);
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(Number::from_u64(n as u64))
+    }
+}
+
+impl From<isize> for Value {
+    fn from(n: isize) -> Value {
+        Value::Number(Number::from_i64(n as i64))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(Number::from_f64(n))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(n: f32) -> Value {
+        Value::Number(Number::from_f64(f64::from(n)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}

@@ -1,0 +1,539 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real serde_derive depends on syn/quote, which cannot be fetched in
+//! this offline build environment. This crate re-implements the two derive
+//! macros by walking the `proc_macro::TokenStream` directly and emitting the
+//! impl source as a string. It supports the shapes and `#[serde(...)]`
+//! attributes the workspace uses:
+//!
+//! * structs (named, tuple, unit) and enums (unit / newtype / tuple / struct
+//!   variants, externally tagged like real serde)
+//! * `#[serde(transparent)]`, `#[serde(deny_unknown_fields)]`,
+//!   `#[serde(default)]` on fields, `#[serde(try_from = "T")]` /
+//!   `#[serde(into = "T")]` on containers
+//!
+//! Anything else (generics, unsupported attributes) aborts compilation with
+//! a clear message rather than silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    deny_unknown: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, name: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+/// Parses the attributes at the current position, folding any
+/// `#[serde(...)]` entries into `attrs` and reporting whether a field-level
+/// `default` was seen.
+fn parse_attrs(tokens: &mut Tokens, attrs: &mut ContainerAttrs) -> bool {
+    let mut field_default = false;
+    while tokens.peek().is_some_and(|tt| is_punct(tt, '#')) {
+        tokens.next();
+        let group = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive: expected [...] after `#`, found {other:?}"),
+        };
+        let mut inner = group.stream().into_iter().peekable();
+        let Some(first) = inner.next() else { continue };
+        if !is_ident(&first, "serde") {
+            continue; // doc comment, cfg, other derives' helper attrs, ...
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde derive: expected (...) after `serde`, found {other:?}"),
+        };
+        let mut it = args.stream().into_iter().peekable();
+        while let Some(tt) = it.next() {
+            let TokenTree::Ident(key) = &tt else {
+                panic!("serde derive: unexpected token in #[serde(...)]: {tt}");
+            };
+            match key.to_string().as_str() {
+                "transparent" => attrs.transparent = true,
+                "deny_unknown_fields" => attrs.deny_unknown = true,
+                "default" => field_default = true,
+                k @ ("try_from" | "into") => {
+                    match it.next() {
+                        Some(ref eq) if is_punct(eq, '=') => {}
+                        other => panic!("serde derive: expected `=` after `{k}`, found {other:?}"),
+                    }
+                    let ty = match it.next() {
+                        Some(TokenTree::Literal(l)) => l.to_string().trim_matches('"').to_string(),
+                        other => {
+                            panic!("serde derive: expected string after `{k} =`, found {other:?}")
+                        }
+                    };
+                    if k == "try_from" {
+                        attrs.try_from = Some(ty);
+                    } else {
+                        attrs.into = Some(ty);
+                    }
+                }
+                other => {
+                    panic!("serde derive (offline stub): unsupported attribute #[serde({other})]")
+                }
+            }
+            if it.peek().is_some_and(|tt| is_punct(tt, ',')) {
+                it.next();
+            }
+        }
+    }
+    field_default
+}
+
+fn skip_visibility(tokens: &mut Tokens) {
+    if tokens.peek().is_some_and(|tt| is_ident(tt, "pub")) {
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                tokens.next(); // pub(crate) / pub(super) / ...
+            }
+        }
+    }
+}
+
+/// Skips a type (or discriminant expression) up to a top-level `,`,
+/// tracking `<`/`>` nesting. Parens/brackets/braces arrive as atomic groups,
+/// so only angle brackets need depth accounting.
+fn skip_to_comma(tokens: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                // `->` in fn-pointer types: consume both so `>` is not
+                // miscounted as closing an angle bracket.
+                tokens.next();
+                if tokens.peek().is_some_and(|n| is_punct(n, '>')) {
+                    tokens.next();
+                }
+                continue;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Parses `name: Type, ...` named fields (inside a brace group).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let mut unused = ContainerAttrs::default();
+        let default = parse_attrs(&mut tokens, &mut unused);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(ref c) if is_punct(c, ':') => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_to_comma(&mut tokens);
+        tokens.next(); // the comma itself (or end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant (inside a paren group).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        let mut unused = ContainerAttrs::default();
+        parse_attrs(&mut tokens, &mut unused);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_to_comma(&mut tokens);
+        tokens.next();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        let mut unused = ContainerAttrs::default();
+        parse_attrs(&mut tokens, &mut unused);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        if tokens.peek().is_some_and(|tt| is_punct(tt, '=')) {
+            tokens.next();
+            skip_to_comma(&mut tokens); // explicit discriminant
+        }
+        if tokens.peek().is_some_and(|tt| is_punct(tt, ',')) {
+            tokens.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    let mut attrs = ContainerAttrs::default();
+    parse_attrs(&mut tokens, &mut attrs);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    if tokens.peek().is_some_and(|tt| is_punct(tt, '<')) {
+        panic!("serde derive (offline stub): generic types are not supported (type `{name}`)");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(ref semi) if is_punct(semi, ';') => Kind::UnitStruct,
+            other => panic!("serde derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item { name, attrs, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const SER: &str = "::serde::__private::Serialize::to_value";
+const DE: &str = "::serde::__private::Deserialize::from_value";
+const VALUE: &str = "::serde::__private::Value";
+const MAP: &str = "::serde::__private::Map";
+const ERR: &str = "::serde::__private::DeError";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.attrs.into {
+        format!(
+            "let __conv: {into_ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             {SER}(&__conv)"
+        )
+    } else {
+        match &item.kind {
+            Kind::NamedStruct(fields) if item.attrs.transparent => {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "#[serde(transparent)] needs exactly one field"
+                );
+                format!("{SER}(&self.{})", fields[0].name)
+            }
+            Kind::TupleStruct(1) if item.attrs.transparent => format!("{SER}(&self.0)"),
+            Kind::TupleStruct(1) => format!("{SER}(&self.0)"),
+            Kind::NamedStruct(fields) => {
+                let mut out = format!("let mut __map = {MAP}::new();\n");
+                for f in fields {
+                    out.push_str(&format!(
+                        "__map.insert(\"{0}\", {SER}(&self.{0}));\n",
+                        f.name
+                    ));
+                }
+                out.push_str(&format!("{VALUE}::Object(__map)"));
+                out
+            }
+            Kind::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n).map(|i| format!("{SER}(&self.{i})")).collect();
+                format!("{VALUE}::Array(vec![{}])", elems.join(", "))
+            }
+            Kind::UnitStruct => format!("{VALUE}::Null"),
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => arms.push_str(&format!(
+                            "{name}::{vname} => {VALUE}::String(\"{vname}\".to_string()),\n"
+                        )),
+                        VariantShape::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{\n\
+                             let mut __map = {MAP}::new();\n\
+                             __map.insert(\"{vname}\", {SER}(__f0));\n\
+                             {VALUE}::Object(__map)\n}}\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> =
+                                binders.iter().map(|b| format!("{SER}({b})")).collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname}({binds}) => {{\n\
+                                 let mut __map = {MAP}::new();\n\
+                                 __map.insert(\"{vname}\", {VALUE}::Array(vec![{elems}]));\n\
+                                 {VALUE}::Object(__map)\n}}\n",
+                                binds = binders.join(", "),
+                                elems = elems.join(", "),
+                            ));
+                        }
+                        VariantShape::Named(fields) => {
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let mut inner = String::new();
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "__inner.insert(\"{0}\", {SER}({0}));\n",
+                                    f.name
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut __inner = {MAP}::new();\n\
+                                 {inner}\
+                                 let mut __map = {MAP}::new();\n\
+                                 __map.insert(\"{vname}\", {VALUE}::Object(__inner));\n\
+                                 {VALUE}::Object(__map)\n}}\n",
+                                binds = binders.join(", "),
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {VALUE} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// The expression deserializing one named field from `__map`.
+fn named_field_expr(f: &Field, ty_name: &str) -> String {
+    if f.default {
+        format!(
+            "match __map.get(\"{0}\") {{\n\
+             Some(__f) => {DE}(__f)?,\n\
+             None => ::core::default::Default::default(),\n}}",
+            f.name
+        )
+    } else {
+        format!(
+            "{DE}(::serde::__private::require(__map, \"{0}\", \"{ty_name}\")?)?",
+            f.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.attrs.try_from {
+        format!(
+            "let __raw: {from_ty} = {DE}(__v)?;\n\
+             ::core::convert::TryFrom::try_from(__raw).map_err({ERR}::custom)"
+        )
+    } else {
+        match &item.kind {
+            Kind::NamedStruct(fields) if item.attrs.transparent => {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "#[serde(transparent)] needs exactly one field"
+                );
+                format!("Ok({name} {{ {}: {DE}(__v)? }})", fields[0].name)
+            }
+            Kind::TupleStruct(1) => format!("Ok({name}({DE}(__v)?))"),
+            Kind::NamedStruct(fields) => {
+                let known: Vec<String> = fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                let deny = if item.attrs.deny_unknown {
+                    format!(
+                        "::serde::__private::deny_unknown(__map, &[{}], \"{name}\")?;\n",
+                        known.join(", ")
+                    )
+                } else {
+                    String::new()
+                };
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!("{}: {},\n", f.name, named_field_expr(f, name)));
+                }
+                format!(
+                    "match __v {{\n\
+                     {VALUE}::Object(__map) => {{\n{deny}Ok({name} {{\n{inits}}})\n}}\n\
+                     __other => Err({ERR}::mismatch(\"object\", __other)),\n}}"
+                )
+            }
+            Kind::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n).map(|i| format!("{DE}(&__items[{i}])?")).collect();
+                format!(
+                    "match __v {{\n\
+                     {VALUE}::Array(__items) if __items.len() == {n} => \
+                     Ok({name}({elems})),\n\
+                     __other => Err({ERR}::mismatch(\"array of {n}\", __other)),\n}}",
+                    elems = elems.join(", ")
+                )
+            }
+            Kind::UnitStruct => format!("Ok({name})"),
+            Kind::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                        }
+                        VariantShape::Tuple(1) => payload_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}({DE}(__inner)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> =
+                                (0..*n).map(|i| format!("{DE}(&__items[{i}])?")).collect();
+                            payload_arms.push_str(&format!(
+                                "\"{vname}\" => match __inner {{\n\
+                                 {VALUE}::Array(__items) if __items.len() == {n} => \
+                                 Ok({name}::{vname}({elems})),\n\
+                                 __other => Err({ERR}::mismatch(\"array of {n}\", __other)),\n}},\n",
+                                elems = elems.join(", ")
+                            ));
+                        }
+                        VariantShape::Named(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!(
+                                    "{}: {},\n",
+                                    f.name,
+                                    named_field_expr(f, name)
+                                ));
+                            }
+                            payload_arms.push_str(&format!(
+                                "\"{vname}\" => match __inner {{\n\
+                                 {VALUE}::Object(__map) => Ok({name}::{vname} {{\n{inits}}}),\n\
+                                 __other => Err({ERR}::mismatch(\"object\", __other)),\n}},\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     {VALUE}::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => Err({ERR}::custom(format!(\
+                     \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                     {VALUE}::Object(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __inner) = __m.iter().next().unwrap();\n\
+                     match __k.as_str() {{\n\
+                     {payload_arms}\
+                     __other => Err({ERR}::custom(format!(\
+                     \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                     __other => Err({ERR}::mismatch(\"{name} variant\", __other)),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &{VALUE}) -> ::core::result::Result<Self, {ERR}> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
