@@ -176,6 +176,20 @@ impl<'a> CostModel<'a> {
         Energy::from_pj(flits as f64 * hops as f64 * self.cfg.energy.noc_pj_per_flit_hop)
     }
 
+    /// Dynamic energy of a core-to-core message of `elems` elements: NoC
+    /// wire/router energy along the XY route, or the local scratchpad-copy
+    /// energy when `from == to` (the timing-side counterpart lives in the
+    /// simulator's `Noc::message`, which charges `local_copy_cost` time
+    /// for the same case).
+    pub fn message_energy(&self, from: u16, to: u16, elems: u32) -> Energy {
+        if from == to {
+            self.local_copy_cost(elems).energy
+        } else {
+            let hops = self.cfg.resources.mesh_hops(from, to);
+            self.noc_energy(self.flits_for_elems(elems), hops)
+        }
+    }
+
     /// Uncontended end-to-end message cost over `hops` hops: pipe latency +
     /// serialization + wire energy. The cycle-accurate simulator instead
     /// walks the packet through per-link occupancy; this closed form is used
@@ -185,6 +199,20 @@ impl<'a> CostModel<'a> {
         Cost {
             time: self.noc_hop_latency(hops) + self.link_serialization(flits),
             energy: self.noc_energy(flits, hops),
+        }
+    }
+
+    /// Cost of a same-core "transfer": a local scratchpad copy of `elems`
+    /// elements. A message whose destination is its own core never touches
+    /// the mesh; it streams through the scratchpad port at one element per
+    /// core cycle after the usual access latency, and pays one read plus
+    /// one write per element.
+    pub fn local_copy_cost(&self, elems: u32) -> Cost {
+        let t = &self.cfg.timing;
+        let cycles = t.local_mem_access_cycles as u64 + elems as u64;
+        Cost {
+            time: self.core_clock().cycles_to_time(cycles),
+            energy: Energy::from_pj(2.0 * elems as f64 * self.cfg.energy.local_mem_pj_per_elem),
         }
     }
 
@@ -290,6 +318,31 @@ mod tests {
         assert!(m.noc_message_cost(64, 4).time > m.noc_message_cost(64, 1).time);
         assert!(m.noc_message_cost(256, 2).time > m.noc_message_cost(64, 2).time);
         assert!(m.noc_energy(10, 3) > m.noc_energy(10, 1));
+    }
+
+    #[test]
+    fn local_copy_scales_with_length() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let short = m.local_copy_cost(8);
+        let long = m.local_copy_cost(800);
+        assert!(long.time > short.time);
+        assert!(long.energy > short.energy);
+        // 1 cycle access + 8 cycles streaming at 1 GHz.
+        assert_eq!(short.time, SimTime::from_ns(9));
+        // Read + write per element.
+        assert!((short.energy.as_pj() - 2.0 * 8.0 * cfg.energy.local_mem_pj_per_elem).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_energy_selects_wire_or_copy() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let remote = m.message_energy(0, 9, 64);
+        assert_eq!(remote, m.noc_energy(m.flits_for_elems(64), 2));
+        let local = m.message_energy(5, 5, 64);
+        assert_eq!(local, m.local_copy_cost(64).energy);
+        assert!(local.as_pj() > 0.0);
     }
 
     #[test]

@@ -277,8 +277,7 @@ mod tests {
         let arch = ArchConfig::paper_default();
         let sim = BaselineSimulator::new(&arch);
         for name in ["vgg8", "vgg16", "resnet18"] {
-            let hw = if name == "vgg8" { 32 } else { 32 };
-            let net = zoo::by_name(name, hw).unwrap();
+            let net = zoo::by_name(name, 32).unwrap();
             let rep = sim.run(&net).unwrap();
             assert!(rep.latency.as_ns_f64() > 0.0, "{name} has latency");
             assert!(rep.energy.as_pj() > 0.0, "{name} has energy");

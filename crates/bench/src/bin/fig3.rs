@@ -6,11 +6,26 @@
 //! ```
 
 use pimsim_arch::ArchConfig;
-use pimsim_bench::{header, network, per_image, row, run, BATCH, FIG34_NETWORKS, FIG34_RESOLUTION};
+use pimsim_bench::{header, row, BATCH, FIG34_NETWORKS, FIG34_RESOLUTION};
 use pimsim_compiler::MappingPolicy;
+use pimsim_sweep::{default_threads, run_grid, SweepGrid, SweepRow};
 
 fn main() {
-    let arch = ArchConfig::paper_default().with_rob(1);
+    let mut grid = SweepGrid::over_networks(FIG34_NETWORKS.iter().copied());
+    grid.base = Some(ArchConfig::paper_default().with_rob(1));
+    grid.resolutions = vec![FIG34_RESOLUTION];
+    grid.batches = vec![BATCH];
+    grid.mappings = vec![
+        "utilization-first".to_string(),
+        "performance-first".to_string(),
+    ];
+    let rows = run_grid(&grid, default_threads()).expect("fig3 sweep");
+    let find = |name: &str, policy: MappingPolicy| -> &SweepRow {
+        rows.iter()
+            .find(|r| r.scenario.network == name && r.scenario.mapping == policy)
+            .expect("grid covers every (network, policy) point")
+    };
+
     println!("# Fig. 3 — mapping algorithms (64 cores, 512 xbars/core, 128x128, ROB=1)");
     println!("# inputs {FIG34_RESOLUTION}x{FIG34_RESOLUTION}, batch {BATCH}; values normalized to utilization-first\n");
 
@@ -19,14 +34,13 @@ fn main() {
     let mut speedups = Vec::new();
     let mut energies = Vec::new();
     for name in FIG34_NETWORKS {
-        let net = network(name, FIG34_RESOLUTION);
-        let (_, util) = run(&arch, &net, MappingPolicy::UtilizationFirst, BATCH);
-        let (_, perf) = run(&arch, &net, MappingPolicy::PerformanceFirst, BATCH);
-        let ul = per_image(util.latency, BATCH).as_ns_f64();
-        let pl = per_image(perf.latency, BATCH).as_ns_f64();
+        let util = find(name, MappingPolicy::UtilizationFirst);
+        let perf = find(name, MappingPolicy::PerformanceFirst);
+        let ul = util.latency_per_image().as_ns_f64();
+        let pl = perf.latency_per_image().as_ns_f64();
         row(&[name.to_string(), "1.000".into(), format!("{:.3}", pl / ul)]);
         speedups.push(ul / pl);
-        energies.push((util.energy.total().as_pj(), perf.energy.total().as_pj()));
+        energies.push((util.energy_pj, perf.energy_pj));
     }
 
     println!("\n## (b) normalized energy");

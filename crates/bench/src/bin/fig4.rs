@@ -4,13 +4,18 @@
 //! cargo run -p pimsim-bench --release --bin fig4
 //! ```
 
-use pimsim_arch::ArchConfig;
-use pimsim_bench::{header, network, row, run, BATCH, FIG34_NETWORKS, FIG34_RESOLUTION};
-use pimsim_compiler::MappingPolicy;
+use pimsim_bench::{header, row, BATCH, FIG34_NETWORKS, FIG34_RESOLUTION};
+use pimsim_sweep::{default_threads, run_grid, SweepGrid};
 
 const ROBS: &[u32] = &[1, 4, 8, 12, 16];
 
 fn main() {
+    let mut grid = SweepGrid::over_networks(FIG34_NETWORKS.iter().copied());
+    grid.resolutions = vec![FIG34_RESOLUTION];
+    grid.batches = vec![BATCH];
+    grid.rob_sizes = ROBS.to_vec();
+    let rows = run_grid(&grid, default_threads()).expect("fig4 sweep");
+
     println!("# Fig. 4 — latency vs ROB size (performance-first, batch {BATCH})");
     println!("# normalized to ROB=1\n");
     let mut cols = vec!["network"];
@@ -19,14 +24,15 @@ fn main() {
     header(&cols);
 
     for name in FIG34_NETWORKS {
-        let net = network(name, FIG34_RESOLUTION);
         let mut cells = vec![name.to_string()];
         let mut base = None;
         let mut last_two = [0.0f64; 2];
         for &rob in ROBS {
-            let arch = ArchConfig::paper_default().with_rob(rob);
-            let (_, report) = run(&arch, &net, MappingPolicy::PerformanceFirst, BATCH);
-            let lat = report.latency.as_ns_f64();
+            let point = rows
+                .iter()
+                .find(|r| r.scenario.network == *name && r.scenario.arch.resources.rob_size == rob)
+                .expect("grid covers every (network, rob) point");
+            let lat = point.latency().as_ns_f64();
             let b = *base.get_or_insert(lat);
             let norm = lat / b;
             cells.push(format!("{norm:.3}"));

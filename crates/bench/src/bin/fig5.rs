@@ -6,12 +6,21 @@
 //! ```
 
 use pimsim_arch::ArchConfig;
-use pimsim_baseline::BaselineSimulator;
-use pimsim_bench::{header, network, row, run, FIG5_NETWORKS, FIG5_RESOLUTION};
-use pimsim_compiler::MappingPolicy;
+use pimsim_bench::{header, row, FIG5_NETWORKS, FIG5_RESOLUTION};
+use pimsim_sweep::{default_threads, run_grid, SimulatorKind, SweepGrid, SweepRow};
 
 fn main() {
-    let arch = ArchConfig::paper_default().with_rob(16);
+    let mut grid = SweepGrid::over_networks(FIG5_NETWORKS.iter().copied());
+    grid.base = Some(ArchConfig::paper_default().with_rob(16));
+    grid.resolutions = vec![FIG5_RESOLUTION];
+    grid.simulators = vec!["baseline".to_string(), "cycle".to_string()];
+    let rows = run_grid(&grid, default_threads()).expect("fig5 sweep");
+    let find = |name: &str, sim: SimulatorKind| -> &SweepRow {
+        rows.iter()
+            .find(|r| r.scenario.network == name && r.scenario.simulator == sim)
+            .expect("grid covers every (network, simulator) point")
+    };
+
     println!("# Fig. 5 — latency normalized to the MNSIM2.0-like baseline");
     println!("# same crossbar configuration for both simulators; inputs {FIG5_RESOLUTION}x{FIG5_RESOLUTION}\n");
     header(&[
@@ -23,13 +32,10 @@ fn main() {
     ]);
 
     for name in FIG5_NETWORKS {
-        let net = network(name, FIG5_RESOLUTION);
-        let base = BaselineSimulator::new(&arch)
-            .run(&net)
-            .unwrap_or_else(|e| panic!("baseline {name}: {e}"));
-        let (compiled, ours) = run(&arch, &net, MappingPolicy::PerformanceFirst, 1);
+        let base = find(name, SimulatorKind::Baseline);
+        let ours = find(name, SimulatorKind::Cycle);
 
-        let conv2 = compiled
+        let conv2 = ours
             .node_names
             .iter()
             .enumerate()
@@ -40,9 +46,12 @@ fn main() {
         row(&[
             name.to_string(),
             "1.000".into(),
-            format!("{:.3}", ours.latency.as_ns_f64() / base.latency.as_ns_f64()),
-            format!("{:.0}%", 100.0 * base.per_layer[conv2].comm_ratio()),
-            format!("{:.0}%", 100.0 * ours.comm_ratio(conv2 as u16)),
+            format!(
+                "{:.3}",
+                ours.latency().as_ns_f64() / base.latency().as_ns_f64()
+            ),
+            format!("{:.0}%", 100.0 * base.comm_ratio(conv2)),
+            format!("{:.0}%", 100.0 * ours.comm_ratio(conv2)),
         ]);
     }
     println!("\npaper: ours ~1.1x on the VGGs and 1.53x on resnet-18; conv2 communication");

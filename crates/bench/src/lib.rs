@@ -7,15 +7,12 @@
 //! * `fig4` — ROB-size sweep
 //! * `fig5` — comparison with the MNSIM2.0-like baseline
 //!
-//! Run them with `cargo run -p pimsim-bench --release --bin fig3` etc.
-//! Criterion microbenchmarks (host performance of the simulator itself)
-//! live under `benches/`.
-
-use pimsim_arch::ArchConfig;
-use pimsim_compiler::{Compiled, Compiler, MappingPolicy};
-use pimsim_core::{SimReport, Simulator};
-use pimsim_event::SimTime;
-use pimsim_nn::{zoo, Network};
+//! The binaries declare their grids as `pimsim_sweep::SweepGrid`s and run
+//! on the campaign engine; this crate only carries the shared constants
+//! and table-printing helpers. Run them with
+//! `cargo run -p pimsim-bench --release --bin fig3` etc. Criterion
+//! microbenchmarks (host performance of the simulator itself) live under
+//! `benches/`.
 
 /// The four networks of Fig. 3 / Fig. 4.
 pub const FIG34_NETWORKS: &[&str] = &["alexnet", "googlenet", "resnet18", "squeezenet"];
@@ -31,35 +28,6 @@ pub const FIG34_RESOLUTION: u32 = 64;
 pub const FIG5_RESOLUTION: u32 = 32;
 /// Back-to-back inferences for the pipelined Fig. 3/4 runs.
 pub const BATCH: u32 = 4;
-
-/// Loads a zoo network at the harness resolution.
-pub fn network(name: &str, resolution: u32) -> Network {
-    zoo::by_name(name, resolution).unwrap_or_else(|| panic!("unknown network {name}"))
-}
-
-/// Compiles and simulates; returns `(compiled, report)`.
-pub fn run(
-    arch: &ArchConfig,
-    net: &Network,
-    policy: MappingPolicy,
-    batch: u32,
-) -> (Compiled, SimReport) {
-    let compiled = Compiler::new(arch)
-        .mapping(policy)
-        .batch(batch)
-        .functional(false)
-        .compile(net)
-        .unwrap_or_else(|e| panic!("compile {}: {e}", net.name));
-    let report = Simulator::new(arch)
-        .run(&compiled.program)
-        .unwrap_or_else(|e| panic!("simulate {}: {e}", net.name));
-    (compiled, report)
-}
-
-/// Per-image latency of a batched run.
-pub fn per_image(latency: SimTime, batch: u32) -> SimTime {
-    latency / batch as u64
-}
 
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) {
@@ -78,15 +46,17 @@ pub fn header(cells: &[&str]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pimsim_arch::ArchConfig;
+    use pimsim_nn::zoo;
+    use pimsim_sweep::{run_grid, SweepGrid};
 
     #[test]
-    fn harness_helpers_work_end_to_end() {
-        let arch = ArchConfig::small_test();
-        let net = zoo::tiny_mlp();
-        let (compiled, report) = run(&arch, &net, MappingPolicy::PerformanceFirst, 1);
-        assert!(compiled.program.total_instructions() > 0);
-        assert!(report.latency > SimTime::ZERO);
-        assert_eq!(per_image(SimTime::from_ns(100), 4), SimTime::from_ns(25));
+    fn harness_grid_runs_on_the_engine() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        let rows = run_grid(&grid, 1).expect("harness grid");
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].latency_ps > 0);
     }
 
     #[test]

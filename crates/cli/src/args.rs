@@ -1,4 +1,7 @@
-//! Minimal `--key value` / `--flag` argument parsing (no external deps).
+//! Minimal `--key value` / `--key=value` / `--flag` argument parsing (no
+//! external deps), strict about the option vocabulary: unknown options are
+//! rejected with a "did you mean" suggestion instead of being silently
+//! absorbed as flags.
 
 use std::collections::BTreeMap;
 
@@ -12,32 +15,98 @@ pub struct Args {
     pub positional: Vec<String>,
 }
 
-/// Option names that take a value; everything else with `--` is a flag.
-const VALUE_OPTIONS: &[&str] = &[
-    "network", "size", "config", "mapping", "rob", "batch", "out", "asm",
-];
+/// One subcommand's option vocabulary: which `--name`s take a value and
+/// which are boolean flags. Anything else starting with `--` is an error,
+/// so a typo — or another subcommand's option (`sweep --rob` instead of
+/// `sweep --robs`) — is caught instead of being silently absorbed.
+#[derive(Debug, Clone, Copy)]
+pub struct Vocabulary {
+    /// Option names that take a value.
+    pub value_options: &'static [&'static str],
+    /// Boolean flag names.
+    pub flags: &'static [&'static str],
+    /// How many positional (non-`--`) arguments the command accepts;
+    /// extras are an error rather than being silently dropped.
+    pub max_positionals: usize,
+}
+
+/// Edit distance with unit costs, for "did you mean" suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row.push(subst.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest name in `vocab`, if any is close enough to be a plausible
+/// typo.
+fn suggestion(name: &str, vocab: &Vocabulary) -> Option<&'static str> {
+    vocab
+        .value_options
+        .iter()
+        .chain(vocab.flags)
+        .map(|known| (edit_distance(name, known), *known))
+        .min()
+        .filter(|(d, known)| *d <= 2.max(known.len() / 3))
+        .map(|(_, known)| known)
+}
 
 impl Args {
-    /// Parses raw arguments.
+    /// Parses raw arguments against one subcommand's vocabulary.
     ///
     /// # Errors
     ///
-    /// Returns a message when a value option is missing its value.
-    pub fn parse(argv: &[String]) -> Result<Args, String> {
+    /// Returns a message when an option is not in the vocabulary (with a
+    /// "did you mean" hint), when a value option is missing its value, or
+    /// when a value option is given twice.
+    pub fn parse(argv: &[String], vocab: &Vocabulary) -> Result<Args, String> {
         let mut args = Args::default();
         let mut it = argv.iter().peekable();
         while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
-                if VALUE_OPTIONS.contains(&name) {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| format!("option --{name} needs a value"))?;
-                    args.options.insert(name.to_string(), v.clone());
-                } else {
-                    args.flags.push(name.to_string());
+            let Some(body) = a.strip_prefix("--") else {
+                if args.positional.len() >= vocab.max_positionals {
+                    return Err(format!(
+                        "unexpected argument `{a}` (this command takes {} positional argument{})",
+                        vocab.max_positionals,
+                        if vocab.max_positionals == 1 { "" } else { "s" }
+                    ));
                 }
-            } else {
                 args.positional.push(a.clone());
+                continue;
+            };
+            let (name, inline_value) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v)),
+                None => (body, None),
+            };
+            if vocab.value_options.contains(&name) {
+                let v = match inline_value {
+                    Some(v) => v.to_string(),
+                    None => it
+                        .next()
+                        .ok_or_else(|| format!("option --{name} needs a value"))?
+                        .clone(),
+                };
+                if args.options.insert(name.to_string(), v).is_some() {
+                    return Err(format!("option --{name} given more than once"));
+                }
+            } else if vocab.flags.contains(&name) {
+                if inline_value.is_some() {
+                    return Err(format!("--{name} is a flag and takes no value"));
+                }
+                args.flags.push(name.to_string());
+            } else {
+                let hint = match suggestion(name, vocab) {
+                    Some(s) => format!(" (did you mean --{s}?)"),
+                    None => String::new(),
+                };
+                return Err(format!("unknown option --{name}{hint}"));
             }
         }
         Ok(args)
@@ -63,6 +132,35 @@ impl Args {
         }
     }
 
+    /// The value of `--name` split on commas (empty items dropped).
+    pub fn get_csv(&self, name: &str) -> Option<Vec<String>> {
+        self.get(name).map(|v| {
+            v.split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+    }
+
+    /// The value of `--name` as a comma-separated list of `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any item is not a number.
+    pub fn get_u32_csv(&self, name: &str) -> Result<Option<Vec<u32>>, String> {
+        match self.get_csv(name) {
+            None => Ok(None),
+            Some(items) => items
+                .iter()
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("--{name} expects numbers, got `{v}`"))
+                })
+                .collect::<Result<Vec<u32>, String>>()
+                .map(Some),
+        }
+    }
+
     /// `true` if `--name` was given as a flag.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
@@ -73,9 +171,21 @@ impl Args {
 mod tests {
     use super::*;
 
+    /// A run-like vocabulary plus the sweep CSV axes, for the helpers.
+    const VOCAB: Vocabulary = Vocabulary {
+        value_options: &["network", "rob", "batch", "networks", "robs", "batches"],
+        flags: &["json", "baseline"],
+        max_positionals: 1,
+    };
+
     fn parse(parts: &[&str]) -> Args {
         let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
-        Args::parse(&v).unwrap()
+        Args::parse(&v, &VOCAB).unwrap()
+    }
+
+    fn parse_err(parts: &[&str]) -> String {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v, &VOCAB).unwrap_err()
     }
 
     #[test]
@@ -92,12 +202,91 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         let v = vec!["--network".to_string()];
-        assert!(Args::parse(&v).is_err());
+        assert!(Args::parse(&v, &VOCAB).is_err());
     }
 
     #[test]
     fn bad_number_is_an_error() {
         let a = parse(&["--rob", "eight"]);
         assert!(a.get_u32("rob").is_err());
+    }
+
+    #[test]
+    fn unknown_option_is_rejected_with_suggestion() {
+        // Regression: `--netwrok vgg8` used to silently become a flag
+        // plus a positional argument.
+        let msg = parse_err(&["--netwrok", "vgg8"]);
+        assert!(msg.contains("unknown option --netwrok"), "{msg}");
+        assert!(msg.contains("did you mean --network"), "{msg}");
+        let msg = parse_err(&["--jsno"]);
+        assert!(msg.contains("did you mean --json"), "{msg}");
+        // Nothing close: no suggestion offered.
+        let msg = parse_err(&["--frobnicate"]);
+        assert!(msg.contains("unknown option --frobnicate"), "{msg}");
+        assert!(!msg.contains("did you mean"), "{msg}");
+    }
+
+    #[test]
+    fn other_subcommands_options_are_rejected() {
+        // `sweep --rob 4` must not parse against a sweep vocabulary that
+        // only knows --robs: the near-miss singular form is suggested.
+        const SWEEP_ONLY: Vocabulary = Vocabulary {
+            value_options: &["networks", "robs"],
+            flags: &["json"],
+            max_positionals: 0,
+        };
+        let v: Vec<String> = ["--rob", "4"].iter().map(|s| s.to_string()).collect();
+        let msg = Args::parse(&v, &SWEEP_ONLY).unwrap_err();
+        assert!(msg.contains("unknown option --rob"), "{msg}");
+        assert!(msg.contains("did you mean --robs"), "{msg}");
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected() {
+        // `sweep --networks vgg8 results.json` (forgotten --out) must not
+        // silently drop the filename.
+        const NO_POSITIONALS: Vocabulary = Vocabulary {
+            value_options: &["networks"],
+            flags: &[],
+            max_positionals: 0,
+        };
+        let v: Vec<String> = ["--networks", "vgg8", "results.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let msg = Args::parse(&v, &NO_POSITIONALS).unwrap_err();
+        assert!(msg.contains("unexpected argument `results.json`"), "{msg}");
+        // Within the allowed count, positionals still work.
+        let a = parse(&["file.s", "--rob", "2"]);
+        assert_eq!(a.positional, vec!["file.s"]);
+        let msg = parse_err(&["file.s", "extra.s"]);
+        assert!(msg.contains("unexpected argument `extra.s`"), "{msg}");
+    }
+
+    #[test]
+    fn key_equals_value_form() {
+        let a = parse(&["--network=vgg8", "--rob=16"]);
+        assert_eq!(a.get("network"), Some("vgg8"));
+        assert_eq!(a.get_u32("rob").unwrap(), Some(16));
+        assert!(parse_err(&["--json=yes"]).contains("takes no value"));
+    }
+
+    #[test]
+    fn duplicate_value_option_is_an_error() {
+        let msg = parse_err(&["--network", "vgg8", "--network", "lenet"]);
+        assert!(msg.contains("more than once"), "{msg}");
+    }
+
+    #[test]
+    fn csv_helpers() {
+        let a = parse(&["--networks", "vgg8,lenet", "--robs", "1,4,8"]);
+        assert_eq!(
+            a.get_csv("networks").unwrap(),
+            vec!["vgg8".to_string(), "lenet".to_string()]
+        );
+        assert_eq!(a.get_u32_csv("robs").unwrap().unwrap(), vec![1, 4, 8]);
+        assert_eq!(a.get_u32_csv("batches").unwrap(), None);
+        let a = parse(&["--robs", "1,x"]);
+        assert!(a.get_u32_csv("robs").is_err());
     }
 }

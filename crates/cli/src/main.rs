@@ -8,6 +8,8 @@
 //!                 [--asm prog.s]
 //! pimsim asm      <file.s> [--out prog.json]
 //! pimsim disasm   <prog.json>
+//! pimsim sweep    [--config grid.json] [--networks a,b] [--robs 1,4,8] ...
+//!                 [--threads N] [--out results.json] [--json]
 //! pimsim networks
 //! pimsim config   [--out arch.json]
 //! ```
@@ -20,30 +22,50 @@ use pimsim_compiler::{Compiler, MappingPolicy};
 use pimsim_core::Simulator;
 use pimsim_isa::{asm, Program};
 use pimsim_nn::{zoo, Network};
+use pimsim_sweep::{results_to_json, run_scenarios, SweepGrid};
 
 mod args;
 use args::Args;
 
-const USAGE: &str = "usage: pimsim <run|compile|asm|disasm|networks|config> [options]
+const USAGE: &str = "usage: pimsim <run|compile|asm|disasm|sweep|networks|config> [options]
   run       compile a zoo network and simulate it (add --baseline for the
             MNSIM2.0-like behaviour-level model)
   compile   compile a network and write the program (JSON and/or assembly)
   asm       assemble a .s file into a program JSON
   disasm    print the assembly of a program JSON
+  sweep     run a design-space campaign (cartesian scenario grid) in
+            parallel and collect one result row per point
   networks  list zoo networks
   config    print (or write) the default architecture configuration
 
-common options:
-  --network NAME      zoo network (see `pimsim networks`)
-  --size N            input resolution (default 64; vgg8 default 32)
-  --config FILE       architecture configuration JSON (default: paper chip)
-  --mapping POLICY    performance-first | utilization-first
-  --rob N             re-order buffer size override
-  --batch N           inferences compiled back to back (default 1)
-  --functional        run functionally (data + timing)
-  --trace             print the first instruction completions
-  --json              machine-readable report
-  --out FILE          output path
+common options (in parentheses: the commands that accept each):
+  --network NAME      zoo network (run/compile; see `pimsim networks`)
+  --size N            input resolution, default 64; vgg default 32
+                      (run/compile)
+  --config FILE       architecture configuration JSON, default: paper chip
+                      (run/compile); for `sweep`: the grid JSON
+  --mapping POLICY    performance-first | utilization-first (run/compile)
+  --rob N             re-order buffer size override (run/compile)
+  --batch N           inferences compiled back to back (run/compile)
+  --functional        run functionally, data + timing (run/compile)
+  --trace             print the first instruction completions (run/compile)
+  --json              machine-readable report (run/sweep)
+  --out FILE          output path (compile/asm/sweep/config)
+  --asm FILE          also write the program's assembly (compile)
+
+sweep axes (comma-separated; flags override the --config grid; an axis
+left empty inherits a single value from the base architecture):
+  --networks A,B      zoo networks to sweep (required)
+  --resolutions N,M   input resolutions (default: each network's usual)
+  --mappings P,Q      mapping policies
+  --batches N,M       batch sizes
+  --robs N,M          re-order buffer depths
+  --adcs N,M          ADCs per crossbar
+  --lanes N,M         vector SIMD lanes
+  --flits N,M         NoC flit widths (bytes)
+  --hazards on,off    structure-hazard settings (ablation)
+  --simulators S,T    cycle | baseline
+  --threads N         worker threads (default: available cores)
 ";
 
 fn main() -> ExitCode {
@@ -57,24 +79,93 @@ fn main() -> ExitCode {
     }
 }
 
+/// The option vocabulary of each subcommand, so one command's options are
+/// rejected (with a hint) on another instead of being silently ignored.
+fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
+    use args::Vocabulary;
+    let vocab = match cmd {
+        "run" => Vocabulary {
+            value_options: &["network", "size", "config", "mapping", "rob", "batch"],
+            flags: &["baseline", "functional", "trace", "json", "help"],
+            max_positionals: 0,
+        },
+        "compile" => Vocabulary {
+            value_options: &[
+                "network", "size", "config", "mapping", "rob", "batch", "out", "asm",
+            ],
+            flags: &["functional", "trace", "help"],
+            max_positionals: 0,
+        },
+        "asm" => Vocabulary {
+            value_options: &["out"],
+            flags: &["help"],
+            max_positionals: 1,
+        },
+        "sweep" => Vocabulary {
+            value_options: &[
+                "config",
+                "out",
+                "threads",
+                "networks",
+                "resolutions",
+                "mappings",
+                "batches",
+                "robs",
+                "adcs",
+                "lanes",
+                "flits",
+                "hazards",
+                "simulators",
+            ],
+            flags: &["json", "help"],
+            max_positionals: 0,
+        },
+        "config" => Vocabulary {
+            value_options: &["out"],
+            flags: &["help"],
+            max_positionals: 0,
+        },
+        "disasm" => Vocabulary {
+            value_options: &[],
+            flags: &["help"],
+            max_positionals: 1,
+        },
+        "networks" => Vocabulary {
+            value_options: &[],
+            flags: &["help"],
+            max_positionals: 0,
+        },
+        _ => return None,
+    };
+    Some(vocab)
+}
+
 fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some(cmd) = argv.first() else {
         print!("{USAGE}");
         return Ok(());
     };
-    let args = Args::parse(&argv[1..])?;
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let Some(vocab) = vocabulary(cmd) else {
+        return Err(format!("unknown command `{cmd}`\n{USAGE}"));
+    };
+    let args = Args::parse(&argv[1..], &vocab)?;
+    if args.flag("help") {
+        print!("{USAGE}");
+        return Ok(());
+    }
     match cmd.as_str() {
         "run" => cmd_run(&args),
         "compile" => cmd_compile(&args),
         "asm" => cmd_asm(&args),
         "disasm" => cmd_disasm(&args),
+        "sweep" => cmd_sweep(&args),
         "networks" => cmd_networks(),
         "config" => cmd_config(&args),
-        "help" | "--help" | "-h" => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        _ => unreachable!("vocabulary() covers every dispatched command"),
     }
 }
 
@@ -100,17 +191,15 @@ fn load_network(args: &Args) -> Result<Network, String> {
     let name = args
         .get("network")
         .ok_or("missing --network (try `pimsim networks`)")?;
-    let default_size = if name.starts_with("vgg") { 32 } else { 64 };
-    let size = args.get_u32("size")?.unwrap_or(default_size);
+    let size = args
+        .get_u32("size")?
+        .unwrap_or_else(|| pimsim_sweep::default_resolution(name));
     zoo::by_name(name, size).ok_or_else(|| format!("unknown network `{name}`"))
 }
 
 fn mapping_policy(args: &Args) -> Result<MappingPolicy, String> {
-    match args.get("mapping").unwrap_or("performance-first") {
-        "performance-first" => Ok(MappingPolicy::PerformanceFirst),
-        "utilization-first" => Ok(MappingPolicy::UtilizationFirst),
-        other => Err(format!("unknown mapping policy `{other}`")),
-    }
+    pimsim_sweep::parse_mapping(args.get("mapping").unwrap_or("performance-first"))
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -264,9 +353,107 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_on_off(v: &str) -> Result<bool, String> {
+    match v {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        other => Err(format!("--hazards expects on/off, got `{other}`")),
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let mut grid = match args.get("config") {
+        Some(path) => SweepGrid::from_file(path).map_err(|e| e.to_string())?,
+        None => SweepGrid::default(),
+    };
+    if let Some(v) = args.get_csv("networks") {
+        grid.networks = v;
+    }
+    if let Some(v) = args.get_u32_csv("resolutions")? {
+        grid.resolutions = v;
+    }
+    if let Some(v) = args.get_csv("mappings") {
+        grid.mappings = v;
+    }
+    if let Some(v) = args.get_u32_csv("batches")? {
+        grid.batches = v;
+    }
+    if let Some(v) = args.get_u32_csv("robs")? {
+        grid.rob_sizes = v;
+    }
+    if let Some(v) = args.get_u32_csv("adcs")? {
+        grid.adcs_per_xbar = v;
+    }
+    if let Some(v) = args.get_u32_csv("lanes")? {
+        grid.vector_lanes = v;
+    }
+    if let Some(v) = args.get_u32_csv("flits")? {
+        grid.flit_bytes = v;
+    }
+    if let Some(v) = args.get_csv("hazards") {
+        grid.structure_hazard = v
+            .iter()
+            .map(|s| parse_on_off(s))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = args.get_csv("simulators") {
+        grid.simulators = v;
+    }
+    let threads = match args.get_u32("threads")? {
+        Some(t) => t.max(1) as usize,
+        None => pimsim_sweep::default_threads(),
+    };
+    // Grid expansion probes every (network, resolution) pair and converts
+    // zoo-builder panics into clean errors; silence the default panic hook
+    // meanwhile so the user sees one diagnostic, not a backtrace.
+    let scenarios = {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = grid.scenarios();
+        std::panic::set_hook(hook);
+        result.map_err(|e| e.to_string())?
+    };
+    eprintln!(
+        "sweep: {} scenario(s) on {} thread(s)",
+        scenarios.len(),
+        threads
+    );
+    let start = std::time::Instant::now();
+    let rows = run_scenarios(scenarios, threads).map_err(|e| e.to_string())?;
+    let wall = start.elapsed();
+    let json = results_to_json(&rows);
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &json).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if args.flag("json") {
+        println!("{json}");
+    } else if args.get("out").is_none() {
+        println!(
+            "{:<48} {:>13} {:>12} {:>9}",
+            "scenario", "latency/img", "energy", "power"
+        );
+        for row in &rows {
+            println!(
+                "{:<48} {:>13} {:>9.1} uJ {:>7.3} W",
+                row.scenario.display_label(),
+                format!("{}", row.latency_per_image()),
+                row.energy_pj / 1e6,
+                row.power_w
+            );
+        }
+    }
+    eprintln!(
+        "sweep: {} point(s) in {:.2}s wall-clock",
+        rows.len(),
+        wall.as_secs_f64()
+    );
+    Ok(())
+}
+
 fn cmd_networks() -> Result<(), String> {
     for name in zoo::NAMES {
-        let default = if name.starts_with("vgg") { 32 } else { 64 };
+        let default = pimsim_sweep::default_resolution(name);
         if let Some(net) = zoo::by_name(name, default) {
             println!(
                 "{name:11} {:3} layers, {:5.2} GMACs @ {default}x{default}",
@@ -288,4 +475,60 @@ fn cmd_config(args: &Args) -> Result<(), String> {
         None => println!("{}", cfg.to_json()),
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COMMANDS: &[&str] = &[
+        "run", "compile", "asm", "disasm", "sweep", "networks", "config",
+    ];
+
+    /// Every `--name` in the USAGE text, in order of appearance.
+    fn usage_options() -> Vec<String> {
+        let mut out = Vec::new();
+        let mut rest = USAGE;
+        while let Some(pos) = rest.find("--") {
+            rest = &rest[pos + 2..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                .collect();
+            if !name.is_empty() {
+                out.push(name);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn usage_and_vocabularies_agree() {
+        let mut accepted = std::collections::BTreeSet::new();
+        for cmd in COMMANDS {
+            let vocab = vocabulary(cmd).expect("every command has a vocabulary");
+            accepted.extend(vocab.value_options.iter().copied());
+            accepted.extend(vocab.flags.iter().copied());
+        }
+        // Everything the help text advertises is accepted somewhere...
+        for name in usage_options() {
+            if name == "help" {
+                continue; // `pimsim --help` is handled before parsing
+            }
+            assert!(
+                accepted.contains(name.as_str()),
+                "USAGE advertises --{name} but no command accepts it"
+            );
+        }
+        // ...and everything accepted is documented.
+        for name in accepted {
+            if name == "help" {
+                continue;
+            }
+            assert!(
+                USAGE.contains(&format!("--{name}")),
+                "--{name} is accepted but undocumented in USAGE"
+            );
+        }
+    }
 }

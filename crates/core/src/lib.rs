@@ -78,6 +78,7 @@ mod resolve;
 mod stats;
 
 pub use machine::{SimError, Simulator};
+pub use noc::{Noc, MEM_NODE};
 pub use stats::{CoreStats, EnergyBreakdown, NodeStats, SimReport, TraceEntry, TRACE_CAP};
 
 /// Result alias for fallible simulation.

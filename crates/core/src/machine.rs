@@ -620,9 +620,7 @@ impl World {
         ctx: &mut Ctx<'_>,
     ) {
         let m = CostModel::new(&self.cfg);
-        let hops = m.config().resources.mesh_hops(key.0, key.1);
-        let flits = m.flits_for_elems(len);
-        let e_txn = m.noc_energy(flits, hops);
+        let e_txn = m.message_energy(key.0, key.1, len);
         let end = self.noc.message(key.0, key.1, len, now, &m);
         self.energy.transfer += e_txn;
         let tag = self.cores[send.core as usize]
@@ -917,7 +915,7 @@ impl<'a> Simulator<'a> {
 
         let world = World {
             cfg: self.arch.clone(),
-            noc: Noc::new(self.arch.resources.core_rows, self.arch.resources.core_cols),
+            noc: Noc::for_arch(self.arch),
             gmem,
             cores,
             channels: HashMap::new(),

@@ -11,7 +11,6 @@ pub const MEM_NODE: u16 = u16::MAX;
 /// Per-link and controller occupancy state.
 #[derive(Debug, Clone)]
 pub struct Noc {
-    #[cfg_attr(not(test), allow(dead_code))]
     rows: u16,
     cols: u16,
     /// `free_at` per directed link, keyed densely.
@@ -21,7 +20,18 @@ pub struct Noc {
 }
 
 impl Noc {
+    /// Builds the link state for a `rows` × `cols` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero or the mesh has more routers
+    /// than the 16-bit core-id space can address.
     pub fn new(rows: u16, cols: u16) -> Noc {
+        assert!(rows > 0 && cols > 0, "mesh must have at least one router");
+        assert!(
+            rows as u32 * cols as u32 <= MEM_NODE as u32,
+            "mesh {rows}x{cols} exceeds the 16-bit core-id space"
+        );
         Noc {
             rows,
             cols,
@@ -30,12 +40,36 @@ impl Noc {
         }
     }
 
+    /// Builds the NoC for a (validated) architecture configuration.
+    pub fn for_arch(cfg: &pimsim_arch::ArchConfig) -> Noc {
+        Noc::new(cfg.resources.core_rows, cfg.resources.core_cols)
+    }
+
+    /// Routers in the mesh.
+    fn routers(&self) -> u32 {
+        self.rows as u32 * self.cols as u32
+    }
+
+    /// Debug-asserts that `core` addresses a router inside the mesh. Out
+    /// of range ids would otherwise fabricate out-of-mesh links whose
+    /// occupancy is tracked but never contended realistically.
+    fn check_core(&self, core: u16) {
+        debug_assert!(
+            (core as u32) < self.routers(),
+            "core {core} outside the {}x{} mesh",
+            self.rows,
+            self.cols
+        );
+    }
+
     fn pos(&self, core: u16) -> (u16, u16) {
         (core / self.cols, core % self.cols)
     }
 
     /// The XY route between two routers as a list of directed links.
     pub fn route(&self, from: u16, to: u16) -> Vec<(u16, u16)> {
+        self.check_core(from);
+        self.check_core(to);
         let mut links = Vec::new();
         if from == to {
             return links;
@@ -92,6 +126,10 @@ impl Noc {
     }
 
     /// Sends a core-to-core message; returns its delivery (completion) time.
+    ///
+    /// A self-message (`from == to`) never touches the mesh: it is a local
+    /// scratchpad copy and costs [`CostModel::local_copy_cost`], not zero —
+    /// same-core rendezvous still has to move the payload.
     pub fn message(
         &mut self,
         from: u16,
@@ -100,6 +138,10 @@ impl Noc {
         start: SimTime,
         model: &CostModel<'_>,
     ) -> SimTime {
+        if from == to {
+            self.check_core(from);
+            return start + model.local_copy_cost(elems).time;
+        }
         let flits = model.flits_for_elems(elems);
         let links = self.route(from, to);
         self.traverse(&links, start, flits, model)
@@ -115,6 +157,7 @@ impl Noc {
         start: SimTime,
         model: &CostModel<'_>,
     ) -> SimTime {
+        self.check_core(core);
         let flits = model.flits_for_elems(elems);
         let mut links = self.route(core, 0);
         links.push((0, MEM_NODE));
@@ -126,9 +169,13 @@ impl Noc {
     }
 
     /// Number of mesh rows.
-    #[cfg(test)]
     pub fn rows(&self) -> u16 {
         self.rows
+    }
+
+    /// Number of mesh columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
     }
 }
 
@@ -149,6 +196,54 @@ mod tests {
         assert_eq!(r, vec![(1, 2), (2, 6), (6, 10), (10, 14)]);
         assert!(noc.route(5, 5).is_empty());
         assert_eq!(noc.rows(), 4);
+        assert_eq!(noc.cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one router")]
+    fn zero_sized_mesh_is_rejected() {
+        let _ = Noc::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 2x2 mesh")]
+    fn out_of_mesh_core_is_rejected() {
+        // Regression: ids >= rows*cols used to silently fabricate
+        // out-of-mesh links instead of failing.
+        let noc = Noc::new(2, 2);
+        let _ = noc.route(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn out_of_mesh_memory_access_is_rejected() {
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let mut noc = Noc::new(2, 2);
+        let _ = noc.memory_access(9, 64, SimTime::ZERO, &m);
+    }
+
+    #[test]
+    fn for_arch_matches_config_mesh() {
+        let cfg = ArchConfig::small_test();
+        let noc = Noc::for_arch(&cfg);
+        assert_eq!(noc.rows(), cfg.resources.core_rows);
+        assert_eq!(noc.cols(), cfg.resources.core_cols);
+    }
+
+    #[test]
+    fn self_message_charges_local_copy() {
+        // Pinned choice: same-core rendezvous is NOT free — it pays the
+        // scratchpad-copy cost from the shared cost model.
+        let cfg = ArchConfig::paper_default();
+        let m = model(&cfg);
+        let mut noc = Noc::new(8, 8);
+        let start = SimTime::from_ns(5);
+        let done = noc.message(5, 5, 256, start, &m);
+        assert_eq!(done, start + m.local_copy_cost(256).time);
+        assert!(done > start);
+        // And it never reserves mesh links.
+        assert!(noc.link_free.is_empty());
     }
 
     #[test]

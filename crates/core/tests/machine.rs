@@ -110,6 +110,31 @@ fn synchronized_transfer_delivers_payload() {
 }
 
 #[test]
+fn self_transfer_is_rejected_not_free() {
+    // Pinned choice for same-core rendezvous: programs may not SEND to
+    // their own core (the validator rejects them before simulation), and
+    // the NoC API itself charges `CostModel::local_copy_cost` for a
+    // `from == to` message instead of the old zero-time, zero-energy
+    // transfer (see `noc::tests::self_message_charges_local_copy`).
+    let arch = arch();
+    let program = asm::assemble(
+        r#"
+        .core 0
+        vfill [r0+0], 7, 16
+        send core0, [r0+0], 16, tag=3
+        recv core0, [r0+64], 16, tag=3
+        halt
+    "#,
+    )
+    .expect("assembles");
+    let err = Simulator::new(&arch).run(&program).unwrap_err();
+    assert!(
+        matches!(err, SimError::InvalidProgram(_)),
+        "self-send must be rejected by program validation, got {err:?}"
+    );
+}
+
+#[test]
 fn recv2d_interleaves() {
     let report = run(
         &arch(),

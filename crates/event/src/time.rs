@@ -173,7 +173,7 @@ impl fmt::Display for SimTime {
         let ps = self.0;
         if ps == 0 {
             write!(f, "0ps")
-        } else if ps % 1_000_000_000 == 0 && ps >= 1_000_000_000_000 {
+        } else if ps.is_multiple_of(1_000_000_000) && ps >= 1_000_000_000_000 {
             write!(f, "{:.3}s", self.as_secs_f64())
         } else if ps >= 1_000_000_000 {
             write!(f, "{:.3}ms", self.as_ms_f64())

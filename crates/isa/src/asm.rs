@@ -511,23 +511,15 @@ fn parse_instruction_inner(text: &str, line: usize) -> Result<(Parsed, ()), IsaE
 /// Returns [`IsaError::Parse`] with a 1-based line number on the first
 /// syntax problem, or an undefined-label error at the end of assembly.
 pub fn assemble(text: &str) -> Result<Program, IsaError> {
+    /// A forward-reference patch: `(instruction slot, patcher, label, line)`.
+    type Fixup = (usize, Box<dyn FnOnce(u32) -> Instruction>, String, usize);
+    #[derive(Default)]
     struct CoreBuild {
         instrs: Vec<Instruction>,
         groups: Vec<GroupConfig>,
         local_init: Vec<(u32, Vec<i32>)>,
         labels: BTreeMap<String, u32>,
-        fixups: Vec<(usize, Box<dyn FnOnce(u32) -> Instruction>, String, usize)>,
-    }
-    impl Default for CoreBuild {
-        fn default() -> Self {
-            CoreBuild {
-                instrs: Vec::new(),
-                groups: Vec::new(),
-                local_init: Vec::new(),
-                labels: BTreeMap::new(),
-                fixups: Vec::new(),
-            }
-        }
+        fixups: Vec<Fixup>,
     }
 
     let mut cores: BTreeMap<u16, CoreBuild> = BTreeMap::new();

@@ -263,14 +263,15 @@ impl Program {
             for (pc, instr) in cp.instrs.iter().enumerate() {
                 let pc32 = pc as u32;
                 match instr {
-                    Instruction::Branch { target, .. } | Instruction::Jump { target } => {
-                        if *target >= n {
-                            return Err(err(
-                                Some(pc32),
-                                format!("control target {target} out of range (program has {n})"),
-                            ));
-                        }
+                    Instruction::Branch { target, .. } | Instruction::Jump { target }
+                        if *target >= n =>
+                    {
+                        return Err(err(
+                            Some(pc32),
+                            format!("control target {target} out of range (program has {n})"),
+                        ));
                     }
+                    Instruction::Branch { .. } | Instruction::Jump { .. } => {}
                     Instruction::Mvm { group, len, .. } => {
                         let Some(g) = cp.groups.get(group.as_usize()) else {
                             return Err(err(
@@ -474,17 +475,19 @@ mod tests {
 
     #[test]
     fn class_histogram_counts() {
-        let mut cp = CoreProgram::default();
-        cp.groups = vec![GroupConfig::new(GroupId(0), 4, 4, vec![0])];
-        cp.instrs = vec![
-            Instruction::Nop,
-            Instruction::Halt,
-            Instruction::VFill {
-                dst: addr(0),
-                value: 1,
-                len: 4,
-            },
-        ];
+        let cp = CoreProgram {
+            groups: vec![GroupConfig::new(GroupId(0), 4, 4, vec![0])],
+            instrs: vec![
+                Instruction::Nop,
+                Instruction::Halt,
+                Instruction::VFill {
+                    dst: addr(0),
+                    value: 1,
+                    len: 4,
+                },
+            ],
+            ..CoreProgram::default()
+        };
         assert_eq!(cp.class_histogram(), [0, 1, 0, 2]);
         assert!(!cp.is_empty());
     }

@@ -278,6 +278,7 @@ impl<'a> GoldenModel<'a> {
 }
 
 /// Gathers a zero-padded convolution window in HWC im2col order.
+#[allow(clippy::too_many_arguments)] // the arguments are the conv hyper-parameters
 fn gather_window(
     data: &[i32],
     s: Shape,

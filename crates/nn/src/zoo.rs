@@ -17,6 +17,7 @@ use crate::shape::Shape;
 
 const RELU: Option<Activation> = Some(Activation::Relu);
 
+#[allow(clippy::too_many_arguments)] // the arguments are the conv hyper-parameters
 fn conv(
     b: &mut NetworkBuilder,
     name: &str,

@@ -1,0 +1,354 @@
+//! The worker pool that fans a campaign out across OS threads and the
+//! result rows it collects.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Map, Number, Serialize, Value};
+
+use pimsim_arch::Energy;
+use pimsim_baseline::BaselineSimulator;
+use pimsim_compiler::Compiler;
+use pimsim_core::Simulator;
+use pimsim_event::SimTime;
+use pimsim_nn::zoo;
+
+use crate::grid::{Scenario, SimulatorKind, SweepGrid};
+use crate::SweepError;
+
+/// One evaluated grid point: the scenario plus a summary of its
+/// simulation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Position in the expanded grid (rows are returned in this order).
+    pub index: usize,
+    /// The scenario that produced this row.
+    pub scenario: Scenario,
+    /// End-to-end latency in picoseconds (exact).
+    pub latency_ps: u64,
+    /// Latency per inference (latency / batch), picoseconds.
+    pub latency_per_image_ps: u64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Dynamic instruction count (0 for the behaviour-level baseline).
+    pub instructions: u64,
+    /// Kernel events processed (0 for the behaviour-level baseline).
+    pub events: u64,
+    /// Cores with work assigned (0 for the behaviour-level baseline).
+    pub cores_used: usize,
+    /// Network node (layer) names, in node order.
+    pub node_names: Vec<String>,
+    /// Communication-latency ratio per node, aligned with `node_names`.
+    pub comm_ratios: Vec<f64>,
+}
+
+impl SweepRow {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimTime {
+        SimTime::from_ps(self.latency_ps)
+    }
+
+    /// Latency per inference.
+    pub fn latency_per_image(&self) -> SimTime {
+        SimTime::from_ps(self.latency_per_image_ps)
+    }
+
+    /// Total energy.
+    pub fn energy(&self) -> Energy {
+        Energy::from_pj(self.energy_pj)
+    }
+
+    /// The communication ratio of the node at `index`, 0.0 when absent.
+    pub fn comm_ratio(&self, index: usize) -> f64 {
+        self.comm_ratios.get(index).copied().unwrap_or(0.0)
+    }
+}
+
+impl Serialize for SweepRow {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("index", Value::Number(Number::from_u64(self.index as u64)));
+        map.insert("scenario", self.scenario.to_value());
+        map.insert(
+            "latency_ps",
+            Value::Number(Number::from_u64(self.latency_ps)),
+        );
+        map.insert(
+            "latency_ns",
+            Value::Number(Number::from_f64(self.latency_ps as f64 / 1e3)),
+        );
+        map.insert(
+            "latency_per_image_ns",
+            Value::Number(Number::from_f64(self.latency_per_image_ps as f64 / 1e3)),
+        );
+        map.insert("energy_pj", Value::Number(Number::from_f64(self.energy_pj)));
+        map.insert("power_w", Value::Number(Number::from_f64(self.power_w)));
+        map.insert(
+            "instructions",
+            Value::Number(Number::from_u64(self.instructions)),
+        );
+        map.insert("events", Value::Number(Number::from_u64(self.events)));
+        map.insert(
+            "cores_used",
+            Value::Number(Number::from_u64(self.cores_used as u64)),
+        );
+        map.insert("node_names", self.node_names.to_value());
+        map.insert("comm_ratios", self.comm_ratios.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Scenario {
+    /// Compiles and simulates this scenario, single-threaded.
+    ///
+    /// This is exactly what the worker pool runs per grid point, exposed
+    /// so a row can be cross-checked against a direct run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`SweepError`] when the architecture,
+    /// compile, or simulation fails.
+    pub fn execute(&self, index: usize) -> Result<SweepRow, SweepError> {
+        self.arch.validate()?;
+        // The zoo builders panic on degenerate resolutions (a pooling
+        // window larger than its input, say); catch that so one bad grid
+        // point surfaces as this scenario's error instead of unwinding a
+        // worker thread and aborting the whole campaign.
+        let net = std::panic::catch_unwind(|| zoo::by_name(&self.network, self.resolution))
+            .map_err(|_| {
+                SweepError::Config(format!(
+                    "network `{}` cannot be built at resolution {}",
+                    self.network, self.resolution
+                ))
+            })?
+            .ok_or_else(|| SweepError::UnknownNetwork(self.network.clone()))?;
+        match self.simulator {
+            SimulatorKind::Cycle => {
+                let compiled = Compiler::new(&self.arch)
+                    .mapping(self.mapping)
+                    .batch(self.batch)
+                    .compile(&net)
+                    .map_err(|e| SweepError::Compile(format!("{}: {e}", self.display_label())))?;
+                let report = Simulator::new(&self.arch)
+                    .run(&compiled.program)
+                    .map_err(|e| SweepError::Sim(format!("{}: {e}", self.display_label())))?;
+                let comm_ratios = (0..compiled.node_names.len())
+                    .map(|i| report.comm_ratio(i as u16))
+                    .collect();
+                Ok(SweepRow {
+                    index,
+                    scenario: self.clone(),
+                    latency_ps: report.latency.as_ps(),
+                    latency_per_image_ps: (report.latency / self.batch.max(1) as u64).as_ps(),
+                    energy_pj: report.energy.total().as_pj(),
+                    power_w: report.avg_power_w(),
+                    instructions: report.instructions,
+                    events: report.events,
+                    cores_used: compiled.placement.cores_used,
+                    node_names: compiled.node_names.clone(),
+                    comm_ratios,
+                })
+            }
+            SimulatorKind::Baseline => {
+                let report = BaselineSimulator::new(&self.arch)
+                    .run(&net)
+                    .map_err(|e| SweepError::Sim(format!("{}: {e}", self.display_label())))?;
+                Ok(SweepRow {
+                    index,
+                    scenario: self.clone(),
+                    latency_ps: report.latency.as_ps(),
+                    latency_per_image_ps: report.latency.as_ps(),
+                    energy_pj: report.energy.as_pj(),
+                    power_w: report.avg_power_w(),
+                    instructions: 0,
+                    events: 0,
+                    cores_used: 0,
+                    node_names: report.per_layer.iter().map(|l| l.name.clone()).collect(),
+                    comm_ratios: report.per_layer.iter().map(|l| l.comm_ratio()).collect(),
+                })
+            }
+        }
+    }
+}
+
+/// The default worker-thread count for a campaign: every core the host
+/// offers. The campaign output is deterministic regardless of the count.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Expands `grid` and runs every scenario on a pool of `threads` OS
+/// threads. Equivalent to `run_scenarios(grid.scenarios()?, threads)`.
+///
+/// # Errors
+///
+/// Returns the expansion error, or the failing scenario's error with the
+/// smallest grid index (deterministic regardless of thread interleaving).
+pub fn run_grid(grid: &SweepGrid, threads: usize) -> Result<Vec<SweepRow>, SweepError> {
+    run_scenarios(grid.scenarios()?, threads)
+}
+
+/// Runs an explicit scenario list on a pool of `threads` OS threads.
+///
+/// Workers pull scenarios off a shared cursor, so the pool load-balances
+/// regardless of per-scenario cost; each result lands in its scenario's
+/// slot, so the returned rows are ordered by scenario index and the
+/// campaign output is independent of thread interleaving.
+///
+/// # Errors
+///
+/// Returns [`SweepError::EmptyGrid`] for an empty list; otherwise the
+/// error of the failing scenario with the smallest index, if any. On a
+/// failure the pool cancels scenarios *above* the failed index (so a big
+/// campaign reports its error promptly instead of first finishing
+/// everything) while still running everything below it — which is what
+/// keeps the smallest-failing-index guarantee deterministic.
+pub fn run_scenarios(
+    scenarios: Vec<Scenario>,
+    threads: usize,
+) -> Result<Vec<SweepRow>, SweepError> {
+    if scenarios.is_empty() {
+        return Err(SweepError::EmptyGrid);
+    }
+    let n = scenarios.len();
+    let workers = threads.clamp(1, n);
+    let cursor = AtomicUsize::new(0);
+    let first_failed = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<Result<SweepRow, SweepError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if i > first_failed.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let outcome = scenarios[i].execute(i);
+                if outcome.is_err() {
+                    first_failed.fetch_min(i, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    let mut rows = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("sweep slot poisoned") {
+            Some(Ok(row)) => rows.push(row),
+            Some(Err(e)) => return Err(e),
+            // Only scenarios above an already-reported failure are
+            // skipped, and the failing slot is reached first.
+            None => unreachable!("skipped slot below the first failure"),
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders campaign results as pretty JSON: `{"points": N, "rows": [...]}`.
+///
+/// The rendering is fully determined by the rows, so equal campaigns
+/// produce byte-identical text whatever thread count computed them.
+pub fn results_to_json(rows: &[SweepRow]) -> String {
+    let mut map = Map::new();
+    map.insert("points", Value::Number(Number::from_u64(rows.len() as u64)));
+    map.insert(
+        "rows",
+        Value::Array(rows.iter().map(Serialize::to_value).collect()),
+    );
+    serde_json::to_string_pretty(&Value::Object(map)).expect("row serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_arch::ArchConfig;
+    use pimsim_compiler::MappingPolicy;
+
+    fn tiny_grid() -> SweepGrid {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp", "tiny_cnn"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.rob_sizes = vec![1, 4];
+        grid
+    }
+
+    #[test]
+    fn rows_come_back_in_grid_order() {
+        let rows = run_grid(&tiny_grid(), 3).unwrap();
+        assert_eq!(rows.len(), 4);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.index, i);
+            assert!(row.latency_ps > 0);
+            assert!(row.energy_pj > 0.0);
+        }
+        assert_eq!(rows[0].scenario.network, "tiny_mlp");
+        assert_eq!(rows[3].scenario.network, "tiny_cnn");
+    }
+
+    #[test]
+    fn baseline_scenarios_run() {
+        let row = Scenario::baseline("tiny_mlp", 64, ArchConfig::small_test())
+            .execute(0)
+            .unwrap();
+        assert!(row.latency_ps > 0);
+        assert_eq!(row.instructions, 0);
+        assert_eq!(row.node_names.len(), row.comm_ratios.len());
+        assert!(!row.node_names.is_empty());
+    }
+
+    #[test]
+    fn degenerate_resolution_is_an_error_not_a_panic() {
+        // Regression: the zoo builders panic on impossible resolutions;
+        // that must surface as the scenario's error, not abort the pool.
+        let s = Scenario::cycle(
+            "vgg8",
+            1,
+            MappingPolicy::PerformanceFirst,
+            1,
+            ArchConfig::small_test(),
+        );
+        let err = run_scenarios(vec![s], 2).unwrap_err();
+        assert!(
+            matches!(err, SweepError::Config(_)),
+            "expected a config error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn errors_surface_deterministically() {
+        assert_eq!(
+            run_scenarios(Vec::new(), 4).unwrap_err(),
+            SweepError::EmptyGrid
+        );
+        let good = Scenario::cycle(
+            "tiny_mlp",
+            64,
+            MappingPolicy::PerformanceFirst,
+            1,
+            ArchConfig::small_test(),
+        );
+        let mut bad_arch = ArchConfig::small_test();
+        bad_arch.resources.rob_size = 0;
+        let bad = Scenario::cycle("tiny_mlp", 64, MappingPolicy::PerformanceFirst, 1, bad_arch);
+        let err = run_scenarios(vec![good, bad.clone(), bad], 2).unwrap_err();
+        assert!(matches!(err, SweepError::Arch(_)));
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let rows = run_grid(&tiny_grid(), 2).unwrap();
+        let a = results_to_json(&rows);
+        let b = results_to_json(&rows);
+        assert_eq!(a, b);
+        assert!(a.contains("\"points\": 4"));
+        assert!(a.contains("\"network\": \"tiny_cnn\""));
+    }
+}

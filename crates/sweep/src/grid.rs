@@ -1,0 +1,575 @@
+//! Declarative scenario grids and their expansion into scenarios.
+
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Map, Number, Serialize, Value};
+
+use pimsim_arch::ArchConfig;
+use pimsim_compiler::MappingPolicy;
+use pimsim_nn::zoo;
+
+use crate::SweepError;
+
+/// Which simulator evaluates a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimulatorKind {
+    /// The cycle-accurate, event-driven simulator.
+    Cycle,
+    /// The MNSIM2.0-like behaviour-level baseline.
+    Baseline,
+}
+
+impl fmt::Display for SimulatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulatorKind::Cycle => f.write_str("cycle"),
+            SimulatorKind::Baseline => f.write_str("baseline"),
+        }
+    }
+}
+
+impl std::str::FromStr for SimulatorKind {
+    type Err = SweepError;
+
+    fn from_str(s: &str) -> Result<Self, SweepError> {
+        match s {
+            "cycle" | "cycle-accurate" => Ok(SimulatorKind::Cycle),
+            "baseline" | "mnsim" => Ok(SimulatorKind::Baseline),
+            other => Err(SweepError::UnknownSimulator(other.to_string())),
+        }
+    }
+}
+
+/// Parses a mapping-policy name as used in configuration files and on the
+/// command line.
+///
+/// # Errors
+///
+/// Returns [`SweepError::UnknownMapping`] for anything but
+/// `performance-first` / `utilization-first`.
+pub fn parse_mapping(name: &str) -> Result<MappingPolicy, SweepError> {
+    match name {
+        "performance-first" => Ok(MappingPolicy::PerformanceFirst),
+        "utilization-first" => Ok(MappingPolicy::UtilizationFirst),
+        other => Err(SweepError::UnknownMapping(other.to_string())),
+    }
+}
+
+/// The default input resolution for a zoo network: CIFAR-scale for the
+/// VGGs, 64×64 otherwise. The single source of this convention — the CLI
+/// and the grid expansion both use it.
+pub fn default_resolution(network: &str) -> u32 {
+    if network.starts_with("vgg") {
+        32
+    } else {
+        64
+    }
+}
+
+/// One fully resolved grid point: everything needed to compile and
+/// simulate, self-contained (the architecture already has all knobs
+/// applied).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Zoo network name.
+    pub network: String,
+    /// Input resolution (height = width).
+    pub resolution: u32,
+    /// Mapping policy for the compiler.
+    pub mapping: MappingPolicy,
+    /// Back-to-back inferences compiled together.
+    pub batch: u32,
+    /// Which simulator evaluates the point.
+    pub simulator: SimulatorKind,
+    /// Optional human label (used by campaign front ends); empty means
+    /// "derive one from the fields".
+    pub label: String,
+    /// The complete architecture for this point.
+    pub arch: ArchConfig,
+}
+
+impl Scenario {
+    /// A cycle-accurate scenario.
+    pub fn cycle(
+        network: impl Into<String>,
+        resolution: u32,
+        mapping: MappingPolicy,
+        batch: u32,
+        arch: ArchConfig,
+    ) -> Scenario {
+        Scenario {
+            network: network.into(),
+            resolution,
+            mapping,
+            batch,
+            simulator: SimulatorKind::Cycle,
+            label: String::new(),
+            arch,
+        }
+    }
+
+    /// A behaviour-level baseline scenario (mapping and batch do not
+    /// apply; they are pinned to `performance-first` / 1).
+    pub fn baseline(network: impl Into<String>, resolution: u32, arch: ArchConfig) -> Scenario {
+        Scenario {
+            network: network.into(),
+            resolution,
+            mapping: MappingPolicy::PerformanceFirst,
+            batch: 1,
+            simulator: SimulatorKind::Baseline,
+            label: String::new(),
+            arch,
+        }
+    }
+
+    /// Returns the scenario tagged with a human-readable label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Scenario {
+        self.label = label.into();
+        self
+    }
+
+    /// The label to display: the explicit one, or a derived
+    /// `network/res mapping xN rob=R` summary.
+    pub fn display_label(&self) -> String {
+        if !self.label.is_empty() {
+            return self.label.clone();
+        }
+        format!(
+            "{}/{} {} x{} rob={} {}",
+            self.network,
+            self.resolution,
+            self.mapping,
+            self.batch,
+            self.arch.resources.rob_size,
+            self.simulator,
+        )
+    }
+}
+
+// Scenarios are serialized as a knob summary (not the full architecture)
+// so campaign outputs stay readable; the grid's `base` is the place a
+// custom full configuration lives.
+impl Serialize for Scenario {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("network", Value::String(self.network.clone()));
+        map.insert(
+            "resolution",
+            Value::Number(Number::from_u64(self.resolution as u64)),
+        );
+        map.insert("mapping", Value::String(self.mapping.to_string()));
+        map.insert("batch", Value::Number(Number::from_u64(self.batch as u64)));
+        map.insert("simulator", Value::String(self.simulator.to_string()));
+        map.insert("label", Value::String(self.label.clone()));
+        let r = &self.arch.resources;
+        map.insert(
+            "rob_size",
+            Value::Number(Number::from_u64(r.rob_size as u64)),
+        );
+        map.insert(
+            "adcs_per_xbar",
+            Value::Number(Number::from_u64(r.adcs_per_xbar as u64)),
+        );
+        map.insert(
+            "vector_lanes",
+            Value::Number(Number::from_u64(r.vector_lanes as u64)),
+        );
+        map.insert(
+            "flit_bytes",
+            Value::Number(Number::from_u64(self.arch.noc.flit_bytes as u64)),
+        );
+        map.insert(
+            "structure_hazard",
+            Value::Bool(self.arch.sim.structure_hazard),
+        );
+        Value::Object(map)
+    }
+}
+
+/// A declarative campaign: the cartesian product of every non-empty axis.
+///
+/// Empty axes inherit a single value from `base` (or the paper chip when
+/// `base` is absent); `resolutions` left empty uses each network's
+/// conventional resolution. Unknown fields in a configuration file are
+/// rejected.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SweepGrid {
+    /// Zoo networks to sweep (required, at least one).
+    #[serde(default)]
+    pub networks: Vec<String>,
+    /// Input resolutions; empty = each network's default.
+    #[serde(default)]
+    pub resolutions: Vec<u32>,
+    /// Mapping policies (`performance-first` / `utilization-first`);
+    /// empty = performance-first.
+    #[serde(default)]
+    pub mappings: Vec<String>,
+    /// Batch sizes; empty = 1.
+    #[serde(default)]
+    pub batches: Vec<u32>,
+    /// Re-order buffer depths; empty = the base architecture's.
+    #[serde(default)]
+    pub rob_sizes: Vec<u32>,
+    /// ADCs per crossbar; empty = the base architecture's.
+    #[serde(default)]
+    pub adcs_per_xbar: Vec<u32>,
+    /// Vector SIMD lane counts; empty = the base architecture's.
+    #[serde(default)]
+    pub vector_lanes: Vec<u32>,
+    /// NoC flit widths in bytes; empty = the base architecture's.
+    #[serde(default)]
+    pub flit_bytes: Vec<u32>,
+    /// Structure-hazard settings (ablation axis); empty = the base
+    /// architecture's.
+    #[serde(default)]
+    pub structure_hazard: Vec<bool>,
+    /// Simulators (`cycle` / `baseline`); empty = cycle.
+    #[serde(default)]
+    pub simulators: Vec<String>,
+    /// Base architecture every knob is applied to; absent = the paper
+    /// chip.
+    #[serde(default)]
+    pub base: Option<ArchConfig>,
+}
+
+impl SweepGrid {
+    /// A grid over `networks` with every other axis inherited.
+    pub fn over_networks<S: Into<String>>(networks: impl IntoIterator<Item = S>) -> SweepGrid {
+        SweepGrid {
+            networks: networks.into_iter().map(Into::into).collect(),
+            ..SweepGrid::default()
+        }
+    }
+
+    /// Parses a grid from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Config`] on malformed JSON or unknown fields.
+    pub fn from_json(text: &str) -> Result<SweepGrid, SweepError> {
+        serde_json::from_str(text).map_err(|e| SweepError::Config(e.to_string()))
+    }
+
+    /// Loads a grid configuration file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Config`] when the file cannot be read or
+    /// parsed.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<SweepGrid, SweepError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SweepError::Config(format!("{}: {e}", path.display())))?;
+        SweepGrid::from_json(&text)
+    }
+
+    /// Serializes the grid to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("grid serialization cannot fail")
+    }
+
+    /// The base architecture the knob axes are applied to.
+    pub fn base_arch(&self) -> ArchConfig {
+        self.base.clone().unwrap_or_else(ArchConfig::paper_default)
+    }
+
+    /// Number of grid points the full cartesian product would expand to —
+    /// an upper bound on [`SweepGrid::scenarios`]' length, since baseline
+    /// points collapse the axes the behaviour-level model ignores.
+    pub fn points(&self) -> usize {
+        fn axis(len: usize) -> usize {
+            len.max(1)
+        }
+        axis(self.networks.len())
+            * axis(self.resolutions.len())
+            * axis(self.mappings.len())
+            * axis(self.batches.len())
+            * axis(self.simulators.len())
+            * axis(self.rob_sizes.len())
+            * axis(self.adcs_per_xbar.len())
+            * axis(self.vector_lanes.len())
+            * axis(self.flit_bytes.len())
+            * axis(self.structure_hazard.len())
+    }
+
+    /// Expands the cartesian product into concrete scenarios, in a fixed
+    /// axis order (networks outermost, then resolution, mapping, batch,
+    /// simulator, ROB, ADCs, lanes, flit width, hazard innermost).
+    ///
+    /// Baseline-simulator points ignore the mapping, batch, ROB, and
+    /// structure-hazard axes (the behaviour-level model has none of
+    /// them): one baseline point is emitted per remaining axis
+    /// combination — pinned to performance-first, batch 1 and the first
+    /// ROB / hazard axis values — instead of duplicating identical
+    /// simulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::EmptyGrid`] when no networks are given,
+    /// [`SweepError::UnknownNetwork`] / [`SweepError::UnknownMapping`] /
+    /// [`SweepError::UnknownSimulator`] for bad axis values, and
+    /// [`SweepError::Arch`] when the base configuration is invalid.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, SweepError> {
+        if self.networks.is_empty() {
+            return Err(SweepError::EmptyGrid);
+        }
+        let base = self.base_arch();
+        base.validate()?;
+        let mappings = if self.mappings.is_empty() {
+            vec![MappingPolicy::PerformanceFirst]
+        } else {
+            self.mappings
+                .iter()
+                .map(|m| parse_mapping(m))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let simulators = if self.simulators.is_empty() {
+            vec![SimulatorKind::Cycle]
+        } else {
+            self.simulators
+                .iter()
+                .map(|s| s.parse())
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let batches = non_empty(&self.batches, 1);
+        let robs = non_empty(&self.rob_sizes, base.resources.rob_size);
+        let adcs = non_empty(&self.adcs_per_xbar, base.resources.adcs_per_xbar);
+        let lanes = non_empty(&self.vector_lanes, base.resources.vector_lanes);
+        let flits = non_empty(&self.flit_bytes, base.noc.flit_bytes);
+        let hazards = non_empty(&self.structure_hazard, base.sim.structure_hazard);
+
+        let mut out = Vec::with_capacity(self.points());
+        for network in &self.networks {
+            // Validate the name once per network, at expansion time.
+            if !zoo::NAMES.contains(&network.as_str()) {
+                return Err(SweepError::UnknownNetwork(network.clone()));
+            }
+            let resolutions = non_empty(&self.resolutions, default_resolution(network));
+            for &resolution in &resolutions {
+                // Probe each (network, resolution) pair up front: the zoo
+                // builders panic on degenerate resolutions (a pooling
+                // window larger than its input, say), and catching that
+                // here turns it into a clean expansion error instead of a
+                // per-worker unwind mid-campaign.
+                std::panic::catch_unwind(|| zoo::by_name(network, resolution)).map_err(|_| {
+                    SweepError::Config(format!(
+                        "network `{network}` cannot be built at resolution {resolution}"
+                    ))
+                })?;
+                for &mapping in &mappings {
+                    for &batch in &batches {
+                        for &simulator in &simulators {
+                            for &rob in &robs {
+                                for &adc in &adcs {
+                                    for &lane in &lanes {
+                                        for &flit in &flits {
+                                            for &hazard in &hazards {
+                                                // The behaviour-level baseline has no
+                                                // mapping, batch, ROB, or structure
+                                                // hazard: those axes would only
+                                                // duplicate identical simulations (and
+                                                // a misleading per-image latency), so
+                                                // baseline points collapse them to one
+                                                // representative each — performance-
+                                                // first, batch 1, and the first ROB /
+                                                // hazard axis values.
+                                                let baseline = simulator == SimulatorKind::Baseline;
+                                                if baseline
+                                                    && (mapping != mappings[0]
+                                                        || batch != batches[0]
+                                                        || rob != robs[0]
+                                                        || hazard != hazards[0])
+                                                {
+                                                    continue;
+                                                }
+                                                let (mapping, batch) = if baseline {
+                                                    (MappingPolicy::PerformanceFirst, 1)
+                                                } else {
+                                                    (mapping, batch.max(1))
+                                                };
+                                                let mut arch = base.clone();
+                                                arch.resources.rob_size = rob;
+                                                arch.resources.adcs_per_xbar = adc;
+                                                arch.resources.vector_lanes = lane;
+                                                arch.noc.flit_bytes = flit;
+                                                arch.sim.structure_hazard = hazard;
+                                                out.push(Scenario {
+                                                    network: network.clone(),
+                                                    resolution,
+                                                    mapping,
+                                                    batch,
+                                                    simulator,
+                                                    label: String::new(),
+                                                    arch,
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn non_empty<T: Copy>(axis: &[T], default: T) -> Vec<T> {
+    if axis.is_empty() {
+        vec![default]
+    } else {
+        axis.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_counts_and_order() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp", "tiny_cnn"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.rob_sizes = vec![1, 4];
+        grid.mappings = vec![
+            "utilization-first".to_string(),
+            "performance-first".to_string(),
+        ];
+        assert_eq!(grid.points(), 8);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 8);
+        // Networks outermost, ROB innermost.
+        assert_eq!(scenarios[0].network, "tiny_mlp");
+        assert_eq!(scenarios[0].mapping, MappingPolicy::UtilizationFirst);
+        assert_eq!(scenarios[0].arch.resources.rob_size, 1);
+        assert_eq!(scenarios[1].arch.resources.rob_size, 4);
+        assert_eq!(scenarios[2].mapping, MappingPolicy::PerformanceFirst);
+        assert_eq!(scenarios[4].network, "tiny_cnn");
+    }
+
+    #[test]
+    fn empty_axes_inherit_from_base() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 1);
+        let s = &scenarios[0];
+        assert_eq!(s.arch, ArchConfig::small_test());
+        assert_eq!(s.batch, 1);
+        assert_eq!(s.simulator, SimulatorKind::Cycle);
+        assert_eq!(s.resolution, 64);
+        assert_eq!(default_resolution("vgg8"), 32);
+    }
+
+    #[test]
+    fn baseline_points_collapse_ignored_axes() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.mappings = vec![
+            "utilization-first".to_string(),
+            "performance-first".to_string(),
+        ];
+        grid.batches = vec![1, 4];
+        grid.rob_sizes = vec![1, 4];
+        grid.structure_hazard = vec![true, false];
+        grid.adcs_per_xbar = vec![1, 2];
+        grid.simulators = vec!["cycle".to_string(), "baseline".to_string()];
+        let scenarios = grid.scenarios().unwrap();
+        // Cycle: 2 mappings x 2 batches x 2 robs x 2 hazards x 2 adcs = 32.
+        // Baseline ignores mapping/batch/rob/hazard but NOT adcs: 2 points.
+        assert_eq!(scenarios.len(), 34);
+        assert!(grid.points() >= scenarios.len());
+        let baselines: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.simulator == SimulatorKind::Baseline)
+            .collect();
+        assert_eq!(baselines.len(), 2);
+        for b in &baselines {
+            assert_eq!(b.batch, 1);
+            assert_eq!(b.mapping, MappingPolicy::PerformanceFirst);
+            assert_eq!(b.arch.resources.rob_size, 1);
+            assert!(b.arch.sim.structure_hazard);
+        }
+        assert_ne!(
+            baselines[0].arch.resources.adcs_per_xbar,
+            baselines[1].arch.resources.adcs_per_xbar
+        );
+    }
+
+    #[test]
+    fn bad_axis_values_are_rejected() {
+        assert_eq!(
+            SweepGrid::default().scenarios().unwrap_err(),
+            SweepError::EmptyGrid
+        );
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.mappings = vec!["speed-first".into()];
+        assert!(matches!(
+            grid.scenarios().unwrap_err(),
+            SweepError::UnknownMapping(_)
+        ));
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.simulators = vec!["spice".into()];
+        assert!(matches!(
+            grid.scenarios().unwrap_err(),
+            SweepError::UnknownSimulator(_)
+        ));
+        let grid = SweepGrid::over_networks(["nonexistent_net"]);
+        assert!(matches!(
+            grid.scenarios().unwrap_err(),
+            SweepError::UnknownNetwork(_)
+        ));
+    }
+
+    #[test]
+    fn grid_json_roundtrip_and_unknown_fields() {
+        let mut grid = SweepGrid::over_networks(["vgg8"]);
+        grid.rob_sizes = vec![1, 8];
+        grid.simulators = vec!["cycle".into(), "baseline".into()];
+        let text = grid.to_json();
+        assert_eq!(SweepGrid::from_json(&text).unwrap(), grid);
+        assert!(SweepGrid::from_json(r#"{"netwroks": ["vgg8"]}"#).is_err());
+        // Missing axes default to empty.
+        let sparse = SweepGrid::from_json(r#"{"networks": ["vgg8"]}"#).unwrap();
+        assert!(sparse.rob_sizes.is_empty());
+        assert!(sparse.base.is_none());
+    }
+
+    #[test]
+    fn scenario_labels_and_serialization() {
+        let s = Scenario::cycle(
+            "vgg8",
+            32,
+            MappingPolicy::PerformanceFirst,
+            2,
+            ArchConfig::paper_default(),
+        );
+        assert_eq!(
+            s.display_label(),
+            "vgg8/32 performance-first x2 rob=8 cycle"
+        );
+        assert_eq!(s.clone().with_label("custom").display_label(), "custom");
+        let v = s.to_value();
+        assert_eq!(v["mapping"], Value::String("performance-first".into()));
+        assert_eq!(v["simulator"], Value::String("cycle".into()));
+        assert_eq!(v["rob_size"], Value::Number(Number::from_u64(8)));
+        assert_eq!(v["structure_hazard"], Value::Bool(true));
+    }
+
+    #[test]
+    fn simulator_kind_parses() {
+        assert_eq!(
+            "cycle".parse::<SimulatorKind>().unwrap(),
+            SimulatorKind::Cycle
+        );
+        assert_eq!(
+            "baseline".parse::<SimulatorKind>().unwrap(),
+            SimulatorKind::Baseline
+        );
+        assert!("spice".parse::<SimulatorKind>().is_err());
+    }
+}

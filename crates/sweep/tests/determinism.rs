@@ -1,0 +1,95 @@
+//! Campaign determinism: the worker-thread count must never change the
+//! results, and every engine row must match a direct single-scenario run.
+
+use proptest::prelude::*;
+
+use pimsim_arch::ArchConfig;
+use pimsim_compiler::{Compiler, MappingPolicy};
+use pimsim_core::Simulator;
+use pimsim_nn::zoo;
+use pimsim_sweep::{results_to_json, run_grid, Scenario, SweepGrid};
+
+/// A 12-point grid of cheap scenarios on the tiny test chip.
+fn twelve_point_grid() -> SweepGrid {
+    let mut grid = SweepGrid::over_networks(["tiny_mlp", "tiny_cnn"]);
+    grid.base = Some(ArchConfig::small_test());
+    grid.rob_sizes = vec![1, 2, 4];
+    grid.mappings = vec![
+        "utilization-first".to_string(),
+        "performance-first".to_string(),
+    ];
+    grid
+}
+
+#[test]
+fn thread_count_does_not_change_the_json() {
+    let grid = twelve_point_grid();
+    assert!(grid.points() >= 12);
+    let serial = results_to_json(&run_grid(&grid, 1).expect("serial run"));
+    let parallel = results_to_json(&run_grid(&grid, 4).expect("parallel run"));
+    assert_eq!(
+        serial, parallel,
+        "--threads 1 and --threads 4 must be byte-identical"
+    );
+    // And re-running is reproducible outright.
+    let again = results_to_json(&run_grid(&grid, 4).expect("second parallel run"));
+    assert_eq!(parallel, again);
+}
+
+#[test]
+fn rows_match_scenario_execute() {
+    let grid = twelve_point_grid();
+    let rows = run_grid(&grid, 3).expect("grid run");
+    let scenarios = grid.scenarios().expect("expansion");
+    assert_eq!(rows.len(), scenarios.len());
+    for (i, (row, scenario)) in rows.iter().zip(&scenarios).enumerate() {
+        let direct = scenario.execute(i).expect("direct run");
+        assert_eq!(row, &direct, "row {i} diverged from a direct run");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every grid point's report matches a direct `Simulator::run` of the
+    /// same compiled scenario, whatever the knobs.
+    #[test]
+    fn grid_point_matches_direct_simulation(
+        net_idx in 0usize..2,
+        rob in 1u32..6,
+        batch in 1u32..3,
+        perf_first in proptest::strategy::any::<bool>(),
+    ) {
+        let network = ["tiny_mlp", "tiny_cnn"][net_idx];
+        let mapping = if perf_first {
+            MappingPolicy::PerformanceFirst
+        } else {
+            MappingPolicy::UtilizationFirst
+        };
+        let arch = ArchConfig::small_test().with_rob(rob);
+        let scenario = Scenario::cycle(network, 64, mapping, batch, arch.clone());
+        let row = scenario.execute(0).expect("engine run");
+
+        let net = zoo::by_name(network, 64).expect("zoo network");
+        let compiled = Compiler::new(&arch)
+            .mapping(mapping)
+            .batch(batch)
+            .compile(&net)
+            .expect("compiles");
+        let report = Simulator::new(&arch).run(&compiled.program).expect("runs");
+
+        prop_assert_eq!(row.latency_ps, report.latency.as_ps());
+        prop_assert_eq!(
+            row.latency_per_image_ps,
+            (report.latency / batch as u64).as_ps()
+        );
+        prop_assert_eq!(row.energy_pj, report.energy.total().as_pj());
+        prop_assert_eq!(row.instructions, report.instructions);
+        prop_assert_eq!(row.events, report.events);
+        prop_assert_eq!(row.cores_used, compiled.placement.cores_used);
+        prop_assert_eq!(row.node_names.clone(), compiled.node_names.clone());
+        for (i, ratio) in row.comm_ratios.iter().enumerate() {
+            prop_assert_eq!(*ratio, report.comm_ratio(i as u16));
+        }
+    }
+}

@@ -12,64 +12,77 @@
 //! * the crossbar structure hazard (ablation: what an idealized
 //!   conflict-free matrix unit would buy).
 //!
+//! The scenarios run on the `pimsim-sweep` campaign engine: one worker
+//! per host core, results collected in scenario order.
+//!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
-use pimsim::nn::zoo;
 use pimsim::prelude::*;
+use pimsim::sweep::SweepRow;
 
-fn measure(arch: &ArchConfig) -> (SimTime, f64) {
-    let net = zoo::vgg8(32);
-    let compiled = Compiler::new(arch)
-        .mapping(MappingPolicy::PerformanceFirst)
-        .functional(false)
-        .batch(2)
-        .compile(&net)
-        .expect("compiles");
-    let report = Simulator::new(arch).run(&compiled.program).expect("runs");
-    (report.latency / 2, report.energy.total().as_uj() / 2.0)
+const BATCH: u32 = 2;
+
+fn scenario(label: &str, arch: &ArchConfig) -> Scenario {
+    Scenario::cycle(
+        "vgg8",
+        32,
+        MappingPolicy::PerformanceFirst,
+        BATCH,
+        arch.clone(),
+    )
+    .with_label(label)
 }
 
 fn main() {
     let base = ArchConfig::paper_default().with_rob(8);
-    let (lat0, e0) = measure(&base);
+    let mut scenarios = vec![scenario("baseline", &base)];
+    for adcs in [2u32, 4, 8] {
+        let mut a = base.clone();
+        a.resources.adcs_per_xbar = adcs;
+        scenarios.push(scenario(&format!("adcs_per_xbar = {adcs}"), &a));
+    }
+    for lanes in [16u32, 64, 128] {
+        let mut a = base.clone();
+        a.resources.vector_lanes = lanes;
+        scenarios.push(scenario(&format!("vector_lanes = {lanes}"), &a));
+    }
+    for flit in [8u32, 64] {
+        let mut a = base.clone();
+        a.noc.flit_bytes = flit;
+        scenarios.push(scenario(&format!("noc flit = {flit} B"), &a));
+    }
+    {
+        let mut a = base.clone();
+        a.sim.structure_hazard = false;
+        scenarios.push(scenario("no structure hazard (ideal)", &a));
+    }
+
+    let threads = default_threads();
+    let rows = run_scenarios(scenarios, threads).expect("design-space sweep");
+
+    let per_image_uj = |r: &SweepRow| r.energy_pj / 1e6 / BATCH as f64;
+    let (base_row, variants) = rows.split_first().expect("baseline row");
+    let lat0 = base_row.latency_per_image();
+    let e0 = per_image_uj(base_row);
     println!("baseline (paper chip, ROB=8): {lat0} / {e0:.1} uJ per image\n");
     println!(
         "{:<28} {:>12} {:>10} {:>12} {:>10}",
         "variant", "latency", "vs base", "energy", "vs base"
     );
 
-    let show = |name: &str, arch: &ArchConfig| {
-        let (lat, e) = measure(arch);
+    for r in variants {
+        let lat = r.latency_per_image();
+        let e = per_image_uj(r);
         println!(
-            "{name:<28} {:>12} {:>9.2}x {:>10.1} uJ {:>9.2}x",
+            "{:<28} {:>12} {:>9.2}x {:>10.1} uJ {:>9.2}x",
+            r.scenario.display_label(),
             format!("{lat}"),
             lat.as_ns_f64() / lat0.as_ns_f64(),
             e,
             e / e0
         );
-    };
-
-    for adcs in [2u32, 4, 8] {
-        let mut a = base.clone();
-        a.resources.adcs_per_xbar = adcs;
-        show(&format!("adcs_per_xbar = {adcs}"), &a);
-    }
-    for lanes in [16u32, 64, 128] {
-        let mut a = base.clone();
-        a.resources.vector_lanes = lanes;
-        show(&format!("vector_lanes = {lanes}"), &a);
-    }
-    for flit in [8u32, 64] {
-        let mut a = base.clone();
-        a.noc.flit_bytes = flit;
-        show(&format!("noc flit = {flit} B"), &a);
-    }
-    {
-        let mut a = base.clone();
-        a.sim.structure_hazard = false;
-        show("no structure hazard (ideal)", &a);
     }
     println!("\nEach row re-runs the same compiled workload on a different chip —");
     println!("the ISA boundary is what makes the sweep a one-liner (paper §I).");

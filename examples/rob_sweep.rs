@@ -1,16 +1,16 @@
 //! Hardware ROB-capacity exploration (the paper's Fig. 4 experiment).
 //!
-//! Sweeps the re-order buffer size over {1, 4, 8, 12, 16} and prints
-//! latency normalized to ROB=1 for each evaluation network. The paper's
-//! observation: latency falls as the ROB grows, but the 12→16 step gains
-//! little because back-to-back `MVM`s on the same crossbars hit the
-//! *structure hazard*.
+//! Declares the sweep as a `SweepGrid` — networks × ROB depths — and lets
+//! the `pimsim-sweep` campaign engine fan it out across the host's cores,
+//! then prints latency normalized to ROB=1 for each evaluation network.
+//! The paper's observation: latency falls as the ROB grows, but the 12→16
+//! step gains little because back-to-back `MVM`s on the same crossbars hit
+//! the *structure hazard*.
 //!
 //! ```sh
 //! cargo run --release --example rob_sweep
 //! ```
 
-use pimsim::nn::zoo;
 use pimsim::prelude::*;
 
 const NETWORKS: &[&str] = &["alexnet", "googlenet", "resnet18", "squeezenet"];
@@ -19,6 +19,13 @@ const RESOLUTION: u32 = 64;
 const BATCH: u32 = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut grid = SweepGrid::over_networks(NETWORKS.iter().copied());
+    grid.resolutions = vec![RESOLUTION];
+    grid.batches = vec![BATCH];
+    grid.rob_sizes = ROBS.to_vec();
+    let threads = default_threads();
+    let rows = run_grid(&grid, threads)?;
+
     println!("normalized latency vs ROB size (performance-first, batch {BATCH})");
     print!("{:<11}", "network");
     for rob in ROBS {
@@ -26,17 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     for name in NETWORKS {
-        let net = zoo::by_name(name, RESOLUTION).expect("zoo network");
         print!("{name:<11}");
         let mut base = None;
         for &rob in ROBS {
-            let arch = ArchConfig::paper_default().with_rob(rob);
-            let compiled = Compiler::new(&arch)
-                .mapping(MappingPolicy::PerformanceFirst)
-                .batch(BATCH)
-                .compile(&net)?;
-            let report = Simulator::new(&arch).run(&compiled.program)?;
-            let lat = report.latency.as_ns_f64();
+            let point = rows
+                .iter()
+                .find(|r| r.scenario.network == *name && r.scenario.arch.resources.rob_size == rob)
+                .expect("grid covers every (network, rob) point");
+            let lat = point.latency().as_ns_f64();
             let b = *base.get_or_insert(lat);
             print!(" {:>8.3}", lat / b);
         }

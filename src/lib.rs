@@ -17,6 +17,7 @@
 //! * [`compiler`] — mapping, scheduling, fusion, code generation
 //! * [`sim`] — the cycle-accurate simulator
 //! * [`baseline`] — MNSIM2.0-like behaviour-level simulator
+//! * [`sweep`] — parallel design-space campaign engine
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use pimsim_core as sim;
 pub use pimsim_event as event;
 pub use pimsim_isa as isa;
 pub use pimsim_nn as nn;
+pub use pimsim_sweep as sweep;
 
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
@@ -56,4 +58,7 @@ pub mod prelude {
     pub use pimsim_event::SimTime;
     pub use pimsim_isa::Program;
     pub use pimsim_nn::Network;
+    pub use pimsim_sweep::{
+        default_threads, run_grid, run_scenarios, Scenario, SimulatorKind, SweepGrid, SweepRow,
+    };
 }

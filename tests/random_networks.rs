@@ -182,7 +182,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
         max_shrink_iters: 40,
-        .. ProptestConfig::default()
     })]
 
     #[test]
