@@ -1,36 +1,24 @@
 //! Criterion benchmark: raw event-kernel throughput (events per second of
 //! the SystemC-substitute discrete-event engine).
+//!
+//! Each scenario runs twice — once through the typed, allocation-free
+//! kernel and once through the boxed-closure shim — so the cost of
+//! per-event boxing stays visible as the engine evolves. The workloads
+//! live in [`pimsim_bench::kernel_workload`], shared with the
+//! `perf_baseline` trajectory harness so both measure the same thing.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use pimsim_event::{Kernel, SimTime};
+use pimsim_bench::kernel_workload as wl;
 
 fn bench_event_throughput(c: &mut Criterion) {
-    const EVENTS: u64 = 100_000;
     let mut group = c.benchmark_group("event_kernel");
-    group.throughput(Throughput::Elements(EVENTS));
-    group.bench_function("chained_events", |b| {
-        b.iter(|| {
-            let mut k = Kernel::new(0u64);
-            fn step(left: u64, w: &mut u64, ctx: &mut pimsim_event::EventCtx<u64>) {
-                *w += 1;
-                if left > 0 {
-                    ctx.schedule_in(SimTime::from_ps(10), move |w, ctx| step(left - 1, w, ctx));
-                }
-            }
-            k.schedule_at(SimTime::ZERO, move |w, ctx| step(EVENTS - 1, w, ctx));
-            k.run();
-            assert_eq!(*k.world(), EVENTS);
-        })
-    });
-    group.bench_function("heap_pressure", |b| {
-        b.iter(|| {
-            let mut k = Kernel::new(0u64);
-            for i in 0..10_000u64 {
-                k.schedule_at(SimTime::from_ps((i * 7919) % 100_000), |w, _| *w += 1);
-            }
-            k.run();
-            assert_eq!(*k.world(), 10_000);
-        })
+    group.throughput(Throughput::Elements(wl::CHAIN_EVENTS));
+    group.bench_function("chained_events", |b| b.iter(wl::chain_typed));
+    group.bench_function("chained_events_closure_shim", |b| b.iter(wl::chain_closure));
+    group.throughput(Throughput::Elements(wl::HEAP_EVENTS));
+    group.bench_function("heap_pressure", |b| b.iter(wl::heap_pressure_typed));
+    group.bench_function("heap_pressure_closure_shim", |b| {
+        b.iter(wl::heap_pressure_closure)
     });
     group.finish();
 }

@@ -1,0 +1,101 @@
+//! Records the repo's performance trajectory: kernel events/sec and
+//! end-to-end simulation throughput per zoo network, written as JSON so
+//! future PRs have a baseline to compare against.
+//!
+//! ```text
+//! cargo run -p pimsim-bench --release --bin perf_baseline [-- <out.json>]
+//! ```
+//!
+//! Quick by default (a few best-of-N samples per datum, seconds total);
+//! set `PIMSIM_PERF_SAMPLES` to raise the sample count.
+
+use std::time::Instant;
+
+use pimsim_arch::ArchConfig;
+use pimsim_bench::kernel_workload as wl;
+use pimsim_compiler::{Compiler, MappingPolicy};
+use pimsim_core::Simulator;
+use pimsim_nn::zoo;
+
+/// Networks tracked end-to-end (all simulate in well under a second).
+const NETWORKS: &[&str] = &[
+    "tiny_mlp",
+    "tiny_cnn",
+    "lenet",
+    "alexnet",
+    "squeezenet",
+    "vgg8",
+];
+
+/// Best-of-`samples` wall-clock seconds for `f`.
+fn best_secs(samples: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let samples: u32 = std::env::var("PIMSIM_PERF_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    // Kernel microbenchmark: the same chained-event workload the `kernel`
+    // criterion bench runs, typed vs the boxed-closure shim (the old
+    // engine's representation).
+    let typed = best_secs(samples, wl::chain_typed);
+    let closure = best_secs(samples, wl::chain_closure);
+    let kernel = serde_json::json!({
+        "chained_events": (wl::CHAIN_EVENTS),
+        "typed_events_per_sec": ((wl::CHAIN_EVENTS as f64 / typed).round()),
+        "closure_shim_events_per_sec": ((wl::CHAIN_EVENTS as f64 / closure).round()),
+        "typed_speedup": (closure / typed),
+    });
+
+    // End-to-end: compile once, then time Simulator::run per network.
+    let arch = ArchConfig::paper_default();
+    let mut simulator = Vec::new();
+    for name in NETWORKS {
+        let net =
+            zoo::by_name(name, pimsim_sweep::default_resolution(name)).expect("zoo network exists");
+        let compiled = Compiler::new(&arch)
+            .mapping(MappingPolicy::PerformanceFirst)
+            .functional(false)
+            .compile(&net)
+            .expect("compiles");
+        let report = Simulator::new(&arch)
+            .run(&compiled.program)
+            .expect("simulates");
+        let secs = best_secs(samples, || {
+            Simulator::new(&arch)
+                .run(&compiled.program)
+                .expect("simulates");
+        });
+        simulator.push(serde_json::json!({
+            "network": (*name),
+            "latency_ns": (report.latency.as_ns_f64()),
+            "kernel_events": (report.events),
+            "instructions": (report.instructions),
+            "host_seconds": (secs),
+            "events_per_host_sec": ((report.events as f64 / secs).round()),
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "pr": 3,
+        "description": "perf baseline after the typed-event kernel + machine pipeline split",
+        "samples_per_datum": samples,
+        "kernel": kernel,
+        "simulator": simulator,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    std::fs::write(&out, text + "\n").expect("writes the baseline file");
+    println!("wrote {out}");
+}

@@ -43,12 +43,99 @@ pub fn header(cells: &[&str]) {
     );
 }
 
+/// Shared event-kernel workloads, used by both the `kernel` criterion
+/// bench and the `perf_baseline` trajectory harness so the two always
+/// measure the same scenario (a drift between them would silently
+/// invalidate cross-PR events/sec comparisons).
+pub mod kernel_workload {
+    use pimsim_event::closure::{ClosureCtx, ClosureKernel};
+    use pimsim_event::{EventCtx, Kernel, SimTime, World};
+
+    /// Events per chained-run sample (each event schedules the next).
+    pub const CHAIN_EVENTS: u64 = 100_000;
+    /// Independent one-shot events per heap-pressure sample.
+    pub const HEAP_EVENTS: u64 = 10_000;
+
+    /// Typed world: one chained event hopping `left` more times.
+    pub struct Chain(u64);
+
+    impl World for Chain {
+        type Event = u64;
+        fn handle(&mut self, left: u64, ctx: &mut EventCtx<u64>) {
+            self.0 += 1;
+            if left > 0 {
+                ctx.schedule_in(SimTime::from_ps(10), left - 1);
+            }
+        }
+    }
+
+    /// Typed world: counts independent one-shot ticks.
+    pub struct Count(u64);
+
+    impl World for Count {
+        type Event = ();
+        fn handle(&mut self, _: (), _: &mut EventCtx<()>) {
+            self.0 += 1;
+        }
+    }
+
+    /// Runs the chained scenario on the typed kernel.
+    pub fn chain_typed() {
+        let mut k = Kernel::new(Chain(0));
+        k.schedule_at(SimTime::ZERO, CHAIN_EVENTS - 1);
+        k.run();
+        assert_eq!(k.world().0, CHAIN_EVENTS);
+    }
+
+    /// The identical chained scenario through the boxed-closure shim.
+    pub fn chain_closure() {
+        let mut k = ClosureKernel::new(0u64);
+        fn step(left: u64, w: &mut u64, ctx: &mut ClosureCtx<u64>) {
+            *w += 1;
+            if left > 0 {
+                ctx.schedule_fn_in(SimTime::from_ps(10), move |w, ctx| step(left - 1, w, ctx));
+            }
+        }
+        k.schedule_at(SimTime::ZERO, move |w, ctx| step(CHAIN_EVENTS - 1, w, ctx));
+        k.run();
+        assert_eq!(*k.state(), CHAIN_EVENTS);
+    }
+
+    /// Scatters independent events across the heap on the typed kernel.
+    pub fn heap_pressure_typed() {
+        let mut k = Kernel::new(Count(0));
+        for i in 0..HEAP_EVENTS {
+            k.schedule_at(SimTime::from_ps((i * 7919) % 100_000), ());
+        }
+        k.run();
+        assert_eq!(k.world().0, HEAP_EVENTS);
+    }
+
+    /// The identical heap-pressure scenario through the closure shim.
+    pub fn heap_pressure_closure() {
+        let mut k = ClosureKernel::new(0u64);
+        for i in 0..HEAP_EVENTS {
+            k.schedule_at(SimTime::from_ps((i * 7919) % 100_000), |w, _| *w += 1);
+        }
+        k.run();
+        assert_eq!(*k.state(), HEAP_EVENTS);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pimsim_arch::ArchConfig;
     use pimsim_nn::zoo;
     use pimsim_sweep::{run_grid, SweepGrid};
+
+    #[test]
+    fn kernel_workloads_run_on_both_paths() {
+        kernel_workload::chain_typed();
+        kernel_workload::chain_closure();
+        kernel_workload::heap_pressure_typed();
+        kernel_workload::heap_pressure_closure();
+    }
 
     #[test]
     fn harness_grid_runs_on_the_engine() {

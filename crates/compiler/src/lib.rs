@@ -14,7 +14,7 @@
 //!    hold several layers and a matrix may be split across cores) or
 //!    [`MappingPolicy::PerformanceFirst`] (each core holds at most one
 //!    layer's weights).
-//! 3. **Code generation** ([`codegen`]) — emits the four instruction
+//! 3. **Code generation** (producing a [`Compiled`]) — emits the four instruction
 //!    classes with operator fusion (bias, requantization and activation run
 //!    on MVM outputs in place), crossbar *group* formation per row-block,
 //!    synchronized row-granular transfers between producer and consumer

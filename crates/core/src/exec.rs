@@ -18,9 +18,19 @@ pub struct Memory {
 impl Memory {
     /// Reads `len` elements at `addr` (reads past the high-water mark are
     /// zero, matching the zero-initialized scratchpad assumption).
+    ///
+    /// The scan runs in `u64` so `addr + len` near `u32::MAX` cannot wrap
+    /// (a wrap would panic in debug builds and silently alias address 0 in
+    /// release builds).
     pub fn read(&self, addr: u32, len: u32) -> Vec<i32> {
-        (addr..addr + len)
-            .map(|a| self.data.get(a as usize).copied().unwrap_or(0))
+        (addr as u64..addr as u64 + len as u64)
+            .map(|a| {
+                usize::try_from(a)
+                    .ok()
+                    .and_then(|a| self.data.get(a))
+                    .copied()
+                    .unwrap_or(0)
+            })
             .collect()
     }
 
@@ -204,6 +214,18 @@ mod tests {
     fn memory_reads_unwritten_as_zero() {
         let mem = Memory::default();
         assert_eq!(mem.read(100, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn memory_read_near_u32_max_does_not_wrap() {
+        // Regression: `addr + len` used to be computed in u32, panicking in
+        // debug builds (and wrapping to address 0 in release) for reads
+        // ending past u32::MAX.
+        let mut mem = Memory::default();
+        mem.write(0, &[41, 42, 43]);
+        assert_eq!(mem.read(u32::MAX - 2, 8), vec![0; 8]);
+        // The wrap would have aliased the data at address 0.
+        assert!(mem.read(u32::MAX, 4).iter().all(|&v| v == 0));
     }
 
     #[test]

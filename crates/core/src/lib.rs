@@ -77,7 +77,7 @@ mod noc;
 mod resolve;
 mod stats;
 
-pub use machine::{SimError, Simulator};
+pub use machine::{DefaultTiming, SimError, Simulator, TimingModel};
 pub use noc::{Noc, MEM_NODE};
 pub use stats::{CoreStats, EnergyBreakdown, NodeStats, SimReport, TraceEntry, TRACE_CAP};
 

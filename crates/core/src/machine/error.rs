@@ -1,0 +1,76 @@
+//! The simulation error taxonomy.
+
+use std::error::Error;
+use std::fmt;
+
+use pimsim_arch::ArchError;
+use pimsim_event::SimTime;
+use pimsim_isa::IsaError;
+
+/// Errors produced by a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// The program failed validation against the architecture.
+    InvalidProgram(IsaError),
+    /// The architecture configuration is invalid.
+    Arch(ArchError),
+    /// Simulation stopped making progress before all cores halted
+    /// (mismatched rendezvous, circular wait...).
+    Deadlock {
+        /// Time at which the event queue drained.
+        time: SimTime,
+        /// Human-readable description of stuck cores.
+        detail: String,
+    },
+    /// The `sim.max_cycles` safety horizon was reached.
+    Timeout {
+        /// The horizon, in core cycles.
+        max_cycles: u64,
+    },
+    /// A matched send/recv pair disagreed on payload length.
+    TagMismatch {
+        /// Description of the mismatching pair.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            SimError::Arch(e) => write!(f, "invalid architecture: {e}"),
+            SimError::Deadlock { time, detail } => {
+                write!(f, "deadlock at {time}: {detail}")
+            }
+            SimError::Timeout { max_cycles } => {
+                write!(
+                    f,
+                    "simulation exceeded the {max_cycles}-cycle safety horizon"
+                )
+            }
+            SimError::TagMismatch { detail } => write!(f, "transfer tag mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidProgram(e) => Some(e),
+            SimError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for SimError {
+    fn from(e: IsaError) -> Self {
+        SimError::InvalidProgram(e)
+    }
+}
+
+impl From<ArchError> for SimError {
+    fn from(e: ArchError) -> Self {
+        SimError::Arch(e)
+    }
+}

@@ -1,0 +1,158 @@
+//! The simulation machine, decomposed into a component pipeline.
+//!
+//! The monolithic machine has been split along the hardware's own seams;
+//! each stage owns one concern and one module:
+//!
+//! * [`frontend`] — fetch/decode/dispatch pacing and scalar execution,
+//! * [`rob`] — per-core re-order buffer: in-flight entries, hazard scan,
+//!   in-order retirement,
+//! * [`units`] — matrix/vector execution units: issue, occupancy,
+//!   completion,
+//! * [`transfer`] — the rendezvous transfer fabric: flow-controlled
+//!   channels, credit bookkeeping, global-memory traffic,
+//! * [`timing`] — the [`TimingModel`] seam between dispatch and cost
+//!   lookup (swap in alternative unit timings without touching the run
+//!   loop),
+//! * [`run`] — the [`Simulator`] entry point: world construction, the
+//!   event loop, deadlock detection, report assembly,
+//! * [`error`] — the [`SimError`] taxonomy.
+//!
+//! The [`Machine`] defined here is the [`World`] driven by the typed
+//! event kernel: all cross-component choreography happens through the
+//! three [`MachineEvent`]s, so the timing behaviour of a run is exactly
+//! the event schedule those variants produce.
+
+pub(crate) mod error;
+pub(crate) mod frontend;
+pub(crate) mod rob;
+pub(crate) mod run;
+pub(crate) mod timing;
+pub(crate) mod transfer;
+pub(crate) mod units;
+
+use pimsim_arch::ArchConfig;
+use pimsim_event::{EventCtx, SimTime, World};
+
+use crate::exec::Memory;
+use crate::noc::Noc;
+use crate::stats::{EnergyBreakdown, NodeStats, TraceEntry, TRACE_CAP};
+
+pub use error::SimError;
+pub use run::Simulator;
+pub use timing::{DefaultTiming, TimingModel};
+
+use rob::Core;
+use transfer::{ChannelKey, Pending, TransferFabric};
+
+/// Run-wide counters and the optional instruction trace, collected by
+/// every pipeline stage and folded into the final `SimReport`.
+#[derive(Debug)]
+pub(crate) struct Telemetry {
+    pub(crate) energy: EnergyBreakdown,
+    /// Dynamic counts by class `[matrix, vector, transfer, scalar]`.
+    pub(crate) class_counts: [u64; 4],
+    pub(crate) instructions: u64,
+    /// Per-node (tag) attribution; index = tag value.
+    pub(crate) per_node: Vec<NodeStats>,
+    pub(crate) trace_on: bool,
+    pub(crate) trace: Vec<TraceEntry>,
+}
+
+impl Telemetry {
+    pub(crate) fn new(trace_on: bool) -> Telemetry {
+        Telemetry {
+            energy: EnergyBreakdown::default(),
+            class_counts: [0; 4],
+            instructions: 0,
+            per_node: Vec::new(),
+            trace_on,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The stats bucket for node `tag`, growing the table as needed.
+    pub(crate) fn node(&mut self, tag: u16) -> &mut NodeStats {
+        let idx = tag as usize;
+        if self.per_node.len() <= idx {
+            self.per_node.resize(idx + 1, NodeStats::default());
+        }
+        &mut self.per_node[idx]
+    }
+
+    /// `true` while the trace wants more entries. Checked *before*
+    /// rendering instruction text: once the cap is hit the trace can never
+    /// grow again, so skipping the formatting is observationally free.
+    pub(crate) fn trace_live(&self) -> bool {
+        self.trace_on && self.trace.len() < TRACE_CAP
+    }
+
+    /// Appends a trace entry unless the cap has been reached.
+    pub(crate) fn record_trace(&mut self, time: SimTime, core: u16, instr: String) {
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push(TraceEntry { time, core, instr });
+        }
+    }
+}
+
+/// The events that drive the machine. Everything the pipeline does at a
+/// later simulated time is one of these three wake-ups.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MachineEvent {
+    /// The frontend of `core` may try to dispatch again (pacing timer).
+    Advance { core: usize },
+    /// The execution-unit occupancy of ROB entry `seq` on `core` ends.
+    Complete { core: usize, seq: u64 },
+    /// A message's tail flit arrives at the receiving end of `key`.
+    Deposit {
+        key: ChannelKey,
+        send: Pending,
+        len: u32,
+    },
+}
+
+/// Scheduling context alias used throughout the machine modules.
+pub(crate) type Ctx = EventCtx<MachineEvent>;
+
+/// The complete simulated chip: per-core frontends and ROBs, the
+/// execution units, the NoC, the transfer fabric, and the telemetry
+/// sink — the [`World`] the event kernel drives.
+pub(crate) struct Machine<'a> {
+    pub(crate) cfg: &'a ArchConfig,
+    pub(crate) timing: &'a dyn TimingModel,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) noc: Noc,
+    pub(crate) gmem: Memory,
+    pub(crate) fabric: TransferFabric,
+    pub(crate) functional: bool,
+    pub(crate) dispatch_interval: SimTime,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) error: Option<SimError>,
+    /// Timestamp of the last real activity (the kernel clock advances to
+    /// the horizon when the queue drains; latency must not).
+    pub(crate) finish_time: SimTime,
+}
+
+impl Machine<'_> {
+    /// Records the first error and stops the kernel.
+    pub(crate) fn fail(&mut self, err: SimError, ctx: &mut Ctx) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+        ctx.stop();
+    }
+}
+
+impl World for Machine<'_> {
+    type Event = MachineEvent;
+
+    fn handle(&mut self, ev: MachineEvent, ctx: &mut Ctx) {
+        match ev {
+            MachineEvent::Advance { core } => {
+                self.cores[core].advance_pending = false;
+                self.try_advance(core, ctx);
+            }
+            MachineEvent::Complete { core, seq } => self.complete(core, seq, ctx),
+            MachineEvent::Deposit { key, send, len } => self.deposit(key, send, len, ctx),
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-core re-order buffer: in-flight entries, the hazard/availability
+//! scan that picks the next issuable instruction, and in-order retirement.
+
+use std::collections::VecDeque;
+
+use pimsim_event::SimTime;
+use pimsim_isa::{GroupConfig, InstrClass, Instruction};
+
+use crate::exec::Memory;
+use crate::resolve::{Range, Resolved};
+use crate::stats::CoreStats;
+
+/// Lifecycle of one ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum State {
+    Waiting,
+    Executing,
+    Done,
+}
+
+/// One instruction in flight between dispatch and retirement.
+#[derive(Debug)]
+pub(crate) struct InFlight {
+    pub(crate) seq: u64,
+    pub(crate) res: Resolved,
+    pub(crate) class: InstrClass,
+    pub(crate) tag: u16,
+    pub(crate) state: State,
+    pub(crate) issue_at: SimTime,
+    /// Rendered assembly, kept only while the trace wants entries.
+    pub(crate) text: Option<String>,
+    pub(crate) reads: Vec<Range>,
+    pub(crate) writes: Vec<Range>,
+    /// Global-memory interval `[start, end)` touched, with `true` = write.
+    pub(crate) gmem: Option<(u64, u64, bool)>,
+    /// Crossbars this MVM occupies (empty otherwise).
+    pub(crate) xbars: Vec<u32>,
+}
+
+/// Do two optional global accesses conflict (overlap with a write)?
+fn gmem_conflict(a: &Option<(u64, u64, bool)>, b: &Option<(u64, u64, bool)>) -> bool {
+    match (a, b) {
+        (Some((s1, e1, w1)), Some((s2, e2, w2))) => (*w1 || *w2) && s1 < e2 && s2 < e1,
+        _ => false,
+    }
+}
+
+/// One simulated core: frontend state, register file, ROB, execution-unit
+/// occupancy, program and local memory.
+#[derive(Debug)]
+pub(crate) struct Core {
+    pub(crate) pc: u32,
+    pub(crate) regs: [i32; 32],
+    pub(crate) halted: bool,
+    pub(crate) rob: VecDeque<InFlight>,
+    pub(crate) rob_size: usize,
+    pub(crate) next_dispatch: SimTime,
+    pub(crate) advance_pending: bool,
+    pub(crate) vector_busy: bool,
+    pub(crate) busy_xbars: Vec<u32>,
+    pub(crate) seq_next: u64,
+    pub(crate) instrs: Vec<Instruction>,
+    pub(crate) groups: Vec<GroupConfig>,
+    pub(crate) tags: Vec<u16>,
+    pub(crate) mem: Memory,
+    pub(crate) stats: CoreStats,
+}
+
+impl Core {
+    /// The ROB entry with sequence number `seq`, if still in flight.
+    pub(crate) fn find(&mut self, seq: u64) -> Option<&mut InFlight> {
+        self.rob.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Builds the in-flight entry for a freshly dispatched memory-class
+    /// instruction — hazard ranges, global-memory interval, crossbar
+    /// occupancy — and appends it to the ROB.
+    pub(crate) fn admit(
+        &mut self,
+        tag: u16,
+        class: InstrClass,
+        res: Resolved,
+        text: Option<String>,
+    ) {
+        let (mvm_out, xbars) = match &res {
+            Resolved::Mvm { group, .. } => {
+                let g = &self.groups[group.as_usize()];
+                (g.output_len, g.xbar_ids.clone())
+            }
+            _ => (0, Vec::new()),
+        };
+        let seq = self.seq_next;
+        self.seq_next += 1;
+        let gmem = match &res {
+            Resolved::GLoad { gaddr, len, .. } => Some((*gaddr, gaddr + *len as u64, false)),
+            Resolved::GStore { gaddr, len, .. } => Some((*gaddr, gaddr + *len as u64, true)),
+            _ => None,
+        };
+        self.rob.push_back(InFlight {
+            seq,
+            reads: res.reads(),
+            writes: res.writes(mvm_out),
+            gmem,
+            res,
+            class,
+            tag,
+            state: State::Waiting,
+            issue_at: SimTime::ZERO,
+            text,
+            xbars,
+        });
+    }
+
+    /// The flow-control channel of a transfer, if any: `(src, dst, tag)`.
+    pub(crate) fn channel_key(c: u16, res: &Resolved) -> Option<(u16, u16, u16)> {
+        match res {
+            Resolved::Send { peer, tag, .. } => Some((c, *peer, *tag)),
+            Resolved::Recv { peer, tag, .. } => Some((*peer, c, *tag)),
+            _ => None,
+        }
+    }
+
+    /// Scans the ROB in age order for the oldest `Waiting` entry that has
+    /// no hazard against older in-flight instructions and whose execution
+    /// unit is available. `core_id` is this core's mesh id (for channel
+    /// FIFO checks); `structure_hazard` gates the paper's same-crossbar
+    /// serialization rule.
+    pub(crate) fn next_issuable(&self, core_id: u16, structure_hazard: bool) -> Option<u64> {
+        'scan: for (i, e) in self.rob.iter().enumerate() {
+            if e.state != State::Waiting {
+                continue;
+            }
+            // Hazards against older in-flight instructions.
+            for older in self.rob.iter().take(i) {
+                if older.state == State::Done {
+                    continue;
+                }
+                let raw = e
+                    .reads
+                    .iter()
+                    .any(|r| older.writes.iter().any(|w| r.overlaps(w)));
+                let waw = e
+                    .writes
+                    .iter()
+                    .any(|r| older.writes.iter().any(|w| r.overlaps(w)));
+                let war = e
+                    .writes
+                    .iter()
+                    .any(|r| older.reads.iter().any(|w| r.overlaps(w)));
+                if raw || waw || war || gmem_conflict(&e.gmem, &older.gmem) {
+                    continue 'scan;
+                }
+                // Transfers may overtake each other *across* channels, but
+                // each (src, dst, tag) channel stays FIFO so messages
+                // match in program order.
+                if e.class == InstrClass::Transfer && older.class == InstrClass::Transfer {
+                    let ek = Self::channel_key(core_id, &e.res);
+                    let ok = Self::channel_key(core_id, &older.res);
+                    if ek.is_some() && ek == ok {
+                        continue 'scan;
+                    }
+                }
+            }
+            // Structural availability.
+            let ok = match e.class {
+                InstrClass::Vector => !self.vector_busy,
+                // The transfer unit pipelines: waits cost time but do not
+                // block unrelated channels.
+                InstrClass::Transfer => true,
+                InstrClass::Matrix => {
+                    // The paper's structure hazard: same crossbar ⇒ wait
+                    // (an ablation flag can disable the rule).
+                    !structure_hazard || e.xbars.iter().all(|x| !self.busy_xbars.contains(x))
+                }
+                InstrClass::Scalar => unreachable!("scalar instructions never enter the ROB"),
+            };
+            if ok {
+                return Some(e.seq);
+            }
+        }
+        None
+    }
+
+    /// Pops retired (`Done`) entries from the ROB head, in order.
+    pub(crate) fn retire(&mut self) {
+        while matches!(self.rob.front(), Some(e) if e.state == State::Done) {
+            self.rob.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmem_conflicts_require_a_write_and_overlap() {
+        let read = Some((0u64, 10u64, false));
+        let write = Some((5u64, 15u64, true));
+        let far_write = Some((20u64, 30u64, true));
+        assert!(gmem_conflict(&read, &write));
+        assert!(gmem_conflict(&write, &write));
+        assert!(!gmem_conflict(&read, &read), "two reads never conflict");
+        assert!(
+            !gmem_conflict(&read, &far_write),
+            "disjoint never conflicts"
+        );
+        assert!(!gmem_conflict(&None, &write));
+    }
+
+    fn entry(seq: u64, class: InstrClass, res: Resolved) -> InFlight {
+        InFlight {
+            seq,
+            reads: res.reads(),
+            writes: res.writes(0),
+            gmem: None,
+            res,
+            class,
+            tag: 0,
+            state: State::Waiting,
+            issue_at: SimTime::ZERO,
+            text: None,
+            xbars: Vec::new(),
+        }
+    }
+
+    fn test_core() -> Core {
+        Core {
+            pc: 0,
+            regs: [0; 32],
+            halted: false,
+            rob: VecDeque::new(),
+            rob_size: 8,
+            next_dispatch: SimTime::ZERO,
+            advance_pending: false,
+            vector_busy: false,
+            busy_xbars: Vec::new(),
+            seq_next: 0,
+            instrs: Vec::new(),
+            groups: Vec::new(),
+            tags: Vec::new(),
+            mem: Memory::default(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    #[test]
+    fn raw_hazard_blocks_younger_entry() {
+        let mut core = test_core();
+        core.rob.push_back(entry(
+            0,
+            InstrClass::Vector,
+            Resolved::VFill {
+                dst: 0,
+                value: 1,
+                len: 8,
+            },
+        ));
+        core.rob.push_back(entry(
+            1,
+            InstrClass::Vector,
+            Resolved::VUn {
+                op: pimsim_isa::VUnOp::Relu,
+                dst: 100,
+                src: 4,
+                len: 8,
+            },
+        ));
+        // Entry 0 issuable first; entry 1 reads what 0 writes.
+        assert_eq!(core.next_issuable(0, true), Some(0));
+        core.rob[0].state = State::Executing;
+        core.vector_busy = true;
+        assert_eq!(core.next_issuable(0, true), None);
+        // Once 0 is done, 1 becomes issuable.
+        core.rob[0].state = State::Done;
+        core.vector_busy = false;
+        assert_eq!(core.next_issuable(0, true), Some(1));
+    }
+
+    #[test]
+    fn same_channel_transfers_stay_fifo() {
+        let mut core = test_core();
+        let send = |seq| {
+            entry(
+                seq,
+                InstrClass::Transfer,
+                Resolved::Send {
+                    peer: 1,
+                    src: 0,
+                    len: 4,
+                    tag: 7,
+                },
+            )
+        };
+        let mut older = send(0);
+        older.state = State::Executing;
+        core.rob.push_back(older);
+        core.rob.push_back(send(1));
+        // Same (src, dst, tag) channel: the younger send must wait...
+        assert_eq!(core.next_issuable(0, true), None);
+        // ...but a different tag may overtake.
+        core.rob.push_back(entry(
+            2,
+            InstrClass::Transfer,
+            Resolved::Send {
+                peer: 1,
+                src: 100,
+                len: 4,
+                tag: 8,
+            },
+        ));
+        assert_eq!(core.next_issuable(0, true), Some(2));
+    }
+
+    #[test]
+    fn structure_hazard_flag_gates_crossbar_conflicts() {
+        let mut core = test_core();
+        core.busy_xbars = vec![3];
+        let mut e = entry(
+            0,
+            InstrClass::Matrix,
+            Resolved::Mvm {
+                group: pimsim_isa::GroupId(0),
+                dst: 0,
+                src: 100,
+                len: 4,
+            },
+        );
+        e.xbars = vec![3];
+        core.rob.push_back(e);
+        assert_eq!(core.next_issuable(0, true), None, "hazard enforced");
+        assert_eq!(core.next_issuable(0, false), Some(0), "ablation disables");
+    }
+
+    #[test]
+    fn retire_pops_done_prefix_only() {
+        let mut core = test_core();
+        for seq in 0..3 {
+            core.rob.push_back(entry(
+                seq,
+                InstrClass::Vector,
+                Resolved::VFill {
+                    dst: seq as u32 * 100,
+                    value: 0,
+                    len: 1,
+                },
+            ));
+        }
+        core.rob[0].state = State::Done;
+        core.rob[2].state = State::Done;
+        core.retire();
+        // Entry 1 still in flight: 2 must stay queued behind it.
+        assert_eq!(core.rob.len(), 2);
+        assert_eq!(core.rob[0].seq, 1);
+        assert!(core.find(0).is_none());
+        assert!(core.find(2).is_some());
+    }
+}

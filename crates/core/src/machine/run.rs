@@ -1,0 +1,206 @@
+//! The run loop: world construction, the event loop, deadlock detection,
+//! and report assembly.
+
+use std::collections::VecDeque;
+
+use pimsim_arch::model::CostModel;
+use pimsim_arch::ArchConfig;
+use pimsim_event::{Kernel, RunResult, SimTime};
+use pimsim_isa::{Program, ProgramLimits};
+
+use super::rob::Core;
+use super::timing::{DefaultTiming, TimingModel};
+use super::transfer::TransferFabric;
+use super::{error::SimError, Machine, MachineEvent, Telemetry};
+use crate::exec::Memory;
+use crate::noc::Noc;
+use crate::stats::{CoreStats, SimReport};
+
+/// Runs compiled [`Program`]s on a configured chip.
+///
+/// See the crate docs for the machine model. Unit latencies and energies
+/// come from a [`TimingModel`] — [`DefaultTiming`] (the paper's shared
+/// cost tables) unless [`Simulator::with_timing`] swaps in another.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator<'a> {
+    arch: &'a ArchConfig,
+    timing: &'a dyn TimingModel,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over `arch` with the default timing model.
+    pub fn new(arch: &'a ArchConfig) -> Self {
+        Simulator {
+            arch,
+            timing: &DefaultTiming,
+        }
+    }
+
+    /// Replaces the unit-timing model (the run loop is untouched; only
+    /// cost lookups change).
+    pub fn with_timing(mut self, timing: &'a dyn TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Runs `program` to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidProgram`] / [`SimError::Arch`] for malformed inputs,
+    /// * [`SimError::Deadlock`] when transfers can never match,
+    /// * [`SimError::Timeout`] at the `sim.max_cycles` horizon,
+    /// * [`SimError::TagMismatch`] for inconsistent payload lengths.
+    pub fn run(&self, program: &Program) -> Result<SimReport, SimError> {
+        self.arch.validate()?;
+        let limits = ProgramLimits {
+            cores: self.arch.resources.cores(),
+            xbars_per_core: self.arch.resources.xbars_per_core,
+            local_mem_elems: self.arch.resources.local_mem_elems(),
+            global_mem_elems: self.arch.resources.global_mem_elems(),
+        };
+        program.validate(&limits)?;
+
+        let functional = self.arch.sim.functional;
+        let machine = self.build_machine(program, functional);
+        let n_cores = machine.cores.len();
+
+        let mut kernel = Kernel::new(machine);
+        for c in 0..n_cores {
+            if !kernel.world().cores[c].halted {
+                kernel.schedule_at(SimTime::ZERO, MachineEvent::Advance { core: c });
+            }
+        }
+
+        let clock = CostModel::new(self.arch).core_clock();
+        let horizon = clock.cycles_to_time(self.arch.sim.max_cycles);
+        let result = kernel.run_until(horizon);
+        let events = kernel.stats().executed;
+        let mut machine = kernel.into_world();
+        let now = machine.finish_time;
+
+        if let Some(err) = machine.error.take() {
+            return Err(err);
+        }
+        match result {
+            RunResult::Horizon | RunResult::StepBudget => {
+                return Err(SimError::Timeout {
+                    max_cycles: self.arch.sim.max_cycles,
+                })
+            }
+            RunResult::Stopped => unreachable!("stop implies a recorded error"),
+            RunResult::Exhausted => {}
+        }
+        self.check_quiescent(&machine, now)?;
+
+        let latency = now;
+        machine.telemetry.energy.static_energy = CostModel::new(self.arch).static_energy(latency);
+        let per_core = machine.cores.iter().map(|c| c.stats).collect();
+        Ok(SimReport {
+            latency,
+            energy: machine.telemetry.energy,
+            instructions: machine.telemetry.instructions,
+            class_counts: machine.telemetry.class_counts,
+            per_core,
+            per_node: machine.telemetry.per_node,
+            events,
+            trace: machine.telemetry.trace,
+            gmem: functional.then_some(machine.gmem),
+            locals: functional.then(|| machine.cores.into_iter().map(|c| c.mem).collect()),
+        })
+    }
+
+    /// Assembles the machine: one core per mesh slot with its program
+    /// slice, the NoC, global memory, and an empty transfer fabric.
+    fn build_machine(&self, program: &Program, functional: bool) -> Machine<'a> {
+        let dispatch_interval = self.timing.dispatch_interval(self.arch);
+        let decode_offset = self.timing.decode_offset(self.arch);
+
+        let n_cores = self.arch.resources.cores() as usize;
+        let mut cores = Vec::with_capacity(n_cores);
+        for cid in 0..n_cores {
+            let cp = program.cores.get(cid).cloned().unwrap_or_default();
+            let mut mem = Memory::default();
+            if functional {
+                for (start, values) in &cp.local_init {
+                    mem.write(*start, values);
+                }
+            }
+            cores.push(Core {
+                pc: 0,
+                regs: [0; 32],
+                halted: cp.instrs.is_empty(),
+                rob: VecDeque::new(),
+                rob_size: self.arch.resources.rob_size as usize,
+                next_dispatch: decode_offset,
+                advance_pending: false,
+                vector_busy: false,
+                busy_xbars: Vec::new(),
+                seq_next: 0,
+                instrs: cp.instrs,
+                groups: cp.groups,
+                tags: cp.instr_tags,
+                mem,
+                stats: CoreStats::default(),
+            });
+        }
+        let mut gmem = Memory::default();
+        if functional {
+            for (start, values) in &program.global_init {
+                for (i, v) in values.iter().enumerate() {
+                    gmem.set(start + i as u64, *v);
+                }
+            }
+        }
+
+        Machine {
+            cfg: self.arch,
+            timing: self.timing,
+            noc: Noc::for_arch(self.arch),
+            gmem,
+            cores,
+            fabric: TransferFabric::default(),
+            functional,
+            dispatch_interval,
+            telemetry: Telemetry::new(self.arch.sim.trace),
+            error: None,
+            finish_time: SimTime::ZERO,
+        }
+    }
+
+    /// Everything drained: all cores must be halted with empty ROBs,
+    /// otherwise some rendezvous never matched — report a deadlock with
+    /// per-core and per-channel diagnostics.
+    fn check_quiescent(&self, machine: &Machine<'_>, now: SimTime) -> Result<(), SimError> {
+        let stuck: Vec<String> = machine
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, core)| !core.halted || !core.rob.is_empty())
+            .map(|(i, core)| {
+                let rob: Vec<String> = core
+                    .rob
+                    .iter()
+                    .map(|e| format!("{:?}/{:?}/{:?}", e.class, e.state, e.res))
+                    .collect();
+                format!(
+                    "core{i}: pc={} halted={} pending={} next_dispatch={} next_instr={:?} rob=[{}]",
+                    core.pc,
+                    core.halted,
+                    core.advance_pending,
+                    core.next_dispatch,
+                    core.instrs.get(core.pc as usize).map(|x| x.to_string()),
+                    rob.join(" | ")
+                )
+            })
+            .collect();
+        if stuck.is_empty() {
+            return Ok(());
+        }
+        let chans = machine.fabric.congestion_report();
+        Err(SimError::Deadlock {
+            time: now,
+            detail: format!("{}\n{}", stuck.join("; "), chans.join("\n")),
+        })
+    }
+}

@@ -1,0 +1,163 @@
+//! The seam between instruction dispatch and cost lookup.
+//!
+//! The pipeline (frontend, ROB, units) decides *what* happens and *when
+//! to ask*; a [`TimingModel`] decides *how long it takes* and *what it
+//! burns*. Swapping the model changes every latency and energy number
+//! without touching a line of the run loop — the hook alternative
+//! memory/peripheral timings (LP5X-PIM-style studies) plug into.
+//!
+//! Transfers are the exception: their timing is inherently positional
+//! (XY route, per-link occupancy, controller queue) and stays with
+//! [`crate::noc::Noc`] and the shared [`CostModel`].
+
+use std::fmt;
+
+use pimsim_arch::model::{Cost, CostModel};
+use pimsim_arch::{ArchConfig, Energy};
+use pimsim_event::SimTime;
+
+/// Unit-cost lookup for the machine pipeline.
+///
+/// Implementations must be `Send + Sync`: the sweep engine runs one
+/// simulator per worker thread against a shared model. All methods take
+/// the [`ArchConfig`] explicitly so a model can stay a zero-sized
+/// strategy object.
+pub trait TimingModel: fmt::Debug + Send + Sync {
+    /// Minimum spacing between successive dispatches on one core.
+    fn dispatch_interval(&self, cfg: &ArchConfig) -> SimTime;
+
+    /// Time before the first dispatch (fetch + decode pipeline fill).
+    fn decode_offset(&self, cfg: &ArchConfig) -> SimTime;
+
+    /// Fetch/decode energy charged per dispatched instruction.
+    fn frontend_energy(&self, cfg: &ArchConfig) -> Energy;
+
+    /// Cost of one scalar ALU/branch operation (executed at dispatch).
+    fn scalar_cost(&self, cfg: &ArchConfig) -> Cost;
+
+    /// Cost of a vector operation over `len` elements with `reads` source
+    /// and `writes` destination streams.
+    fn vector_cost(&self, cfg: &ArchConfig, len: u32, reads: u32, writes: u32) -> Cost;
+
+    /// Cost of one `MVM` on a group with `input_len` inputs and
+    /// `output_len` outputs spread over `xbar_count` crossbars.
+    fn matrix_cost(
+        &self,
+        cfg: &ArchConfig,
+        input_len: u32,
+        output_len: u32,
+        xbar_count: u32,
+    ) -> Cost;
+}
+
+/// The paper's timing: every cost comes from the shared
+/// [`CostModel`] tables, so the cycle-accurate simulator and the
+/// behaviour-level baseline disagree only in scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultTiming;
+
+impl TimingModel for DefaultTiming {
+    fn dispatch_interval(&self, cfg: &ArchConfig) -> SimTime {
+        let clock = CostModel::new(cfg).core_clock();
+        SimTime::from_ps(clock.period().as_ps() / cfg.timing.dispatch_width.max(1) as u64)
+    }
+
+    fn decode_offset(&self, cfg: &ArchConfig) -> SimTime {
+        CostModel::new(cfg)
+            .core_clock()
+            .cycles_to_time(cfg.timing.decode_cycles as u64)
+    }
+
+    fn frontend_energy(&self, cfg: &ArchConfig) -> Energy {
+        CostModel::new(cfg).frontend_energy()
+    }
+
+    fn scalar_cost(&self, cfg: &ArchConfig) -> Cost {
+        CostModel::new(cfg).scalar_cost()
+    }
+
+    fn vector_cost(&self, cfg: &ArchConfig, len: u32, reads: u32, writes: u32) -> Cost {
+        CostModel::new(cfg).vector_cost(len, reads, writes)
+    }
+
+    fn matrix_cost(
+        &self,
+        cfg: &ArchConfig,
+        input_len: u32,
+        output_len: u32,
+        xbar_count: u32,
+    ) -> Cost {
+        CostModel::new(cfg).mvm_cost(input_len, output_len, xbar_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_timing_matches_cost_model() {
+        let cfg = ArchConfig::paper_default();
+        let m = CostModel::new(&cfg);
+        let t = DefaultTiming;
+        assert_eq!(t.scalar_cost(&cfg), m.scalar_cost());
+        assert_eq!(t.vector_cost(&cfg, 64, 2, 1), m.vector_cost(64, 2, 1));
+        assert_eq!(t.matrix_cost(&cfg, 128, 128, 4), m.mvm_cost(128, 128, 4));
+        assert_eq!(t.frontend_energy(&cfg), m.frontend_energy());
+        assert_eq!(
+            t.decode_offset(&cfg),
+            m.core_clock()
+                .cycles_to_time(cfg.timing.decode_cycles as u64)
+        );
+    }
+
+    #[test]
+    fn dispatch_interval_divides_the_core_period() {
+        let mut cfg = ArchConfig::paper_default();
+        cfg.timing.dispatch_width = 2;
+        let t = DefaultTiming;
+        let period = CostModel::new(&cfg).core_clock().period();
+        assert_eq!(
+            t.dispatch_interval(&cfg),
+            SimTime::from_ps(period.as_ps() / 2)
+        );
+    }
+
+    /// A custom model can be slotted in without the run loop noticing —
+    /// the seam the component split exists for.
+    #[derive(Debug)]
+    struct DoubledScalar;
+
+    impl TimingModel for DoubledScalar {
+        fn dispatch_interval(&self, cfg: &ArchConfig) -> SimTime {
+            DefaultTiming.dispatch_interval(cfg)
+        }
+        fn decode_offset(&self, cfg: &ArchConfig) -> SimTime {
+            DefaultTiming.decode_offset(cfg)
+        }
+        fn frontend_energy(&self, cfg: &ArchConfig) -> Energy {
+            DefaultTiming.frontend_energy(cfg)
+        }
+        fn scalar_cost(&self, cfg: &ArchConfig) -> Cost {
+            let c = DefaultTiming.scalar_cost(cfg);
+            Cost {
+                time: c.time + c.time,
+                energy: c.energy,
+            }
+        }
+        fn vector_cost(&self, cfg: &ArchConfig, len: u32, reads: u32, writes: u32) -> Cost {
+            DefaultTiming.vector_cost(cfg, len, reads, writes)
+        }
+        fn matrix_cost(&self, cfg: &ArchConfig, i: u32, o: u32, x: u32) -> Cost {
+            DefaultTiming.matrix_cost(cfg, i, o, x)
+        }
+    }
+
+    #[test]
+    fn alternative_models_are_object_safe() {
+        let cfg = ArchConfig::paper_default();
+        let models: [&dyn TimingModel; 2] = [&DefaultTiming, &DoubledScalar];
+        let base = models[0].scalar_cost(&cfg).time;
+        assert_eq!(models[1].scalar_cost(&cfg).time, base + base);
+    }
+}

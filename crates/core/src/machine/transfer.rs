@@ -1,0 +1,321 @@
+//! The rendezvous transfer fabric: flow-controlled `(sender, receiver,
+//! tag)` channels with credit-based backpressure, plus global-memory
+//! traffic through the NoC.
+//!
+//! A `SEND` occupies its core's transfer unit until the payload's tail
+//! flit has crossed the mesh *and* been accepted on the receiving side
+//! (rendezvous semantics); a `RECV` parks until a message arrives. Each
+//! channel holds at most `noc.channel_credits` messages in flight or
+//! queued, so senders feel buffer pressure — the synchronization cost the
+//! paper shows behaviour-level models hide.
+//!
+//! Transfer *timing* is positional (XY route, per-link occupancy,
+//! controller queue) and comes from [`Noc`](crate::noc::Noc) walks priced
+//! by the shared [`CostModel`]; the [`TimingModel`](super::TimingModel)
+//! seam covers the execution units only.
+
+use std::collections::{HashMap, VecDeque};
+
+use pimsim_arch::model::CostModel;
+use pimsim_event::SimTime;
+
+use super::error::SimError;
+use super::{Ctx, Machine, MachineEvent};
+use crate::resolve::Resolved;
+
+/// A flow-control channel identifier: `(sender, receiver, tag)`.
+pub(crate) type ChannelKey = (u16, u16, u16);
+
+/// One pending side of a transfer channel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pending {
+    pub(crate) core: u16,
+    pub(crate) seq: u64,
+}
+
+/// A message sitting in a receiver's credit queue.
+#[derive(Debug)]
+pub(crate) struct ArrivedMsg {
+    pub(crate) len: u32,
+    /// Captured payload (functional runs only).
+    pub(crate) data: Vec<i32>,
+}
+
+/// One `(sender, receiver, tag)` flow-controlled channel.
+#[derive(Debug, Default)]
+pub(crate) struct Channel {
+    /// Messages delivered but not yet consumed by a `RECV`.
+    pub(crate) arrived: VecDeque<ArrivedMsg>,
+    /// Messages currently crossing the mesh.
+    pub(crate) in_flight: u32,
+    /// Sends waiting for a credit.
+    pub(crate) waiting_sends: VecDeque<Pending>,
+    /// The receiver's posted `RECV` awaiting a message (at most one:
+    /// the transfer unit is single-occupancy).
+    pub(crate) parked_recv: Option<Pending>,
+}
+
+impl Channel {
+    /// `true` if anything is queued, parked, or on the wire.
+    fn is_active(&self) -> bool {
+        !self.waiting_sends.is_empty()
+            || !self.arrived.is_empty()
+            || self.parked_recv.is_some()
+            || self.in_flight > 0
+    }
+}
+
+/// All rendezvous channels of the chip.
+#[derive(Debug, Default)]
+pub(crate) struct TransferFabric {
+    channels: HashMap<ChannelKey, Channel>,
+}
+
+impl TransferFabric {
+    /// The channel for `key`, created empty on first touch.
+    pub(crate) fn channel(&mut self, key: ChannelKey) -> &mut Channel {
+        self.channels.entry(key).or_default()
+    }
+
+    /// Sorted one-line summaries of channels still holding traffic, for
+    /// deadlock diagnostics.
+    pub(crate) fn congestion_report(&self) -> Vec<String> {
+        let mut chans: Vec<String> = self
+            .channels
+            .iter()
+            .filter(|(_, ch)| ch.is_active())
+            .map(|((s, d, t), ch)| {
+                format!(
+                    "ch({s}->{d},tag{t}): inflight={} arrived={} waitsend={} parkedrecv={}",
+                    ch.in_flight,
+                    ch.arrived.len(),
+                    ch.waiting_sends.len(),
+                    ch.parked_recv.is_some()
+                )
+            })
+            .collect();
+        chans.sort();
+        chans
+    }
+}
+
+impl Machine<'_> {
+    /// Starts an issued transfer-class instruction.
+    pub(crate) fn start_transfer(
+        &mut self,
+        c: usize,
+        seq: u64,
+        res: Resolved,
+        now: SimTime,
+        ctx: &mut Ctx,
+    ) {
+        match res {
+            Resolved::Send { peer, len, tag, .. } => {
+                let credits = self.cfg.noc.channel_credits;
+                let key = (c as u16, peer, tag);
+                let chan = self.fabric.channel(key);
+                if chan.in_flight + chan.arrived.len() as u32 >= credits {
+                    chan.waiting_sends.push_back(Pending {
+                        core: c as u16,
+                        seq,
+                    });
+                } else {
+                    chan.in_flight += 1;
+                    self.launch_send(
+                        key,
+                        Pending {
+                            core: c as u16,
+                            seq,
+                        },
+                        len,
+                        now,
+                        ctx,
+                    );
+                }
+            }
+            Resolved::Recv {
+                peer,
+                block_len,
+                blocks,
+                tag,
+                ..
+            } => {
+                let key = (peer, c as u16, tag);
+                let recv_len = block_len * blocks;
+                let chan = self.fabric.channel(key);
+                if let Some(msg) = chan.arrived.pop_front() {
+                    if msg.len != recv_len {
+                        let detail = format!(
+                            "send core{peer} len {} vs recv core{c} len {recv_len} (tag {tag})",
+                            msg.len
+                        );
+                        self.fail(SimError::TagMismatch { detail }, ctx);
+                        return;
+                    }
+                    self.finish_recv(c, seq, msg, ctx);
+                    // A credit freed: launch one waiting send, if any.
+                    self.kick_channel(key, now, ctx);
+                } else {
+                    debug_assert!(
+                        chan.parked_recv.is_none(),
+                        "transfer unit is single-occupancy"
+                    );
+                    chan.parked_recv = Some(Pending {
+                        core: c as u16,
+                        seq,
+                    });
+                }
+            }
+            Resolved::GLoad { len, .. } | Resolved::GStore { len, .. } => {
+                let m = CostModel::new(self.cfg);
+                let hops = m.config().resources.mesh_hops(c as u16, 0) + 1;
+                let flits = m.flits_for_elems(len);
+                let e_txn = m.noc_energy(flits, hops) + m.global_mem_cost(len).energy;
+                let end = self.noc.memory_access(c as u16, len, now, &m);
+                self.telemetry.energy.transfer += e_txn;
+                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
+                self.telemetry.node(tag).energy += e_txn;
+                ctx.schedule_at(end, MachineEvent::Complete { core: c, seq });
+            }
+            other => unreachable!("transfer class mismatch: {other:?}"),
+        }
+    }
+
+    /// Puts a send on the wire; it deposits into the receiver's queue at
+    /// the tail-flit arrival time.
+    fn launch_send(
+        &mut self,
+        key: ChannelKey,
+        send: Pending,
+        len: u32,
+        now: SimTime,
+        ctx: &mut Ctx,
+    ) {
+        let m = CostModel::new(self.cfg);
+        let e_txn = m.message_energy(key.0, key.1, len);
+        let end = self.noc.message(key.0, key.1, len, now, &m);
+        self.telemetry.energy.transfer += e_txn;
+        let tag = self.cores[send.core as usize]
+            .find(send.seq)
+            .map(|e| e.tag)
+            .unwrap_or(0);
+        self.telemetry.node(tag).energy += e_txn;
+        ctx.schedule_at(end, MachineEvent::Deposit { key, send, len });
+    }
+
+    /// Tail flit arrived at the receiver: the send completes
+    /// ("synchronized"), and either a parked `RECV` consumes the message
+    /// immediately or it waits in the credit queue.
+    pub(crate) fn deposit(&mut self, key: ChannelKey, send: Pending, len: u32, ctx: &mut Ctx) {
+        if self.error.is_some() {
+            return;
+        }
+        // Capture the payload while the sender's buffer is still hazard-protected.
+        let data = if self.functional {
+            let src = match self.cores[send.core as usize].find(send.seq) {
+                Some(e) => match e.res {
+                    Resolved::Send { src, .. } => src,
+                    _ => unreachable!("send side mismatch"),
+                },
+                None => return,
+            };
+            self.cores[send.core as usize].mem.read(src, len)
+        } else {
+            Vec::new()
+        };
+        // Complete the send side.
+        self.finish_transfer_side(send.core as usize, send.seq, ctx);
+        let chan = self.fabric.channel(key);
+        chan.in_flight -= 1;
+        if let Some(recv) = chan.parked_recv.take() {
+            let rc = recv.core as usize;
+            let recv_len = self.cores[rc]
+                .find(recv.seq)
+                .map(|e| e.res.transfer_elems())
+                .unwrap_or(0);
+            if recv_len != len {
+                let detail = format!(
+                    "send core{} len {len} vs recv core{} len {recv_len} (tag {})",
+                    key.0, key.1, key.2
+                );
+                self.fail(SimError::TagMismatch { detail }, ctx);
+                return;
+            }
+            self.finish_recv(rc, recv.seq, ArrivedMsg { len, data }, ctx);
+            self.kick_channel(key, ctx.now(), ctx);
+        } else {
+            self.fabric
+                .channel(key)
+                .arrived
+                .push_back(ArrivedMsg { len, data });
+        }
+    }
+
+    /// A credit became free: launch the oldest waiting send, if any.
+    fn kick_channel(&mut self, key: ChannelKey, now: SimTime, ctx: &mut Ctx) {
+        let credits = self.cfg.noc.channel_credits;
+        let launch = {
+            let chan = self.fabric.channel(key);
+            if chan.in_flight + chan.arrived.len() as u32 >= credits {
+                None
+            } else {
+                chan.waiting_sends.pop_front()
+            }
+        };
+        if let Some(send) = launch {
+            let len = self.cores[send.core as usize]
+                .find(send.seq)
+                .map(|e| e.res.transfer_elems())
+                .unwrap_or(0);
+            self.fabric.channel(key).in_flight += 1;
+            self.launch_send(key, send, len, now, ctx);
+        }
+    }
+
+    /// Completes a `RECV`: writes the payload and retires the entry.
+    fn finish_recv(&mut self, c: usize, seq: u64, msg: ArrivedMsg, ctx: &mut Ctx) {
+        if self.functional {
+            if let Some(e) = self.cores[c].find(seq) {
+                if let Resolved::Recv {
+                    dst,
+                    block_len,
+                    dst_stride,
+                    ..
+                } = e.res
+                {
+                    let (dst, block_len, dst_stride) = (dst, block_len, dst_stride);
+                    let mem = &mut self.cores[c].mem;
+                    if block_len > 0 {
+                        for (b, chunk) in msg.data.chunks(block_len as usize).enumerate() {
+                            let d = (dst as i64 + b as i64 * dst_stride as i64).max(0) as u32;
+                            mem.write(d, chunk);
+                        }
+                    }
+                }
+            }
+        }
+        self.finish_transfer_side(c, seq, ctx);
+    }
+
+    /// Marks one transfer entry done, releases the unit, updates stats,
+    /// retires, and lets the core continue.
+    fn finish_transfer_side(&mut self, c: usize, seq: u64, ctx: &mut Ctx) {
+        let now = ctx.now();
+        self.finish_time = self.finish_time.max(now);
+        let (tag, span, text) = {
+            let Some(e) = self.cores[c].find(seq) else {
+                return;
+            };
+            e.state = super::rob::State::Done;
+            (e.tag, now.saturating_sub(e.issue_at), e.text.take())
+        };
+        if let Some(t) = text {
+            self.telemetry.record_trace(now, c as u16, t);
+        }
+        self.cores[c].stats.transfer_busy += span;
+        self.telemetry.node(tag).comm_time += span;
+        self.cores[c].retire();
+        self.try_issue(c, ctx);
+        self.try_advance(c, ctx);
+    }
+}

@@ -1,0 +1,183 @@
+//! The matrix and vector execution units: issue selection, unit
+//! occupancy, timed completion, and functional payload execution.
+//!
+//! Issue repeatedly asks the ROB for the oldest hazard-free entry whose
+//! unit is free ([`super::rob::Core::next_issuable`]), marks it
+//! `Executing`, and books the unit: the vector unit is single-occupancy,
+//! the matrix unit accepts any number of concurrent `MVM`s with disjoint
+//! crossbar sets, and transfers are handed to [`super::transfer`]. Costs
+//! come from the [`TimingModel`](super::TimingModel) seam — never
+//! computed here — so alternative unit timings slot in without touching
+//! this choreography.
+
+use pimsim_event::SimTime;
+use pimsim_isa::InstrClass;
+
+use super::rob::State;
+use super::{Ctx, Machine, MachineEvent};
+use crate::exec::execute_local;
+use crate::resolve::Resolved;
+
+/// `(len, reads, writes)` streams of a vector operation, for cost lookup.
+fn vector_shape(res: &Resolved) -> (u32, u32, u32) {
+    match res {
+        Resolved::VBin { len, .. } => (*len, 2, 1),
+        Resolved::VImm { len, .. } | Resolved::VUn { len, .. } => (*len, 1, 1),
+        Resolved::VFill { len, .. } => (*len, 0, 1),
+        Resolved::VCopy2d {
+            block_len, blocks, ..
+        } => (block_len * blocks, 1, 1),
+        Resolved::VPool {
+            channels,
+            win_w,
+            win_h,
+            ..
+        } => (channels * win_w * win_h, 1, 1),
+        other => unreachable!("vector class mismatch: {other:?}"),
+    }
+}
+
+impl Machine<'_> {
+    /// Issues every ROB entry that can start right now.
+    pub(crate) fn try_issue(&mut self, c: usize, ctx: &mut Ctx) {
+        if self.error.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        loop {
+            let candidate = self.cores[c].next_issuable(c as u16, self.cfg.sim.structure_hazard);
+            let Some(seq) = candidate else { return };
+            self.start(c, seq, now, ctx);
+        }
+    }
+
+    /// Moves entry `seq` to `Executing` and books its execution unit.
+    fn start(&mut self, c: usize, seq: u64, now: SimTime, ctx: &mut Ctx) {
+        let (class, res) = {
+            let e = self.cores[c].find(seq).expect("entry exists");
+            e.state = State::Executing;
+            e.issue_at = now;
+            (e.class, e.res.clone())
+        };
+        match class {
+            InstrClass::Vector => {
+                let (len, reads, writes) = vector_shape(&res);
+                let cost = self.timing.vector_cost(self.cfg, len, reads, writes);
+                self.cores[c].vector_busy = true;
+                self.telemetry.energy.vector += cost.energy;
+                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
+                self.telemetry.node(tag).energy += cost.energy;
+                let end = now + cost.time;
+                ctx.schedule_at(end, MachineEvent::Complete { core: c, seq });
+            }
+            InstrClass::Matrix => {
+                let Resolved::Mvm { group, .. } = &res else {
+                    unreachable!("matrix class mismatch")
+                };
+                let (inp, outp, nx) = {
+                    let g = &self.cores[c].groups[group.as_usize()];
+                    (g.input_len, g.output_len, g.xbar_ids.len() as u32)
+                };
+                let cost = self.timing.matrix_cost(self.cfg, inp, outp, nx);
+                let xbars = self.cores[c]
+                    .find(seq)
+                    .map(|e| e.xbars.clone())
+                    .unwrap_or_default();
+                self.cores[c].busy_xbars.extend(xbars);
+                self.telemetry.energy.matrix += cost.energy;
+                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
+                self.telemetry.node(tag).energy += cost.energy;
+                let end = now + cost.time;
+                ctx.schedule_at(end, MachineEvent::Complete { core: c, seq });
+            }
+            InstrClass::Transfer => {
+                self.start_transfer(c, seq, res, now, ctx);
+            }
+            InstrClass::Scalar => unreachable!(),
+        }
+    }
+
+    /// A unit occupancy ended: release the unit, account busy time, run
+    /// the functional payload, retire, and let the core continue.
+    pub(crate) fn complete(&mut self, c: usize, seq: u64, ctx: &mut Ctx) {
+        if self.error.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        self.finish_time = self.finish_time.max(now);
+        let functional = self.functional;
+        let (class, res, tag, span, text) = {
+            let Some(e) = self.cores[c].find(seq) else {
+                return;
+            };
+            e.state = State::Done;
+            (
+                e.class,
+                e.res.clone(),
+                e.tag,
+                now.saturating_sub(e.issue_at),
+                e.text.take(),
+            )
+        };
+        if let Some(t) = text {
+            self.telemetry.record_trace(now, c as u16, t);
+        }
+        match class {
+            InstrClass::Vector => {
+                self.cores[c].vector_busy = false;
+                self.cores[c].stats.vector_busy += span;
+                self.telemetry.node(tag).vector_time += span;
+                if functional {
+                    self.execute_functional(c, &res);
+                }
+            }
+            InstrClass::Matrix => {
+                let xbars = self.cores[c]
+                    .find(seq)
+                    .map(|e| e.xbars.clone())
+                    .unwrap_or_default();
+                self.cores[c].busy_xbars.retain(|x| !xbars.contains(x));
+                self.cores[c].stats.matrix_busy += span;
+                self.telemetry.node(tag).matrix_time += span;
+                if functional {
+                    self.execute_functional(c, &res);
+                }
+            }
+            InstrClass::Transfer => {
+                // Only global-memory transfers complete through here.
+                self.cores[c].stats.transfer_busy += span;
+                self.telemetry.node(tag).comm_time += span;
+                if functional {
+                    match &res {
+                        Resolved::GLoad { dst, gaddr, len } => {
+                            let data: Vec<i32> =
+                                (0..*len as u64).map(|i| self.gmem.get(gaddr + i)).collect();
+                            self.cores[c].mem.write(*dst, &data);
+                        }
+                        Resolved::GStore { gaddr, src, len } => {
+                            let data = self.cores[c].mem.read(*src, *len);
+                            for (i, v) in data.into_iter().enumerate() {
+                                self.gmem.set(gaddr + i as u64, v);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            InstrClass::Scalar => unreachable!(),
+        }
+        self.cores[c].retire();
+        self.try_issue(c, ctx);
+        self.try_advance(c, ctx);
+    }
+
+    /// Runs a vector/matrix payload on the core's local memory with the
+    /// golden-model integer semantics.
+    fn execute_functional(&mut self, c: usize, res: &Resolved) {
+        let core = &mut self.cores[c];
+        // Split borrow: groups are not touched by local data movement.
+        let groups = std::mem::take(&mut core.groups);
+        execute_local(res, &mut core.mem, &groups);
+        core.groups = groups;
+    }
+}

@@ -27,13 +27,18 @@ impl Range {
     }
 
     /// Conservative span of a strided 2-D access.
+    ///
+    /// Intermediate math runs in `i64` and both bounds clamp into the
+    /// `u32` address space: a span reaching past `u32::MAX` saturates
+    /// (stays conservative) instead of wrapping into an inverted — hence
+    /// empty, hazard-invisible — interval.
     pub fn strided(base: u32, block_len: u32, blocks: u32, stride: i32) -> Range {
         if blocks == 0 || block_len == 0 {
             return Range::new(base, 0);
         }
         let last = base as i64 + (blocks as i64 - 1) * stride as i64;
-        let lo = (base as i64).min(last).max(0) as u32;
-        let hi = ((base as i64).max(last) + block_len as i64).max(0) as u32;
+        let lo = (base as i64).min(last).clamp(0, u32::MAX as i64) as u32;
+        let hi = ((base as i64).max(last) + block_len as i64).clamp(0, u32::MAX as i64) as u32;
         Range { start: lo, end: hi }
     }
 }
@@ -367,6 +372,19 @@ mod tests {
         assert_eq!((r.start, r.end), (100, 124));
         let r = Range::strided(100, 4, 3, -10);
         assert_eq!((r.start, r.end), (80, 104));
+    }
+
+    #[test]
+    fn strided_range_saturates_at_the_address_space_edge() {
+        // Regression: a span reaching past u32::MAX used to wrap into an
+        // inverted (empty) interval that no hazard check could see.
+        let r = Range::strided(u32::MAX - 10, 8, 4, 16);
+        assert_eq!(r.start, u32::MAX - 10);
+        assert_eq!(r.end, u32::MAX, "end saturates instead of wrapping");
+        assert!(r.overlaps(&Range::new(u32::MAX - 1, 1)));
+        // Large negative strides clamp the low bound at zero.
+        let r = Range::strided(10, 4, u32::MAX, i32::MIN);
+        assert_eq!(r.start, 0);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! End-to-end and unit coverage for every [`SimError`] variant: Display
+//! text, `source()` chaining, and a real simulation trigger for each of
+//! the paths that previously had none (`Deadlock`, `Timeout`,
+//! `TagMismatch`).
+
+use std::error::Error;
+
+use pimsim_arch::ArchConfig;
+use pimsim_core::{SimError, Simulator};
+use pimsim_event::SimTime;
+use pimsim_isa::asm;
+
+fn run(arch: &ArchConfig, text: &str) -> Result<pimsim_core::SimReport, SimError> {
+    let program = asm::assemble(text).expect("assembles");
+    Simulator::new(arch).run(&program)
+}
+
+// ------------------------------------------------------------- Deadlock --
+
+#[test]
+fn unmatched_recv_deadlocks_with_diagnostics() {
+    let arch = ArchConfig::small_test();
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            recv core1, [r0+0], 4, tag=9
+            halt
+            .core 1
+            halt
+        "#,
+    )
+    .expect_err("a recv with no matching send can never complete");
+    let SimError::Deadlock { detail, .. } = &err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert!(detail.contains("core0"), "names the stuck core: {detail}");
+    assert!(
+        detail.contains("parkedrecv=true"),
+        "channel summary shows the parked recv: {detail}"
+    );
+    assert!(err.source().is_none(), "Deadlock is a root cause");
+    let text = err.to_string();
+    assert!(text.starts_with("deadlock at "), "Display: {text}");
+}
+
+#[test]
+fn crossed_channels_deadlock() {
+    // Both cores post recvs on channels whose sends can never issue: each
+    // send sits behind the blocked recv in its own single-entry ROB.
+    let arch = ArchConfig::small_test().with_rob(1);
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            recv core1, [r0+0], 4, tag=1
+            send core1, [r0+16], 4, tag=2
+            halt
+            .core 1
+            recv core0, [r0+0], 4, tag=2
+            send core0, [r0+16], 4, tag=1
+            halt
+        "#,
+    )
+    .expect_err("a circular rendezvous wait must deadlock");
+    let SimError::Deadlock { detail, .. } = &err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert!(
+        detail.contains("core0") && detail.contains("core1"),
+        "{detail}"
+    );
+}
+
+// -------------------------------------------------------------- Timeout --
+
+#[test]
+fn infinite_loop_hits_the_cycle_horizon() {
+    let mut arch = ArchConfig::small_test();
+    arch.sim.max_cycles = 1_000;
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            jmp 0
+        "#,
+    )
+    .expect_err("an infinite scalar loop must time out");
+    let SimError::Timeout { max_cycles } = err else {
+        panic!("expected Timeout, got {err:?}");
+    };
+    assert_eq!(max_cycles, 1_000);
+}
+
+#[test]
+fn timeout_display_and_source() {
+    let err = SimError::Timeout { max_cycles: 42 };
+    assert_eq!(
+        err.to_string(),
+        "simulation exceeded the 42-cycle safety horizon"
+    );
+    assert!(err.source().is_none(), "Timeout is a root cause");
+}
+
+// ---------------------------------------------------------- TagMismatch --
+
+#[test]
+fn length_mismatch_with_parked_recv_fails() {
+    // The recv posts first (its core has nothing else to do), so the
+    // mismatch is caught when the message deposits into the parked recv.
+    let arch = ArchConfig::small_test();
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            vfill [r0+0], 7, 8
+            send core1, [r0+0], 8, tag=1
+            halt
+            .core 1
+            recv core0, [r0+0], 4, tag=1
+            halt
+        "#,
+    )
+    .expect_err("mismatched payload lengths must be rejected");
+    let SimError::TagMismatch { detail } = &err else {
+        panic!("expected TagMismatch, got {err:?}");
+    };
+    assert!(detail.contains("len 8"), "sender length: {detail}");
+    assert!(detail.contains("len 4"), "receiver length: {detail}");
+    assert!(detail.contains("tag 1"), "channel tag: {detail}");
+    assert!(err.source().is_none(), "TagMismatch is a root cause");
+    assert!(
+        err.to_string().starts_with("transfer tag mismatch: "),
+        "Display: {err}"
+    );
+}
+
+#[test]
+fn length_mismatch_with_queued_message_fails() {
+    // The send lands before the recv issues (the receiver grinds through
+    // scalar work first), so the mismatch is caught when the recv pops
+    // the already-arrived message instead.
+    let arch = ArchConfig::small_test();
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            vfill [r0+0], 7, 8
+            send core1, [r0+0], 8, tag=3
+            halt
+            .core 1
+            addi r1, r0, 0
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            recv core0, [r0+0], 4, tag=3
+            halt
+        "#,
+    )
+    .expect_err("mismatched payload lengths must be rejected");
+    assert!(matches!(err, SimError::TagMismatch { .. }), "got {err:?}");
+}
+
+// ------------------------------------------- validation errors + chains --
+
+#[test]
+fn invalid_program_chains_to_the_isa_error() {
+    let arch = ArchConfig::small_test();
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            send core200, [r0+0], 4, tag=1
+            halt
+        "#,
+    )
+    .expect_err("core 200 does not exist on the test chip");
+    let SimError::InvalidProgram(_) = &err else {
+        panic!("expected InvalidProgram, got {err:?}");
+    };
+    assert!(
+        err.to_string().starts_with("invalid program: "),
+        "Display prefixes the cause: {err}"
+    );
+    let source = err.source().expect("InvalidProgram chains its cause");
+    assert!(
+        err.to_string().contains(&source.to_string()),
+        "the chained source appears in the Display text"
+    );
+}
+
+#[test]
+fn invalid_arch_chains_to_the_arch_error() {
+    let mut arch = ArchConfig::small_test();
+    arch.resources.rob_size = 0;
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            halt
+        "#,
+    )
+    .expect_err("a zero-entry ROB is invalid");
+    let SimError::Arch(_) = &err else {
+        panic!("expected Arch, got {err:?}");
+    };
+    assert!(
+        err.to_string().starts_with("invalid architecture: "),
+        "Display prefixes the cause: {err}"
+    );
+    let source = err.source().expect("Arch chains its cause");
+    assert!(err.to_string().contains(&source.to_string()));
+}
+
+#[test]
+fn deadlock_display_includes_time_and_detail() {
+    let err = SimError::Deadlock {
+        time: SimTime::from_ns(12),
+        detail: "core0: stuck".to_string(),
+    };
+    let text = err.to_string();
+    assert!(text.contains("12"), "time rendered: {text}");
+    assert!(text.contains("core0: stuck"), "detail rendered: {text}");
+}

@@ -1,0 +1,220 @@
+//! A boxed-closure compatibility shim over the typed kernel.
+//!
+//! The primary [`Kernel`] dispatches typed [`World::Event`] values
+//! without allocation. Some
+//! callers — quick experiments, tests, benchmarks comparing against the
+//! old engine — still want the "schedule a closure" style. This module
+//! packages that style as an ordinary [`World`] whose event type is a
+//! boxed `FnOnce`, paying the allocation the typed path avoids.
+//!
+//! ```rust
+//! use pimsim_event::closure::ClosureKernel;
+//! use pimsim_event::SimTime;
+//!
+//! let mut k = ClosureKernel::new(0u64);
+//! k.schedule_in(SimTime::from_ns(5), |state, ctx| {
+//!     *state += 1;
+//!     ctx.schedule_fn_in(SimTime::from_ns(5), |state, _| *state += 10);
+//! });
+//! k.run();
+//! assert_eq!(*k.state(), 11);
+//! assert_eq!(k.now(), SimTime::from_ns(10));
+//! ```
+
+use crate::{EventCtx, Kernel, KernelStats, RunResult, SimTime, World};
+
+/// The boxed handler a [`ClosureEvent`] carries.
+type BoxedHandler<S> = Box<dyn FnOnce(&mut S, &mut ClosureCtx<S>)>;
+
+/// A one-shot closure event over state `S`.
+pub struct ClosureEvent<S>(BoxedHandler<S>);
+
+impl<S> ClosureEvent<S> {
+    /// Boxes `f` as an event.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: FnOnce(&mut S, &mut ClosureCtx<S>) + 'static,
+    {
+        ClosureEvent(Box::new(f))
+    }
+}
+
+/// The scheduling context handed to closure events.
+pub type ClosureCtx<S> = EventCtx<ClosureEvent<S>>;
+
+impl<S> ClosureCtx<S> {
+    /// Schedules closure `f` at absolute time `at` (see
+    /// [`EventCtx::schedule_at`]).
+    pub fn schedule_fn_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut ClosureCtx<S>) + 'static,
+    {
+        self.schedule_at(at, ClosureEvent::new(f));
+    }
+
+    /// Schedules closure `f` after `delay` (see [`EventCtx::schedule_in`]).
+    pub fn schedule_fn_in<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut ClosureCtx<S>) + 'static,
+    {
+        self.schedule_in(delay, ClosureEvent::new(f));
+    }
+
+    /// Schedules closure `f` at the current time, after events already
+    /// buffered for this instant (see [`EventCtx::schedule_now`]).
+    pub fn schedule_fn_now<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut S, &mut ClosureCtx<S>) + 'static,
+    {
+        self.schedule_now(ClosureEvent::new(f));
+    }
+}
+
+/// A [`World`] whose events are boxed closures mutating `S`.
+pub struct Closures<S>(S);
+
+impl<S> World for Closures<S> {
+    type Event = ClosureEvent<S>;
+    fn handle(&mut self, ev: ClosureEvent<S>, ctx: &mut ClosureCtx<S>) {
+        (ev.0)(&mut self.0, ctx)
+    }
+}
+
+/// A kernel scheduling boxed closures over a plain state `S` — the old
+/// engine's API, now a thin wrapper over the typed [`Kernel`].
+pub struct ClosureKernel<S>(Kernel<Closures<S>>);
+
+impl<S> ClosureKernel<S> {
+    /// Creates a kernel at time zero owning `state`.
+    pub fn new(state: S) -> Self {
+        ClosureKernel(Kernel::new(Closures(state)))
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.0.now()
+    }
+
+    /// Shared access to the state.
+    pub fn state(&self) -> &S {
+        &self.0.world().0
+    }
+
+    /// Exclusive access to the state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.0.world_mut().0
+    }
+
+    /// Consumes the kernel, returning the final state.
+    pub fn into_state(self) -> S {
+        self.0.into_world().0
+    }
+
+    /// Counters for executed/scheduled events and queue depth.
+    pub fn stats(&self) -> KernelStats {
+        self.0.stats()
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.0.pending()
+    }
+
+    /// Schedules closure `f` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut ClosureCtx<S>) + 'static,
+    {
+        self.0.schedule_at(at, ClosureEvent::new(f));
+    }
+
+    /// Schedules closure `f` after a relative `delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut S, &mut ClosureCtx<S>) + 'static,
+    {
+        self.0.schedule_in(delay, ClosureEvent::new(f));
+    }
+
+    /// Executes the single earliest pending event (see
+    /// [`Kernel::step`]).
+    pub fn step(&mut self) -> bool {
+        self.0.step()
+    }
+
+    /// Runs until the queue is empty or an event requests a stop.
+    pub fn run(&mut self) -> RunResult {
+        self.0.run()
+    }
+
+    /// Runs events up to `horizon` (see [`Kernel::run_until`]).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunResult {
+        self.0.run_until(horizon)
+    }
+
+    /// Runs at most `max_steps` events.
+    pub fn run_steps(&mut self, max_steps: u64) -> RunResult {
+        self.0.run_steps(max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_run_in_order_with_follow_ups() {
+        let mut k = ClosureKernel::new(Vec::<u32>::new());
+        k.schedule_at(SimTime::from_ns(2), |v, _| v.push(2));
+        k.schedule_at(SimTime::from_ns(1), |v, ctx| {
+            v.push(1);
+            ctx.schedule_fn_in(SimTime::from_ns(5), |v, ctx| {
+                v.push(3);
+                ctx.schedule_fn_now(|v, _| v.push(4));
+            });
+        });
+        assert_eq!(k.run(), RunResult::Exhausted);
+        assert_eq!(*k.state(), [1, 2, 3, 4]);
+        assert_eq!(k.now(), SimTime::from_ns(6));
+        assert_eq!(k.stats().executed, 4);
+    }
+
+    #[test]
+    fn same_time_closures_are_fifo() {
+        let mut k = ClosureKernel::new(Vec::<u32>::new());
+        for i in 0..50 {
+            k.schedule_at(SimTime::from_ns(3), move |v, _| v.push(i));
+        }
+        k.run();
+        assert_eq!(*k.state(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_accessors_roundtrip() {
+        let mut k = ClosureKernel::new(7u8);
+        *k.state_mut() += 1;
+        assert!(!k.step());
+        assert_eq!(k.pending(), 0);
+        assert_eq!(k.into_state(), 8);
+    }
+
+    #[test]
+    fn stop_and_step_budget_propagate() {
+        let mut k = ClosureKernel::new(0u32);
+        for i in 1..=5u64 {
+            k.schedule_at(SimTime::from_ns(i), |s, _| *s += 1);
+        }
+        assert_eq!(k.run_steps(2), RunResult::StepBudget);
+        k.schedule_in(SimTime::from_ns(1), |s, ctx| {
+            *s += 10;
+            ctx.stop();
+        });
+        assert_eq!(k.run(), RunResult::Stopped);
+        assert_eq!(k.run_until(SimTime::from_ns(100)), RunResult::Exhausted);
+        assert_eq!(*k.state(), 15);
+    }
+}

@@ -10,32 +10,53 @@
 //! * a priority event queue with **stable same-time ordering** (events
 //!   scheduled first run first, like SystemC delta cycles collapsed into a
 //!   deterministic FIFO),
-//! * closure events that mutate a user-supplied *world* state and may
-//!   schedule further events,
+//! * **typed, allocation-free events**: the simulated [`World`] declares an
+//!   event enum and a `handle` dispatch function; events are stored inline
+//!   in the queue, so the hot path never boxes,
+//! * a boxed-closure compatibility shim ([`closure::ClosureKernel`]) for
+//!   callers that prefer scheduling closures over declaring an event type,
 //! * a [`Clock`] helper for cycle/time conversion, and
-//! * kernel statistics and an optional trace hook for debugging.
+//! * kernel statistics for debugging and benchmarking.
 //!
 //! # Example
 //!
 //! ```rust
-//! use pimsim_event::{Kernel, SimTime};
+//! use pimsim_event::{EventCtx, Kernel, SimTime, World};
 //!
-//! // The "world" is whatever state the simulation mutates.
-//! let mut kernel = Kernel::new(0u64);
-//! kernel.schedule_in(SimTime::from_ns(5), |world, ctx| {
-//!     *world += 1;
-//!     // Events may schedule follow-up events.
-//!     ctx.schedule_in(SimTime::from_ns(5), |world, _| *world += 10);
-//! });
+//! // The world owns the mutable state and interprets typed events.
+//! struct Accumulator(u64);
+//!
+//! enum Ev {
+//!     Add(u64),
+//!     AddThenFollowUp(u64),
+//! }
+//!
+//! impl World for Accumulator {
+//!     type Event = Ev;
+//!     fn handle(&mut self, ev: Ev, ctx: &mut EventCtx<Ev>) {
+//!         match ev {
+//!             Ev::Add(n) => self.0 += n,
+//!             Ev::AddThenFollowUp(n) => {
+//!                 self.0 += n;
+//!                 // Events may schedule follow-up events.
+//!                 ctx.schedule_in(SimTime::from_ns(5), Ev::Add(10));
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut kernel = Kernel::new(Accumulator(0));
+//! kernel.schedule_in(SimTime::from_ns(5), Ev::AddThenFollowUp(1));
 //! kernel.run();
-//! assert_eq!(*kernel.world(), 11);
+//! assert_eq!(kernel.world().0, 11);
 //! assert_eq!(kernel.now(), SimTime::from_ns(10));
 //! ```
 
 mod clock;
+pub mod closure;
 mod kernel;
 mod time;
 
 pub use clock::Clock;
-pub use kernel::{EventCtx, Kernel, KernelStats, RunResult};
+pub use kernel::{EventCtx, Kernel, KernelStats, RunResult, World};
 pub use time::SimTime;

@@ -1,19 +1,68 @@
-//! Property-based tests for kernel determinism and ordering invariants.
+//! Property-based tests for kernel determinism and ordering invariants,
+//! exercised through both the typed event path and the closure shim.
 
-use pimsim_event::{Kernel, SimTime};
+use pimsim_event::closure::ClosureKernel;
+use pimsim_event::{EventCtx, Kernel, SimTime, World};
 use proptest::prelude::*;
 
-/// Run a batch of events scheduled at arbitrary times and record the
+/// Records `(time, original_index)` pairs in execution order.
+#[derive(Debug, Default)]
+struct Recorder(Vec<(u64, usize)>);
+
+impl World for Recorder {
+    type Event = (u64, usize);
+    fn handle(&mut self, ev: (u64, usize), _: &mut EventCtx<(u64, usize)>) {
+        self.0.push(ev);
+    }
+}
+
+/// Run a batch of typed events scheduled at arbitrary times and record the
 /// (time, original_index) pairs in execution order.
 fn execute(times: &[u64]) -> Vec<(u64, usize)> {
-    let mut k = Kernel::new(Vec::new());
+    let mut k = Kernel::new(Recorder::default());
+    for (i, &t) in times.iter().enumerate() {
+        k.schedule_at(SimTime::from_ps(t), (t, i));
+    }
+    k.run();
+    k.into_world().0
+}
+
+/// The same schedule through the boxed-closure shim.
+fn execute_closures(times: &[u64]) -> Vec<(u64, usize)> {
+    let mut k = ClosureKernel::new(Vec::new());
     for (i, &t) in times.iter().enumerate() {
         k.schedule_at(SimTime::from_ps(t), move |w: &mut Vec<(u64, usize)>, _| {
             w.push((t, i));
         });
     }
     k.run();
-    k.into_world()
+    k.into_state()
+}
+
+/// A world that hops `remaining` more times, `step` picoseconds apart.
+#[derive(Debug, Default)]
+struct Hopper(usize);
+
+#[derive(Debug, Clone, Copy)]
+struct Hop {
+    remaining: usize,
+    step: u64,
+}
+
+impl World for Hopper {
+    type Event = Hop;
+    fn handle(&mut self, ev: Hop, ctx: &mut EventCtx<Hop>) {
+        self.0 += 1;
+        if ev.remaining > 0 {
+            ctx.schedule_in(
+                SimTime::from_ps(ev.step),
+                Hop {
+                    remaining: ev.remaining - 1,
+                    step: ev.step,
+                },
+            );
+        }
+    }
 }
 
 proptest! {
@@ -39,19 +88,19 @@ proptest! {
         prop_assert_eq!(execute(&times), execute(&times));
     }
 
+    /// The closure shim preserves the typed kernel's ordering exactly.
+    #[test]
+    fn closure_shim_matches_typed_kernel(times in proptest::collection::vec(0u64..100, 0..100)) {
+        prop_assert_eq!(execute(&times), execute_closures(&times));
+    }
+
     /// Chained events (each schedules the next) cover every hop exactly once.
     #[test]
     fn chained_events_complete(hops in 1usize..50, step in 1u64..100) {
-        let mut k = Kernel::new(0usize);
-        fn chain(remaining: usize, step: u64, w: &mut usize, ctx: &mut pimsim_event::EventCtx<usize>) {
-            *w += 1;
-            if remaining > 0 {
-                ctx.schedule_in(SimTime::from_ps(step), move |w, ctx| chain(remaining - 1, step, w, ctx));
-            }
-        }
-        k.schedule_at(SimTime::ZERO, move |w, ctx| chain(hops - 1, step, w, ctx));
+        let mut k = Kernel::new(Hopper::default());
+        k.schedule_at(SimTime::ZERO, Hop { remaining: hops - 1, step });
         k.run();
-        prop_assert_eq!(*k.world(), hops);
+        prop_assert_eq!(k.world().0, hops);
         prop_assert_eq!(k.now(), SimTime::from_ps(step * (hops as u64 - 1)));
     }
 }

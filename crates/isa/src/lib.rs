@@ -63,6 +63,7 @@ mod reg;
 pub use encode::{decode, encode, encode_program_words};
 pub use error::IsaError;
 pub use group::{GroupConfig, WeightMatrix};
+pub use instr::limits;
 pub use instr::{
     Addr, BranchCond, CoreId, GroupId, InstrClass, Instruction, PoolOp, SBinOp, SImmOp, VBinOp,
     VImmOp, VUnOp,

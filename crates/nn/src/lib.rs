@@ -8,7 +8,7 @@
 //! operators the evaluation networks need (convolution, linear, pooling,
 //! residual `add`, channel `concat`, activations), shape inference, a JSON
 //! on-disk format, deterministic synthetic int8 weights, and a **reference
-//! forward pass** ([`golden`]) whose integer semantics exactly match the
+//! forward pass** ([`GoldenModel`]) whose integer semantics exactly match the
 //! simulator's functional mode — compiled programs are checked bit-exactly
 //! against it in the integration tests.
 //!

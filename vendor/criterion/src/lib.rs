@@ -83,12 +83,29 @@ fn human_time(d: Duration) -> String {
     }
 }
 
+/// `cargo bench -- --test` smoke mode: run every routine once, skip the
+/// timing report (mirrors real criterion's `--test` flag).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one(
     label: &str,
     samples: usize,
     throughput: Option<Throughput>,
     f: impl FnOnce(&mut Bencher),
 ) {
+    if test_mode() {
+        // samples = 0: `iter`'s unconditional warm-up call is the single run.
+        let mut bencher = Bencher {
+            samples: 0,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        println!("{label}: ok (test mode)");
+        return;
+    }
     let mut bencher = Bencher {
         samples,
         elapsed: Duration::ZERO,
