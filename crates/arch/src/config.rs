@@ -125,6 +125,78 @@ pub struct TimingParams {
     pub global_mem_bw_elems_per_ns: f64,
 }
 
+/// Mesh routing policy for the NoC.
+///
+/// The paper's chip routes dimension-ordered X-then-Y (§III-B); the other
+/// policies open a design-space axis over the same mesh (O1TURN-style
+/// per-message alternation balances load across the two dimension orders).
+/// All three are minimal, deterministic and deadlock-free on a mesh; the
+/// simulator's `Routing` trait is where higher-fidelity policies plug in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub enum RoutingPolicy {
+    /// Dimension-order routing, X (columns) first — the paper's default.
+    #[default]
+    Xy,
+    /// Dimension-order routing, Y (rows) first.
+    Yx,
+    /// O1TURN-style: alternate XY / YX dimension order per message.
+    XyYxAlternate,
+}
+
+impl RoutingPolicy {
+    /// Every selectable policy, in canonical order.
+    pub const ALL: [RoutingPolicy; 3] = [
+        RoutingPolicy::Xy,
+        RoutingPolicy::Yx,
+        RoutingPolicy::XyYxAlternate,
+    ];
+
+    /// The canonical configuration-file / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingPolicy::Xy => "xy",
+            RoutingPolicy::Yx => "yx",
+            RoutingPolicy::XyYxAlternate => "xy-yx",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for RoutingPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RoutingPolicy, String> {
+        match s {
+            "xy" => Ok(RoutingPolicy::Xy),
+            "yx" => Ok(RoutingPolicy::Yx),
+            "xy-yx" | "o1turn" | "alternate" => Ok(RoutingPolicy::XyYxAlternate),
+            other => Err(format!(
+                "unknown routing policy `{other}` (want xy, yx or xy-yx)"
+            )),
+        }
+    }
+}
+
+impl TryFrom<String> for RoutingPolicy {
+    type Error = String;
+
+    fn try_from(s: String) -> Result<RoutingPolicy, String> {
+        s.parse()
+    }
+}
+
+impl From<RoutingPolicy> for String {
+    fn from(r: RoutingPolicy) -> String {
+        r.name().to_string()
+    }
+}
+
 /// Interconnection (NoC) parameters. The chip uses a 2-D mesh with XY
 /// routing (paper §III-B).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -144,6 +216,11 @@ pub struct NocParams {
     /// payload sits at the receiver), but a small hardware queue decouples
     /// sender and receiver enough to avoid rendezvous deadlocks.
     pub channel_credits: u32,
+    /// Mesh routing policy (`xy`, `yx`, or `xy-yx`). Defaults to `xy` —
+    /// the paper's dimension-order routing — so configurations written
+    /// before this knob existed keep their exact behaviour.
+    #[serde(default)]
+    pub routing: RoutingPolicy,
 }
 
 /// Per-operation energies, picojoules. Defaults are ISAAC/PUMA-class
@@ -271,6 +348,7 @@ impl ArchConfig {
                 hop_cycles: 2,
                 link_flits_per_cycle: 1.0,
                 channel_credits: 2,
+                routing: RoutingPolicy::Xy,
             },
             sim: SimSettings {
                 functional: false,
@@ -309,6 +387,12 @@ impl ArchConfig {
     /// Returns a copy with functional simulation switched on or off.
     pub fn with_functional(mut self, functional: bool) -> ArchConfig {
         self.sim.functional = functional;
+        self
+    }
+
+    /// Returns a copy with a different mesh routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> ArchConfig {
+        self.noc.routing = routing;
         self
     }
 
@@ -547,9 +631,46 @@ mod tests {
     fn builders() {
         let cfg = ArchConfig::paper_default()
             .with_rob(16)
-            .with_functional(true);
+            .with_functional(true)
+            .with_routing(RoutingPolicy::Yx);
         assert_eq!(cfg.resources.rob_size, 16);
         assert!(cfg.sim.functional);
+        assert_eq!(cfg.noc.routing, RoutingPolicy::Yx);
+    }
+
+    #[test]
+    fn routing_policy_names_roundtrip() {
+        for policy in RoutingPolicy::ALL {
+            assert_eq!(policy.name().parse::<RoutingPolicy>().unwrap(), policy);
+            assert_eq!(policy.to_string(), policy.name());
+        }
+        assert_eq!(
+            "o1turn".parse::<RoutingPolicy>().unwrap(),
+            RoutingPolicy::XyYxAlternate
+        );
+        assert!("zigzag".parse::<RoutingPolicy>().is_err());
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::Xy);
+    }
+
+    #[test]
+    fn routing_field_defaults_and_roundtrips() {
+        // Configurations written before the knob existed stay loadable
+        // (and mean XY, exactly what they simulated as before).
+        let text = ArchConfig::paper_default().to_json();
+        let legacy = text.replace(",\n    \"routing\": \"xy\"", "");
+        assert_ne!(legacy, text, "the default config serializes the knob");
+        let cfg = ArchConfig::from_json(&legacy).unwrap();
+        assert_eq!(cfg.noc.routing, RoutingPolicy::Xy);
+        // Non-default values survive a JSON roundtrip.
+        let cfg = ArchConfig::paper_default().with_routing(RoutingPolicy::XyYxAlternate);
+        let back = ArchConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.noc.routing, RoutingPolicy::XyYxAlternate);
+        // A bad name is a parse error, not a silent default.
+        let bad = cfg.to_json().replace("xy-yx", "zigzag");
+        assert!(matches!(
+            ArchConfig::from_json(&bad),
+            Err(ArchError::Parse(_))
+        ));
     }
 
     #[test]

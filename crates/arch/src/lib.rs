@@ -36,7 +36,9 @@ mod energy;
 mod error;
 pub mod model;
 
-pub use config::{ArchConfig, EnergyParams, NocParams, Resources, SimSettings, TimingParams};
+pub use config::{
+    ArchConfig, EnergyParams, NocParams, Resources, RoutingPolicy, SimSettings, TimingParams,
+};
 pub use energy::Energy;
 pub use error::ArchError;
 

@@ -1,0 +1,38 @@
+//! Criterion benchmark: NoC fabric throughput — the dense, allocation-free
+//! fabric against the pre-PR4 HashMap reference on identical synthetic
+//! traffic, plus the transfer-saturated end-to-end workload per routing
+//! policy.
+//!
+//! The workloads live in [`pimsim_bench::fabric_workload`] and
+//! [`pimsim_bench::transfer_workload`], shared with the `perf_baseline`
+//! trajectory harness so both measure the same thing (see
+//! `BENCH_PR4.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pimsim_arch::RoutingPolicy;
+use pimsim_bench::{fabric_workload as fw, transfer_workload as tw};
+
+fn bench_fabric(c: &mut Criterion) {
+    let msgs = fw::traffic(fw::FABRIC_MESSAGES);
+    let mut group = c.benchmark_group("noc_fabric");
+    group.throughput(Throughput::Elements(fw::FABRIC_MESSAGES as u64));
+    group.bench_function("dense", |b| b.iter(|| fw::drive_dense(&msgs)));
+    group.bench_function("hashmap_reference", |b| b.iter(|| fw::drive_hashmap(&msgs)));
+    group.finish();
+}
+
+fn bench_transfer_saturated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer_saturated");
+    group.throughput(Throughput::Elements(tw::MESSAGES));
+    for routing in RoutingPolicy::ALL {
+        group.bench_function(routing.name(), |b| b.iter(|| tw::run(routing)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fabric, bench_transfer_saturated
+}
+criterion_main!(benches);

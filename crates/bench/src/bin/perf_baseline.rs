@@ -1,6 +1,8 @@
-//! Records the repo's performance trajectory: kernel events/sec and
-//! end-to-end simulation throughput per zoo network, written as JSON so
-//! future PRs have a baseline to compare against.
+//! Records the repo's performance trajectory: kernel events/sec, NoC
+//! fabric messages/sec (dense vs the pre-PR4 HashMap reference), the
+//! transfer-saturated workload per routing policy, and end-to-end
+//! simulation throughput per zoo network, written as JSON so future PRs
+//! have a baseline to compare against.
 //!
 //! ```text
 //! cargo run -p pimsim-bench --release --bin perf_baseline [-- <out.json>]
@@ -11,8 +13,9 @@
 
 use std::time::Instant;
 
-use pimsim_arch::ArchConfig;
+use pimsim_arch::{ArchConfig, RoutingPolicy};
 use pimsim_bench::kernel_workload as wl;
+use pimsim_bench::{fabric_workload as fw, transfer_workload as tw};
 use pimsim_compiler::{Compiler, MappingPolicy};
 use pimsim_core::Simulator;
 use pimsim_nn::zoo;
@@ -41,7 +44,7 @@ fn best_secs(samples: u32, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let samples: u32 = std::env::var("PIMSIM_PERF_SAMPLES")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -58,6 +61,49 @@ fn main() {
         "closure_shim_events_per_sec": ((wl::CHAIN_EVENTS as f64 / closure).round()),
         "typed_speedup": (closure / typed),
     });
+
+    // Fabric microbenchmark: identical synthetic traffic through the
+    // dense fabric and the pre-PR4 HashMap reference (same NocCosts, so
+    // the delta is pure representation cost).
+    let msgs = fw::traffic(fw::FABRIC_MESSAGES);
+    assert_eq!(
+        fw::drive_dense(&msgs),
+        fw::drive_hashmap(&msgs),
+        "the two fabrics must price identical traffic identically"
+    );
+    let dense = best_secs(samples, || {
+        fw::drive_dense(&msgs);
+    });
+    let hashmap = best_secs(samples, || {
+        fw::drive_hashmap(&msgs);
+    });
+    let n = fw::FABRIC_MESSAGES as f64;
+    let fabric = serde_json::json!({
+        "messages": (fw::FABRIC_MESSAGES),
+        "dense_msgs_per_sec": ((n / dense).round()),
+        "hashmap_msgs_per_sec": ((n / hashmap).round()),
+        "dense_speedup": (hashmap / dense),
+    });
+
+    // Transfer-saturated end-to-end workload, per routing policy: host
+    // messages/sec plus the simulated latency each policy produces (the
+    // latencies must differ — the axis is real — yet stay deterministic).
+    let mut transfer = Vec::new();
+    for routing in RoutingPolicy::ALL {
+        let report = tw::run(routing);
+        assert_eq!(report.latency, tw::run(routing).latency, "deterministic");
+        let secs = best_secs(samples, || {
+            tw::run(routing);
+        });
+        transfer.push(serde_json::json!({
+            "routing": (routing.name()),
+            "messages": (tw::MESSAGES),
+            "simulated_latency_ns": (report.latency.as_ns_f64()),
+            "kernel_events": (report.events),
+            "host_seconds": (secs),
+            "msgs_per_host_sec": ((tw::MESSAGES as f64 / secs).round()),
+        }));
+    }
 
     // End-to-end: compile once, then time Simulator::run per network.
     let arch = ArchConfig::paper_default();
@@ -89,10 +135,12 @@ fn main() {
     }
 
     let doc = serde_json::json!({
-        "pr": 3,
-        "description": "perf baseline after the typed-event kernel + machine pipeline split",
+        "pr": 4,
+        "description": "perf baseline after the dense, policy-pluggable NoC fabric",
         "samples_per_datum": samples,
         "kernel": kernel,
+        "fabric": fabric,
+        "transfer_saturated": transfer,
         "simulator": simulator,
     });
     let text = serde_json::to_string_pretty(&doc).expect("serializes");

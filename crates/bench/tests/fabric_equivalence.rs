@@ -1,0 +1,67 @@
+//! Property test: under XY routing the dense fabric's occupancy state
+//! byte-matches the pre-PR4 HashMap fabric on randomized traffic — every
+//! message's completion time and every directed link's `free_at` agree
+//! exactly, message by message.
+
+use proptest::prelude::*;
+
+use pimsim_arch::ArchConfig;
+use pimsim_bench::fabric_workload::HashMapNoc;
+use pimsim_core::{Noc, NocCosts};
+use pimsim_event::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_occupancy_matches_hashmap_fabric_under_xy(
+        rows in 1u16..8,
+        cols in 1u16..8,
+        traffic in proptest::collection::vec(
+            (0u32..10_000, 0u32..10_000, 1u32..2048, 0u64..500), 1..64),
+    ) {
+        let cfg = ArchConfig::paper_default();
+        let costs = NocCosts::new(&cfg);
+        let routers = rows as u32 * cols as u32;
+        let mut dense = Noc::new(rows, cols);
+        let mut reference = HashMapNoc::new(rows, cols);
+        for (i, &(f, t, elems, start_ns)) in traffic.iter().enumerate() {
+            let from = (f % routers) as u16;
+            let to = (t % routers) as u16;
+            let start = SimTime::from_ns(start_ns);
+            // Mix in memory traffic: the controller queue and mem port
+            // must match too.
+            let (a, b) = if i % 5 == 4 {
+                (
+                    dense.memory_access(from, elems, start, &costs),
+                    reference.memory_access(from, elems, start, &costs),
+                )
+            } else {
+                (
+                    dense.message(from, to, elems, start, &costs),
+                    reference.message(from, to, elems, start, &costs),
+                )
+            };
+            prop_assert_eq!(a, b, "message {} completion diverged", i);
+            // Full occupancy sweep: every directed link, plus the mem port.
+            for r in 0..routers as u16 {
+                let mut neighbours = Vec::new();
+                if r % cols != cols - 1 { neighbours.push(r + 1); }
+                if r % cols != 0 { neighbours.push(r - 1); }
+                if r / cols != rows - 1 { neighbours.push(r + cols); }
+                if r / cols != 0 { neighbours.push(r - cols); }
+                for n in neighbours {
+                    prop_assert_eq!(
+                        dense.link_free(r, n),
+                        reference.link_free(r, n),
+                        "link {}->{} diverged after message {}", r, n, i
+                    );
+                }
+            }
+            prop_assert_eq!(
+                dense.link_free(0, pimsim_core::MEM_NODE),
+                reference.link_free(0, pimsim_core::MEM_NODE)
+            );
+        }
+    }
+}

@@ -47,6 +47,7 @@ common options (in parentheses: the commands that accept each):
   --mapping POLICY    performance-first | utilization-first (run/compile)
   --rob N             re-order buffer size override (run/compile)
   --batch N           inferences compiled back to back (run/compile)
+  --routing POLICY    NoC routing: xy (default) | yx | xy-yx (run/compile)
   --functional        run functionally, data + timing (run/compile)
   --trace             print the first instruction completions (run/compile)
   --json              machine-readable report (run/sweep)
@@ -63,6 +64,7 @@ left empty inherits a single value from the base architecture):
   --adcs N,M          ADCs per crossbar
   --lanes N,M         vector SIMD lanes
   --flits N,M         NoC flit widths (bytes)
+  --routings P,Q      NoC routing policies (xy | yx | xy-yx)
   --hazards on,off    structure-hazard settings (ablation)
   --simulators S,T    cycle | baseline
   --threads N         worker threads (default: available cores)
@@ -85,13 +87,15 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
     use args::Vocabulary;
     let vocab = match cmd {
         "run" => Vocabulary {
-            value_options: &["network", "size", "config", "mapping", "rob", "batch"],
+            value_options: &[
+                "network", "size", "config", "mapping", "rob", "batch", "routing",
+            ],
             flags: &["baseline", "functional", "trace", "json", "help"],
             max_positionals: 0,
         },
         "compile" => Vocabulary {
             value_options: &[
-                "network", "size", "config", "mapping", "rob", "batch", "out", "asm",
+                "network", "size", "config", "mapping", "rob", "batch", "routing", "out", "asm",
             ],
             flags: &["functional", "trace", "help"],
             max_positionals: 0,
@@ -114,6 +118,7 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
                 "adcs",
                 "lanes",
                 "flits",
+                "routings",
                 "hazards",
                 "simulators",
             ],
@@ -176,6 +181,9 @@ fn load_arch(args: &Args) -> Result<ArchConfig, String> {
     };
     if let Some(rob) = args.get_u32("rob")? {
         arch.resources.rob_size = rob;
+    }
+    if let Some(routing) = args.get("routing") {
+        arch.noc.routing = pimsim_sweep::parse_routing(routing).map_err(|e| e.to_string())?;
     }
     if args.flag("functional") {
         arch.sim.functional = true;
@@ -389,6 +397,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
     if let Some(v) = args.get_u32_csv("flits")? {
         grid.flit_bytes = v;
+    }
+    if let Some(v) = args.get_csv("routings") {
+        grid.routings = v;
     }
     if let Some(v) = args.get_csv("hazards") {
         grid.structure_hazard = v

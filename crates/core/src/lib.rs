@@ -78,7 +78,9 @@ mod resolve;
 mod stats;
 
 pub use machine::{DefaultTiming, SimError, Simulator, TimingModel};
-pub use noc::{Noc, MEM_NODE};
+pub use noc::{
+    routing_for, DimOrder, Noc, NocCosts, Route, Routing, Xy, XyYxAlternate, Yx, MEM_NODE, PORTS,
+};
 pub use stats::{CoreStats, EnergyBreakdown, NodeStats, SimReport, TraceEntry, TRACE_CAP};
 
 /// Result alias for fallible simulation.

@@ -32,6 +32,24 @@ pub enum SimError {
         /// Description of the mismatching pair.
         detail: String,
     },
+    /// A transfer addressed memory outside the receiving core's local
+    /// address space (e.g. a strided `RECV` whose destination goes
+    /// negative). Such accesses used to clamp to address 0 and silently
+    /// corrupt local memory.
+    MemoryFault {
+        /// The core whose local memory was addressed.
+        core: u16,
+        /// Description of the out-of-range access.
+        detail: String,
+    },
+    /// An internal simulator invariant broke mid-run (e.g. a transfer
+    /// completion with no matching ROB entry). Always a simulator bug —
+    /// surfaced immediately instead of masked, so it cannot decay into a
+    /// mystery deadlock with stuck credits.
+    Internal {
+        /// Description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +67,12 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::TagMismatch { detail } => write!(f, "transfer tag mismatch: {detail}"),
+            SimError::MemoryFault { core, detail } => {
+                write!(f, "memory fault on core{core}: {detail}")
+            }
+            SimError::Internal { detail } => {
+                write!(f, "internal simulator invariant violated: {detail}")
+            }
         }
     }
 }

@@ -34,7 +34,7 @@ use pimsim_arch::ArchConfig;
 use pimsim_event::{EventCtx, SimTime, World};
 
 use crate::exec::Memory;
-use crate::noc::Noc;
+use crate::noc::{Noc, NocCosts};
 use crate::stats::{EnergyBreakdown, NodeStats, TraceEntry, TRACE_CAP};
 
 pub use error::SimError;
@@ -102,12 +102,9 @@ pub(crate) enum MachineEvent {
     Advance { core: usize },
     /// The execution-unit occupancy of ROB entry `seq` on `core` ends.
     Complete { core: usize, seq: u64 },
-    /// A message's tail flit arrives at the receiving end of `key`.
-    Deposit {
-        key: ChannelKey,
-        send: Pending,
-        len: u32,
-    },
+    /// A message's tail flit arrives at the receiving end of `key` (the
+    /// payload length travels inside `send`).
+    Deposit { key: ChannelKey, send: Pending },
 }
 
 /// Scheduling context alias used throughout the machine modules.
@@ -121,6 +118,9 @@ pub(crate) struct Machine<'a> {
     pub(crate) timing: &'a dyn TimingModel,
     pub(crate) cores: Vec<Core>,
     pub(crate) noc: Noc,
+    /// Per-message cost constants, derived once from `cfg` so the
+    /// transfer hot path never rebuilds a cost model.
+    pub(crate) costs: NocCosts,
     pub(crate) gmem: Memory,
     pub(crate) fabric: TransferFabric,
     pub(crate) functional: bool,
@@ -152,7 +152,7 @@ impl World for Machine<'_> {
                 self.try_advance(core, ctx);
             }
             MachineEvent::Complete { core, seq } => self.complete(core, seq, ctx),
-            MachineEvent::Deposit { key, send, len } => self.deposit(key, send, len, ctx),
+            MachineEvent::Deposit { key, send } => self.deposit(key, send, ctx),
         }
     }
 }

@@ -13,7 +13,7 @@ use super::timing::{DefaultTiming, TimingModel};
 use super::transfer::TransferFabric;
 use super::{error::SimError, Machine, MachineEvent, Telemetry};
 use crate::exec::Memory;
-use crate::noc::Noc;
+use crate::noc::{Noc, NocCosts};
 use crate::stats::{CoreStats, SimReport};
 
 /// Runs compiled [`Program`]s on a configured chip.
@@ -157,6 +157,7 @@ impl<'a> Simulator<'a> {
             cfg: self.arch,
             timing: self.timing,
             noc: Noc::for_arch(self.arch),
+            costs: NocCosts::new(self.arch),
             gmem,
             cores,
             fabric: TransferFabric::default(),

@@ -59,7 +59,16 @@ pub struct DefaultTiming;
 impl TimingModel for DefaultTiming {
     fn dispatch_interval(&self, cfg: &ArchConfig) -> SimTime {
         let clock = CostModel::new(cfg).core_clock();
-        SimTime::from_ps(clock.period().as_ps() / cfg.timing.dispatch_width.max(1) as u64)
+        // Round *up* when the width does not divide the period: truncation
+        // (1000 ps at width 3 -> 333 ps) would admit slightly more than
+        // `dispatch_width` dispatches per cycle, drifting ahead of the
+        // hardware without bound. Ceiling errs on the conservative side.
+        SimTime::from_ps(
+            clock
+                .period()
+                .as_ps()
+                .div_ceil(cfg.timing.dispatch_width.max(1) as u64),
+        )
     }
 
     fn decode_offset(&self, cfg: &ArchConfig) -> SimTime {
@@ -121,6 +130,32 @@ mod tests {
             t.dispatch_interval(&cfg),
             SimTime::from_ps(period.as_ps() / 2)
         );
+    }
+
+    #[test]
+    fn dispatch_interval_never_exceeds_the_width() {
+        // Regression: 1000 ps at width 3 used to truncate to 333 ps —
+        // 3.003 dispatches per cycle, i.e. a 3-wide core dispatching
+        // *faster* than 3 per cycle with unbounded drift. The interval
+        // must round up so `width * interval >= period` always holds.
+        let mut cfg = ArchConfig::paper_default();
+        cfg.timing.dispatch_width = 3;
+        let t = DefaultTiming;
+        assert_eq!(t.dispatch_interval(&cfg), SimTime::from_ps(334));
+        for width in 1u32..=9 {
+            cfg.timing.dispatch_width = width;
+            let interval = t.dispatch_interval(&cfg).as_ps();
+            let period = CostModel::new(&cfg).core_clock().period().as_ps();
+            assert!(
+                interval * width as u64 >= period,
+                "width {width}: {width} dispatches take {} ps < one {period} ps cycle",
+                interval * width as u64
+            );
+            assert!(
+                (interval - 1) * width as u64 <= period,
+                "width {width}: interval {interval} ps is more than rounding"
+            );
+        }
     }
 
     /// A custom model can be slotted in without the run loop noticing —

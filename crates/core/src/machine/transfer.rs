@@ -9,14 +9,15 @@
 //! queued, so senders feel buffer pressure — the synchronization cost the
 //! paper shows behaviour-level models hide.
 //!
-//! Transfer *timing* is positional (XY route, per-link occupancy,
-//! controller queue) and comes from [`Noc`](crate::noc::Noc) walks priced
-//! by the shared [`CostModel`]; the [`TimingModel`](super::TimingModel)
-//! seam covers the execution units only.
+//! Transfer *timing* is positional (policy-routed mesh walk, per-link
+//! occupancy, controller queue) and comes from [`Noc`](crate::noc::Noc)
+//! walks priced by the per-machine [`NocCosts`](crate::noc::NocCosts)
+//! constants; the [`TimingModel`](super::TimingModel) seam covers the
+//! execution units only. A [`Pending`] carries its `(tag, len)` from
+//! issue time, so launching or kicking a transfer never rescans the ROB.
 
 use std::collections::{HashMap, VecDeque};
 
-use pimsim_arch::model::CostModel;
 use pimsim_event::SimTime;
 
 use super::error::SimError;
@@ -26,11 +27,16 @@ use crate::resolve::Resolved;
 /// A flow-control channel identifier: `(sender, receiver, tag)`.
 pub(crate) type ChannelKey = (u16, u16, u16);
 
-/// One pending side of a transfer channel.
+/// One pending side of a transfer channel. Everything the fabric needs
+/// to launch or match the transfer later is captured at issue time —
+/// `tag` for telemetry attribution and `len` for credit kicks and length
+/// checks — so the hot path never walks the ROB to rediscover them.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Pending {
     pub(crate) core: u16,
     pub(crate) seq: u64,
+    pub(crate) tag: u16,
+    pub(crate) len: u32,
 }
 
 /// A message sitting in a receiver's credit queue.
@@ -100,59 +106,64 @@ impl TransferFabric {
 }
 
 impl Machine<'_> {
-    /// Starts an issued transfer-class instruction.
+    /// Starts an issued transfer-class instruction. `tag` is the entry's
+    /// node tag, captured by the issue logic so the transfer path never
+    /// rescans the ROB for it.
     pub(crate) fn start_transfer(
         &mut self,
         c: usize,
         seq: u64,
+        tag: u16,
         res: Resolved,
         now: SimTime,
         ctx: &mut Ctx,
     ) {
         match res {
-            Resolved::Send { peer, len, tag, .. } => {
+            Resolved::Send {
+                peer,
+                len,
+                tag: chan_tag,
+                ..
+            } => {
                 let credits = self.cfg.noc.channel_credits;
-                let key = (c as u16, peer, tag);
+                let key = (c as u16, peer, chan_tag);
+                let pending = Pending {
+                    core: c as u16,
+                    seq,
+                    tag,
+                    len,
+                };
                 let chan = self.fabric.channel(key);
                 if chan.in_flight + chan.arrived.len() as u32 >= credits {
-                    chan.waiting_sends.push_back(Pending {
-                        core: c as u16,
-                        seq,
-                    });
+                    chan.waiting_sends.push_back(pending);
                 } else {
                     chan.in_flight += 1;
-                    self.launch_send(
-                        key,
-                        Pending {
-                            core: c as u16,
-                            seq,
-                        },
-                        len,
-                        now,
-                        ctx,
-                    );
+                    self.launch_send(key, pending, now, ctx);
                 }
             }
             Resolved::Recv {
                 peer,
                 block_len,
                 blocks,
-                tag,
+                tag: chan_tag,
                 ..
             } => {
-                let key = (peer, c as u16, tag);
+                let key = (peer, c as u16, chan_tag);
                 let recv_len = block_len * blocks;
                 let chan = self.fabric.channel(key);
                 if let Some(msg) = chan.arrived.pop_front() {
                     if msg.len != recv_len {
                         let detail = format!(
-                            "send core{peer} len {} vs recv core{c} len {recv_len} (tag {tag})",
+                            "send core{peer} len {} vs recv core{c} len {recv_len} (tag {chan_tag})",
                             msg.len
                         );
                         self.fail(SimError::TagMismatch { detail }, ctx);
                         return;
                     }
                     self.finish_recv(c, seq, msg, ctx);
+                    if self.error.is_some() {
+                        return;
+                    }
                     // A credit freed: launch one waiting send, if any.
                     self.kick_channel(key, now, ctx);
                 } else {
@@ -163,17 +174,18 @@ impl Machine<'_> {
                     chan.parked_recv = Some(Pending {
                         core: c as u16,
                         seq,
+                        tag,
+                        len: recv_len,
                     });
                 }
             }
             Resolved::GLoad { len, .. } | Resolved::GStore { len, .. } => {
-                let m = CostModel::new(self.cfg);
-                let hops = m.config().resources.mesh_hops(c as u16, 0) + 1;
-                let flits = m.flits_for_elems(len);
-                let e_txn = m.noc_energy(flits, hops) + m.global_mem_cost(len).energy;
-                let end = self.noc.memory_access(c as u16, len, now, &m);
+                let costs = &self.costs;
+                let hops = costs.hops(c as u16, 0) + 1;
+                let flits = costs.flits_for_elems(len);
+                let e_txn = costs.noc_energy(flits, hops) + costs.global_mem(len).energy;
+                let end = self.noc.memory_access(c as u16, len, now, &self.costs);
                 self.telemetry.energy.transfer += e_txn;
-                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
                 self.telemetry.node(tag).energy += e_txn;
                 ctx.schedule_at(end, MachineEvent::Complete { core: c, seq });
             }
@@ -183,33 +195,22 @@ impl Machine<'_> {
 
     /// Puts a send on the wire; it deposits into the receiver's queue at
     /// the tail-flit arrival time.
-    fn launch_send(
-        &mut self,
-        key: ChannelKey,
-        send: Pending,
-        len: u32,
-        now: SimTime,
-        ctx: &mut Ctx,
-    ) {
-        let m = CostModel::new(self.cfg);
-        let e_txn = m.message_energy(key.0, key.1, len);
-        let end = self.noc.message(key.0, key.1, len, now, &m);
+    fn launch_send(&mut self, key: ChannelKey, send: Pending, now: SimTime, ctx: &mut Ctx) {
+        let e_txn = self.costs.message_energy(key.0, key.1, send.len);
+        let end = self.noc.message(key.0, key.1, send.len, now, &self.costs);
         self.telemetry.energy.transfer += e_txn;
-        let tag = self.cores[send.core as usize]
-            .find(send.seq)
-            .map(|e| e.tag)
-            .unwrap_or(0);
-        self.telemetry.node(tag).energy += e_txn;
-        ctx.schedule_at(end, MachineEvent::Deposit { key, send, len });
+        self.telemetry.node(send.tag).energy += e_txn;
+        ctx.schedule_at(end, MachineEvent::Deposit { key, send });
     }
 
     /// Tail flit arrived at the receiver: the send completes
     /// ("synchronized"), and either a parked `RECV` consumes the message
     /// immediately or it waits in the credit queue.
-    pub(crate) fn deposit(&mut self, key: ChannelKey, send: Pending, len: u32, ctx: &mut Ctx) {
+    pub(crate) fn deposit(&mut self, key: ChannelKey, send: Pending, ctx: &mut Ctx) {
         if self.error.is_some() {
             return;
         }
+        let len = send.len;
         // Capture the payload while the sender's buffer is still hazard-protected.
         let data = if self.functional {
             let src = match self.cores[send.core as usize].find(send.seq) {
@@ -217,7 +218,18 @@ impl Machine<'_> {
                     Resolved::Send { src, .. } => src,
                     _ => unreachable!("send side mismatch"),
                 },
-                None => return,
+                // This used to be a silent `return`, leaving the channel's
+                // in_flight count and the sender's transfer unit stuck
+                // forever — a masked invariant break that surfaced later
+                // as an unexplainable deadlock.
+                None => {
+                    let detail = format!(
+                        "deposit on ch({}->{},tag{}) found no ROB entry for sender core{} seq {}",
+                        key.0, key.1, key.2, send.core, send.seq
+                    );
+                    self.fail(SimError::Internal { detail }, ctx);
+                    return;
+                }
             };
             self.cores[send.core as usize].mem.read(src, len)
         } else {
@@ -225,23 +237,24 @@ impl Machine<'_> {
         };
         // Complete the send side.
         self.finish_transfer_side(send.core as usize, send.seq, ctx);
+        if self.error.is_some() {
+            return;
+        }
         let chan = self.fabric.channel(key);
         chan.in_flight -= 1;
         if let Some(recv) = chan.parked_recv.take() {
-            let rc = recv.core as usize;
-            let recv_len = self.cores[rc]
-                .find(recv.seq)
-                .map(|e| e.res.transfer_elems())
-                .unwrap_or(0);
-            if recv_len != len {
+            if recv.len != len {
                 let detail = format!(
-                    "send core{} len {len} vs recv core{} len {recv_len} (tag {})",
-                    key.0, key.1, key.2
+                    "send core{} len {len} vs recv core{} len {} (tag {})",
+                    key.0, key.1, recv.len, key.2
                 );
                 self.fail(SimError::TagMismatch { detail }, ctx);
                 return;
             }
-            self.finish_recv(rc, recv.seq, ArrivedMsg { len, data }, ctx);
+            self.finish_recv(recv.core as usize, recv.seq, ArrivedMsg { len, data }, ctx);
+            if self.error.is_some() {
+                return;
+            }
             self.kick_channel(key, ctx.now(), ctx);
         } else {
             self.fabric
@@ -263,33 +276,50 @@ impl Machine<'_> {
             }
         };
         if let Some(send) = launch {
-            let len = self.cores[send.core as usize]
-                .find(send.seq)
-                .map(|e| e.res.transfer_elems())
-                .unwrap_or(0);
             self.fabric.channel(key).in_flight += 1;
-            self.launch_send(key, send, len, now, ctx);
+            self.launch_send(key, send, now, ctx);
         }
     }
 
     /// Completes a `RECV`: writes the payload and retires the entry.
     fn finish_recv(&mut self, c: usize, seq: u64, msg: ArrivedMsg, ctx: &mut Ctx) {
         if self.functional {
-            if let Some(e) = self.cores[c].find(seq) {
-                if let Resolved::Recv {
+            let params = self.cores[c].find(seq).map(|e| match e.res {
+                Resolved::Recv {
                     dst,
                     block_len,
                     dst_stride,
                     ..
-                } = e.res
-                {
-                    let (dst, block_len, dst_stride) = (dst, block_len, dst_stride);
-                    let mem = &mut self.cores[c].mem;
-                    if block_len > 0 {
-                        for (b, chunk) in msg.data.chunks(block_len as usize).enumerate() {
-                            let d = (dst as i64 + b as i64 * dst_stride as i64).max(0) as u32;
-                            mem.write(d, chunk);
+                } => (dst, block_len, dst_stride),
+                _ => unreachable!("recv side mismatch"),
+            });
+            if let Some((dst, block_len, dst_stride)) = params {
+                if block_len > 0 {
+                    let capacity = self.cfg.resources.local_mem_elems() as i64;
+                    for (b, chunk) in msg.data.chunks(block_len as usize).enumerate() {
+                        let d = dst as i64 + b as i64 * dst_stride as i64;
+                        // A destination below address 0 used to clamp to 0
+                        // and silently overwrite whatever lived there; one
+                        // past the configured scratchpad would grow the
+                        // functional memory without bound. Both are program
+                        // bugs and must fail.
+                        if d < 0 || d + chunk.len() as i64 > capacity {
+                            let detail = format!(
+                                "strided recv block {b} spans [{d}, {}) \
+                                 (dst {dst}, stride {dst_stride}), outside the \
+                                 {capacity}-element local memory",
+                                d + chunk.len() as i64
+                            );
+                            self.fail(
+                                SimError::MemoryFault {
+                                    core: c as u16,
+                                    detail,
+                                },
+                                ctx,
+                            );
+                            return;
                         }
+                        self.cores[c].mem.write(d as u32, chunk);
                     }
                 }
             }
@@ -304,6 +334,12 @@ impl Machine<'_> {
         self.finish_time = self.finish_time.max(now);
         let (tag, span, text) = {
             let Some(e) = self.cores[c].find(seq) else {
+                // A completion whose ROB entry vanished is an invariant
+                // break; report it instead of quietly dropping the
+                // retirement (which would wedge the core).
+                let detail =
+                    format!("transfer completion on core{c} found no ROB entry for seq {seq}");
+                self.fail(SimError::Internal { detail }, ctx);
                 return;
             };
             e.state = super::rob::State::Done;

@@ -53,11 +53,11 @@ impl Machine<'_> {
 
     /// Moves entry `seq` to `Executing` and books its execution unit.
     fn start(&mut self, c: usize, seq: u64, now: SimTime, ctx: &mut Ctx) {
-        let (class, res) = {
+        let (class, res, tag) = {
             let e = self.cores[c].find(seq).expect("entry exists");
             e.state = State::Executing;
             e.issue_at = now;
-            (e.class, e.res.clone())
+            (e.class, e.res.clone(), e.tag)
         };
         match class {
             InstrClass::Vector => {
@@ -65,7 +65,6 @@ impl Machine<'_> {
                 let cost = self.timing.vector_cost(self.cfg, len, reads, writes);
                 self.cores[c].vector_busy = true;
                 self.telemetry.energy.vector += cost.energy;
-                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
                 self.telemetry.node(tag).energy += cost.energy;
                 let end = now + cost.time;
                 ctx.schedule_at(end, MachineEvent::Complete { core: c, seq });
@@ -85,13 +84,12 @@ impl Machine<'_> {
                     .unwrap_or_default();
                 self.cores[c].busy_xbars.extend(xbars);
                 self.telemetry.energy.matrix += cost.energy;
-                let tag = self.cores[c].find(seq).map(|e| e.tag).unwrap_or(0);
                 self.telemetry.node(tag).energy += cost.energy;
                 let end = now + cost.time;
                 ctx.schedule_at(end, MachineEvent::Complete { core: c, seq });
             }
             InstrClass::Transfer => {
-                self.start_transfer(c, seq, res, now, ctx);
+                self.start_transfer(c, seq, tag, res, now, ctx);
             }
             InstrClass::Scalar => unreachable!(),
         }

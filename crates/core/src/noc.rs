@@ -1,32 +1,323 @@
-//! The mesh NoC: XY routing over per-link occupancy, plus the global
-//! memory controller at corner (0, 0).
+//! The mesh NoC: a policy-pluggable routing fabric over dense per-link
+//! occupancy state, plus the global memory controller at corner (0, 0).
+//!
+//! Three design choices keep the per-message work allocation-free:
+//!
+//! * **Dense link state.** Every directed mesh link maps 1:1 to an
+//!   *outgoing port* of its source router (`E`/`W`/`S`/`N`, plus the
+//!   memory port at router 0), so occupancy lives in one flat
+//!   `Vec<SimTime>` indexed `router * PORTS + port` — no hash probes on
+//!   the hot path, sized once at construction from the mesh dimensions.
+//! * **Iterator routes.** A [`Route`] walks the links of a message lazily;
+//!   nothing is collected into a `Vec` per transfer.
+//! * **Cached cost constants.** [`NocCosts`] derives the per-message
+//!   constants (hop latency, clocks, per-flit energies, memory-system
+//!   parameters) from the [`ArchConfig`] once per simulation instead of
+//!   rebuilding a [`CostModel`](pimsim_arch::model::CostModel) per
+//!   transfer. Every formula mirrors the `CostModel` one exactly (a unit
+//!   test pins the equivalence), so swapping the fabric cannot move a
+//!   single picosecond.
+//!
+//! Which links a message takes is decided by a [`Routing`] policy — the
+//! seam LP5X-PIM-style interconnect studies plug into. The built-in
+//! policies ([`Xy`], [`Yx`], [`XyYxAlternate`]) are selected by
+//! [`ArchConfig`]`.noc.routing`; all of them produce minimal (Manhattan)
+//! routes, so only *contention*, never distance, differs between them.
 
-use pimsim_arch::model::CostModel;
-use pimsim_event::SimTime;
+use std::fmt;
+
+use pimsim_arch::model::{Cost, CostModel};
+use pimsim_arch::{ArchConfig, Energy, RoutingPolicy};
+use pimsim_event::{Clock, SimTime};
 
 /// A unidirectional mesh link identified by `(from_router, to_router)`.
 /// The memory port uses `to_router == MEM_NODE`.
 pub const MEM_NODE: u16 = u16::MAX;
+
+/// Outgoing ports per router: the four mesh directions plus the global
+/// memory port (only ever used at router 0, but sized uniformly so the
+/// dense index is a single multiply-add).
+pub const PORTS: usize = 5;
+
+const EAST: usize = 0;
+const WEST: usize = 1;
+const SOUTH: usize = 2;
+const NORTH: usize = 3;
+const MEM_PORT: usize = 4;
+
+/// The dimension order one message's route walks the mesh in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimOrder {
+    /// Columns first (X), then rows (Y).
+    XFirst,
+    /// Rows first (Y), then columns (X).
+    YFirst,
+}
+
+/// A routing policy: picks the dimension order of each message.
+///
+/// The built-in policies are stateless strategy objects; per-message
+/// variation comes from the `msg_seq` argument (the fabric's injection
+/// counter), which keeps the trait `Send + Sync` and the fabric
+/// deterministic. Higher-fidelity policies (adaptive, credit-aware)
+/// implement the same seam without touching the transfer fabric.
+pub trait Routing: fmt::Debug + Send + Sync {
+    /// Dimension order for the `msg_seq`-th message injected into the
+    /// fabric, travelling `from -> to`.
+    fn order(&self, from: u16, to: u16, msg_seq: u64) -> DimOrder;
+
+    /// Short policy name (for reports and labels).
+    fn name(&self) -> &'static str;
+}
+
+/// X-then-Y dimension-order routing — the paper's mesh, the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Xy;
+
+impl Routing for Xy {
+    fn order(&self, _from: u16, _to: u16, _msg_seq: u64) -> DimOrder {
+        DimOrder::XFirst
+    }
+
+    fn name(&self) -> &'static str {
+        "xy"
+    }
+}
+
+/// Y-then-X dimension-order routing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Yx;
+
+impl Routing for Yx {
+    fn order(&self, _from: u16, _to: u16, _msg_seq: u64) -> DimOrder {
+        DimOrder::YFirst
+    }
+
+    fn name(&self) -> &'static str {
+        "yx"
+    }
+}
+
+/// O1TURN-style routing: even-numbered messages go X-first, odd-numbered
+/// Y-first, spreading load across the two minimal dimension orders.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XyYxAlternate;
+
+impl Routing for XyYxAlternate {
+    fn order(&self, _from: u16, _to: u16, msg_seq: u64) -> DimOrder {
+        if msg_seq.is_multiple_of(2) {
+            DimOrder::XFirst
+        } else {
+            DimOrder::YFirst
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "xy-yx"
+    }
+}
+
+/// The built-in [`Routing`] instance for a configured [`RoutingPolicy`].
+pub fn routing_for(policy: RoutingPolicy) -> &'static dyn Routing {
+    match policy {
+        RoutingPolicy::Xy => &Xy,
+        RoutingPolicy::Yx => &Yx,
+        RoutingPolicy::XyYxAlternate => &XyYxAlternate,
+    }
+}
+
+/// An allocation-free walk of one message's minimal route: yields the
+/// directed links `(from_router, to_router)` in traversal order.
+#[derive(Debug, Clone)]
+pub struct Route {
+    cols: u16,
+    cur: u16,
+    to: u16,
+    order: DimOrder,
+}
+
+impl Iterator for Route {
+    type Item = (u16, u16);
+
+    fn next(&mut self) -> Option<(u16, u16)> {
+        if self.cur == self.to {
+            return None;
+        }
+        let (cr, cc) = (self.cur / self.cols, self.cur % self.cols);
+        let (tr, tc) = (self.to / self.cols, self.to % self.cols);
+        let x_next = || {
+            let next_c = if tc > cc { cc + 1 } else { cc - 1 };
+            cr * self.cols + next_c
+        };
+        let y_next = || {
+            let next_r = if tr > cr { cr + 1 } else { cr - 1 };
+            next_r * self.cols + cc
+        };
+        let next = match self.order {
+            DimOrder::XFirst => {
+                if cc != tc {
+                    x_next()
+                } else {
+                    y_next()
+                }
+            }
+            DimOrder::YFirst => {
+                if cr != tr {
+                    y_next()
+                } else {
+                    x_next()
+                }
+            }
+        };
+        let link = (self.cur, next);
+        self.cur = next;
+        Some(link)
+    }
+}
+
+/// Per-message cost constants, derived once from an [`ArchConfig`].
+///
+/// The transfer hot path used to rebuild a [`CostModel`] (and its clocks)
+/// per message; this struct hoists everything a message needs into plain
+/// fields. Each method reproduces the corresponding `CostModel` formula
+/// term for term — `matches_cost_model` in the test module pins the
+/// equivalence — so results are bit-identical, just cheaper to reach.
+#[derive(Debug, Clone, Copy)]
+pub struct NocCosts {
+    hop: SimTime,
+    noc_clock: Clock,
+    core_clock: Clock,
+    flit_bytes: u64,
+    link_flits_per_cycle: f64,
+    noc_pj_per_flit_hop: f64,
+    local_mem_access_cycles: u64,
+    local_mem_pj_per_elem: f64,
+    global_mem_latency_ns: f64,
+    global_mem_bw_elems_per_ns: f64,
+    global_mem_pj_per_elem: f64,
+    cols: u16,
+}
+
+impl NocCosts {
+    /// Derives the constants from `cfg`.
+    pub fn new(cfg: &ArchConfig) -> NocCosts {
+        let model = CostModel::new(cfg);
+        NocCosts {
+            hop: model.noc_hop_latency(1),
+            noc_clock: model.noc_clock(),
+            core_clock: model.core_clock(),
+            flit_bytes: cfg.noc.flit_bytes as u64,
+            link_flits_per_cycle: cfg.noc.link_flits_per_cycle,
+            noc_pj_per_flit_hop: cfg.energy.noc_pj_per_flit_hop,
+            local_mem_access_cycles: cfg.timing.local_mem_access_cycles as u64,
+            local_mem_pj_per_elem: cfg.energy.local_mem_pj_per_elem,
+            global_mem_latency_ns: cfg.timing.global_mem_latency_ns,
+            global_mem_bw_elems_per_ns: cfg.timing.global_mem_bw_elems_per_ns,
+            global_mem_pj_per_elem: cfg.energy.global_mem_pj_per_elem,
+            cols: cfg.resources.core_cols,
+        }
+    }
+
+    /// One-hop pipe latency (`hop_cycles` NoC cycles).
+    pub fn hop(&self) -> SimTime {
+        self.hop
+    }
+
+    /// Flits needed to carry `elems` 32-bit elements (plus a header flit).
+    pub fn flits_for_elems(&self, elems: u32) -> u64 {
+        1 + (elems as u64 * 4).div_ceil(self.flit_bytes)
+    }
+
+    /// Time for one link to forward `flits` flits.
+    pub fn serialization(&self, flits: u64) -> SimTime {
+        let cycles = (flits as f64 / self.link_flits_per_cycle).ceil() as u64;
+        self.noc_clock.cycles_to_time(cycles)
+    }
+
+    /// NoC energy for `flits` flits crossing `hops` hops.
+    pub fn noc_energy(&self, flits: u64, hops: u32) -> Energy {
+        Energy::from_pj(flits as f64 * hops as f64 * self.noc_pj_per_flit_hop)
+    }
+
+    /// Manhattan hop distance between two routers — the length of every
+    /// minimal route, whatever the dimension order.
+    pub fn hops(&self, a: u16, b: u16) -> u32 {
+        let (ar, ac) = (a / self.cols, a % self.cols);
+        let (br, bc) = (b / self.cols, b % self.cols);
+        (ar.abs_diff(br) + ac.abs_diff(bc)) as u32
+    }
+
+    /// Cost of a same-core "transfer": a local scratchpad copy.
+    pub fn local_copy(&self, elems: u32) -> Cost {
+        let cycles = self.local_mem_access_cycles + elems as u64;
+        Cost {
+            time: self.core_clock.cycles_to_time(cycles),
+            energy: Energy::from_pj(2.0 * elems as f64 * self.local_mem_pj_per_elem),
+        }
+    }
+
+    /// Cost of a global-memory access of `elems` elements (latency +
+    /// bandwidth serialization at the controller; NoC cost is separate).
+    pub fn global_mem(&self, elems: u32) -> Cost {
+        let time_ns = self.global_mem_latency_ns + elems as f64 / self.global_mem_bw_elems_per_ns;
+        Cost {
+            time: SimTime::from_ns_f64(time_ns),
+            energy: Energy::from_pj(elems as f64 * self.global_mem_pj_per_elem),
+        }
+    }
+
+    /// Dynamic energy of a core-to-core message: NoC wire/router energy
+    /// along the (minimal) route, or the scratchpad-copy energy when
+    /// `from == to`.
+    pub fn message_energy(&self, from: u16, to: u16, elems: u32) -> Energy {
+        if from == to {
+            self.local_copy(elems).energy
+        } else {
+            self.noc_energy(self.flits_for_elems(elems), self.hops(from, to))
+        }
+    }
+}
+
+/// The head/tail progression of one packet walking links in sequence.
+#[derive(Debug, Clone, Copy)]
+struct Walk {
+    head: SimTime,
+    tail: SimTime,
+}
 
 /// Per-link and controller occupancy state.
 #[derive(Debug, Clone)]
 pub struct Noc {
     rows: u16,
     cols: u16,
-    /// `free_at` per directed link, keyed densely.
-    link_free: std::collections::HashMap<(u16, u16), SimTime>,
+    /// `free_at` per directed link, indexed `router * PORTS + port`.
+    link_free: Vec<SimTime>,
     /// Global memory controller service queue.
     mem_free: SimTime,
+    /// Messages injected so far (feeds per-message policy decisions).
+    msg_seq: u64,
+    routing: &'static dyn Routing,
 }
 
 impl Noc {
-    /// Builds the link state for a `rows` × `cols` mesh.
+    /// Builds the link state for a `rows` × `cols` mesh with XY routing.
     ///
     /// # Panics
     ///
     /// Panics when either dimension is zero or the mesh has more routers
     /// than the 16-bit core-id space can address.
     pub fn new(rows: u16, cols: u16) -> Noc {
+        Noc::with_routing(rows, cols, &Xy)
+    }
+
+    /// Builds the link state for a `rows` × `cols` mesh routed by
+    /// `routing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero or the mesh has more routers
+    /// than the 16-bit core-id space can address.
+    pub fn with_routing(rows: u16, cols: u16, routing: &'static dyn Routing) -> Noc {
         assert!(rows > 0 && cols > 0, "mesh must have at least one router");
         assert!(
             rows as u32 * cols as u32 <= MEM_NODE as u32,
@@ -35,14 +326,21 @@ impl Noc {
         Noc {
             rows,
             cols,
-            link_free: std::collections::HashMap::new(),
+            link_free: vec![SimTime::ZERO; rows as usize * cols as usize * PORTS],
             mem_free: SimTime::ZERO,
+            msg_seq: 0,
+            routing,
         }
     }
 
-    /// Builds the NoC for a (validated) architecture configuration.
-    pub fn for_arch(cfg: &pimsim_arch::ArchConfig) -> Noc {
-        Noc::new(cfg.resources.core_rows, cfg.resources.core_cols)
+    /// Builds the NoC for a (validated) architecture configuration,
+    /// including its configured routing policy.
+    pub fn for_arch(cfg: &ArchConfig) -> Noc {
+        Noc::with_routing(
+            cfg.resources.core_rows,
+            cfg.resources.core_cols,
+            routing_for(cfg.noc.routing),
+        )
     }
 
     /// Routers in the mesh.
@@ -51,8 +349,7 @@ impl Noc {
     }
 
     /// Debug-asserts that `core` addresses a router inside the mesh. Out
-    /// of range ids would otherwise fabricate out-of-mesh links whose
-    /// occupancy is tracked but never contended realistically.
+    /// of range ids would otherwise index outside the dense link table.
     fn check_core(&self, core: u16) {
         debug_assert!(
             (core as u32) < self.routers(),
@@ -62,73 +359,54 @@ impl Noc {
         );
     }
 
-    fn pos(&self, core: u16) -> (u16, u16) {
-        (core / self.cols, core % self.cols)
+    /// The dense index of the directed link `from -> to`. The two routers
+    /// are always mesh neighbours (or `to == MEM_NODE`), so the outgoing
+    /// port is recoverable from their difference.
+    fn link_index(&self, from: u16, to: u16) -> usize {
+        let port = if to == MEM_NODE {
+            MEM_PORT
+        } else if to as u32 == from as u32 + 1 {
+            EAST
+        } else if to as u32 + 1 == from as u32 {
+            WEST
+        } else if to as u32 == from as u32 + self.cols as u32 {
+            SOUTH
+        } else {
+            debug_assert!(to as u32 + self.cols as u32 == from as u32, "not a link");
+            NORTH
+        };
+        from as usize * PORTS + port
     }
 
-    /// The XY route between two routers as a list of directed links.
-    pub fn route(&self, from: u16, to: u16) -> Vec<(u16, u16)> {
+    /// The occupancy (`free_at`) of the directed link `from -> to`.
+    pub fn link_free(&self, from: u16, to: u16) -> SimTime {
+        self.link_free[self.link_index(from, to)]
+    }
+
+    /// The minimal route between two routers under `order`, as an
+    /// allocation-free iterator of directed links.
+    pub fn route(&self, from: u16, to: u16, order: DimOrder) -> Route {
         self.check_core(from);
         self.check_core(to);
-        let mut links = Vec::new();
-        if from == to {
-            return links;
+        Route {
+            cols: self.cols,
+            cur: from,
+            to,
+            order,
         }
-        let (_, fc) = self.pos(from);
-        let (tr, tc) = self.pos(to);
-        let mut cur = from;
-        // X first.
-        let mut c = fc;
-        while c != tc {
-            let next_c = if tc > c { c + 1 } else { c - 1 };
-            let next = (cur / self.cols) * self.cols + next_c;
-            links.push((cur, next));
-            cur = next;
-            c = next_c;
-        }
-        // Then Y.
-        let mut r = cur / self.cols;
-        while r != tr {
-            let next_r = if tr > r { r + 1 } else { r - 1 };
-            let next = next_r * self.cols + tc;
-            links.push((cur, next));
-            cur = next;
-            r = next_r;
-        }
-        debug_assert_eq!(cur, to);
-        links
     }
 
-    /// Walks a packet of `flits` flits along `links` starting at `start`,
-    /// reserving each link in turn (wormhole-style head progression with
-    /// per-link serialization). Returns the delivery time of the tail flit.
-    pub fn traverse(
-        &mut self,
-        links: &[(u16, u16)],
-        start: SimTime,
-        flits: u64,
-        model: &CostModel<'_>,
-    ) -> SimTime {
-        let hop = model.noc_hop_latency(1);
-        let ser = model.link_serialization(flits);
-        let mut head = start;
-        let mut tail = start;
-        for link in links {
-            let free = self.link_free.get(link).copied().unwrap_or(SimTime::ZERO);
-            head = head.max(free) + hop;
-            tail = head + ser;
-            self.link_free.insert(*link, tail);
-        }
-        if links.is_empty() {
-            tail = start;
-        }
-        tail
+    /// The injection counter for the next message, advancing it.
+    fn next_msg(&mut self) -> u64 {
+        let seq = self.msg_seq;
+        self.msg_seq += 1;
+        seq
     }
 
     /// Sends a core-to-core message; returns its delivery (completion) time.
     ///
     /// A self-message (`from == to`) never touches the mesh: it is a local
-    /// scratchpad copy and costs [`CostModel::local_copy_cost`], not zero —
+    /// scratchpad copy and costs [`NocCosts::local_copy`], not zero —
     /// same-core rendezvous still has to move the payload.
     pub fn message(
         &mut self,
@@ -136,34 +414,62 @@ impl Noc {
         to: u16,
         elems: u32,
         start: SimTime,
-        model: &CostModel<'_>,
+        costs: &NocCosts,
     ) -> SimTime {
         if from == to {
             self.check_core(from);
-            return start + model.local_copy_cost(elems).time;
+            return start + costs.local_copy(elems).time;
         }
-        let flits = model.flits_for_elems(elems);
-        let links = self.route(from, to);
-        self.traverse(&links, start, flits, model)
+        let flits = costs.flits_for_elems(elems);
+        let ser = costs.serialization(flits);
+        let order = self.routing.order(from, to, self.next_msg());
+        let route = self.route(from, to, order);
+        let mut walk = Walk {
+            head: start,
+            tail: start,
+        };
+        self.walk_route(route, &mut walk, costs.hop, ser);
+        walk.tail
+    }
+
+    /// Walks a packet along `route`, reserving each link in turn.
+    fn walk_route(&mut self, route: Route, walk: &mut Walk, hop: SimTime, ser: SimTime) {
+        for (a, b) in route {
+            let idx = self.link_index(a, b);
+            walk.head = walk.head.max(self.link_free[idx]) + hop;
+            walk.tail = walk.head + ser;
+            self.link_free[idx] = walk.tail;
+        }
     }
 
     /// A global-memory access from `core`: ride the mesh to corner (0,0),
-    /// queue at the controller, pay DRAM latency + bandwidth. Returns the
-    /// completion time.
+    /// cross the memory port, queue at the controller, pay DRAM latency +
+    /// bandwidth. Returns the completion time.
     pub fn memory_access(
         &mut self,
         core: u16,
         elems: u32,
         start: SimTime,
-        model: &CostModel<'_>,
+        costs: &NocCosts,
     ) -> SimTime {
         self.check_core(core);
-        let flits = model.flits_for_elems(elems);
-        let mut links = self.route(core, 0);
-        links.push((0, MEM_NODE));
-        let arrived = self.traverse(&links, start, flits, model);
+        let flits = costs.flits_for_elems(elems);
+        let ser = costs.serialization(flits);
+        let order = self.routing.order(core, 0, self.next_msg());
+        let route = self.route(core, 0, order);
+        let mut walk = Walk {
+            head: start,
+            tail: start,
+        };
+        self.walk_route(route, &mut walk, costs.hop, ser);
+        // The memory port continues the same head progression.
+        let idx = self.link_index(0, MEM_NODE);
+        walk.head = walk.head.max(self.link_free[idx]) + costs.hop;
+        walk.tail = walk.head + ser;
+        self.link_free[idx] = walk.tail;
+        let arrived = walk.tail;
         let service_start = arrived.max(self.mem_free);
-        let done = service_start + model.global_mem_cost(elems).time;
+        let done = service_start + costs.global_mem(elems).time;
         self.mem_free = done;
         done
     }
@@ -177,26 +483,57 @@ impl Noc {
     pub fn cols(&self) -> u16 {
         self.cols
     }
+
+    /// The active routing policy.
+    pub fn routing(&self) -> &'static dyn Routing {
+        self.routing
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pimsim_arch::ArchConfig;
 
-    fn model(cfg: &ArchConfig) -> CostModel<'_> {
-        CostModel::new(cfg)
+    fn costs(cfg: &ArchConfig) -> NocCosts {
+        NocCosts::new(cfg)
     }
 
     #[test]
     fn xy_route_shape() {
         let noc = Noc::new(4, 4);
         // core 1 (0,1) -> core 14 (3,2): x to col 2, then y down.
-        let r = noc.route(1, 14);
+        let r: Vec<_> = noc.route(1, 14, DimOrder::XFirst).collect();
         assert_eq!(r, vec![(1, 2), (2, 6), (6, 10), (10, 14)]);
-        assert!(noc.route(5, 5).is_empty());
+        assert_eq!(noc.route(5, 5, DimOrder::XFirst).count(), 0);
         assert_eq!(noc.rows(), 4);
         assert_eq!(noc.cols(), 4);
+        assert_eq!(noc.routing().name(), "xy");
+    }
+
+    #[test]
+    fn yx_route_shape() {
+        let noc = Noc::new(4, 4);
+        // core 1 (0,1) -> core 14 (3,2): y down to row 3 first, then x.
+        let r: Vec<_> = noc.route(1, 14, DimOrder::YFirst).collect();
+        assert_eq!(r, vec![(1, 5), (5, 9), (9, 13), (13, 14)]);
+    }
+
+    #[test]
+    fn alternate_policy_flips_order_per_message() {
+        let p = XyYxAlternate;
+        assert_eq!(p.order(0, 15, 0), DimOrder::XFirst);
+        assert_eq!(p.order(0, 15, 1), DimOrder::YFirst);
+        assert_eq!(p.order(0, 15, 2), DimOrder::XFirst);
+        assert_eq!(Xy.order(0, 15, 1), DimOrder::XFirst);
+        assert_eq!(Yx.order(0, 15, 2), DimOrder::YFirst);
+    }
+
+    #[test]
+    fn routing_for_maps_every_policy() {
+        use pimsim_arch::RoutingPolicy;
+        assert_eq!(routing_for(RoutingPolicy::Xy).name(), "xy");
+        assert_eq!(routing_for(RoutingPolicy::Yx).name(), "yx");
+        assert_eq!(routing_for(RoutingPolicy::XyYxAlternate).name(), "xy-yx");
     }
 
     #[test]
@@ -211,24 +548,26 @@ mod tests {
         // Regression: ids >= rows*cols used to silently fabricate
         // out-of-mesh links instead of failing.
         let noc = Noc::new(2, 2);
-        let _ = noc.route(0, 4);
+        let _ = noc.route(0, 4, DimOrder::XFirst);
     }
 
     #[test]
     #[should_panic(expected = "outside the")]
     fn out_of_mesh_memory_access_is_rejected() {
         let cfg = ArchConfig::paper_default();
-        let m = model(&cfg);
+        let c = costs(&cfg);
         let mut noc = Noc::new(2, 2);
-        let _ = noc.memory_access(9, 64, SimTime::ZERO, &m);
+        let _ = noc.memory_access(9, 64, SimTime::ZERO, &c);
     }
 
     #[test]
-    fn for_arch_matches_config_mesh() {
-        let cfg = ArchConfig::small_test();
+    fn for_arch_matches_config_mesh_and_policy() {
+        let mut cfg = ArchConfig::small_test();
+        cfg.noc.routing = pimsim_arch::RoutingPolicy::Yx;
         let noc = Noc::for_arch(&cfg);
         assert_eq!(noc.rows(), cfg.resources.core_rows);
         assert_eq!(noc.cols(), cfg.resources.core_cols);
+        assert_eq!(noc.routing().name(), "yx");
     }
 
     #[test]
@@ -236,50 +575,88 @@ mod tests {
         // Pinned choice: same-core rendezvous is NOT free — it pays the
         // scratchpad-copy cost from the shared cost model.
         let cfg = ArchConfig::paper_default();
-        let m = model(&cfg);
+        let c = costs(&cfg);
         let mut noc = Noc::new(8, 8);
         let start = SimTime::from_ns(5);
-        let done = noc.message(5, 5, 256, start, &m);
-        assert_eq!(done, start + m.local_copy_cost(256).time);
+        let done = noc.message(5, 5, 256, start, &c);
+        assert_eq!(done, start + c.local_copy(256).time);
         assert!(done > start);
         // And it never reserves mesh links.
-        assert!(noc.link_free.is_empty());
+        assert!(noc.link_free.iter().all(|t| t.is_zero()));
     }
 
     #[test]
     fn farther_is_slower() {
         let cfg = ArchConfig::paper_default();
-        let m = model(&cfg);
+        let c = costs(&cfg);
         let mut noc = Noc::new(8, 8);
-        let near = noc.message(0, 1, 64, SimTime::ZERO, &m);
+        let near = noc.message(0, 1, 64, SimTime::ZERO, &c);
         let mut noc2 = Noc::new(8, 8);
-        let far = noc2.message(0, 63, 64, SimTime::ZERO, &m);
+        let far = noc2.message(0, 63, 64, SimTime::ZERO, &c);
         assert!(far > near);
     }
 
     #[test]
     fn contention_serializes_on_shared_links() {
         let cfg = ArchConfig::paper_default();
-        let m = model(&cfg);
+        let c = costs(&cfg);
         let mut noc = Noc::new(8, 8);
-        let first = noc.message(0, 7, 1024, SimTime::ZERO, &m);
+        let first = noc.message(0, 7, 1024, SimTime::ZERO, &c);
         // Same path immediately afterwards: must wait behind the first.
-        let second = noc.message(0, 7, 1024, SimTime::ZERO, &m);
+        let second = noc.message(0, 7, 1024, SimTime::ZERO, &c);
         assert!(second > first);
         // A disjoint path is unaffected.
         let mut fresh = Noc::new(8, 8);
-        let disjoint_fresh = fresh.message(56, 63, 1024, SimTime::ZERO, &m);
-        let disjoint_after = noc.message(56, 63, 1024, SimTime::ZERO, &m);
+        let disjoint_fresh = fresh.message(56, 63, 1024, SimTime::ZERO, &c);
+        let disjoint_after = noc.message(56, 63, 1024, SimTime::ZERO, &c);
         assert_eq!(disjoint_fresh, disjoint_after);
     }
 
     #[test]
     fn memory_controller_queues() {
         let cfg = ArchConfig::paper_default();
-        let m = model(&cfg);
+        let c = costs(&cfg);
         let mut noc = Noc::new(8, 8);
-        let a = noc.memory_access(0, 4096, SimTime::ZERO, &m);
-        let b = noc.memory_access(63, 4096, SimTime::ZERO, &m);
+        let a = noc.memory_access(0, 4096, SimTime::ZERO, &c);
+        let b = noc.memory_access(63, 4096, SimTime::ZERO, &c);
         assert!(b > a, "controller should serialize concurrent streams");
+        assert!(!noc.link_free(0, MEM_NODE).is_zero(), "mem port reserved");
+    }
+
+    #[test]
+    fn noc_costs_match_the_cost_model() {
+        // NocCosts is a hot-path cache of CostModel, not a second model:
+        // every derived quantity must agree exactly.
+        for cfg in [ArchConfig::paper_default(), ArchConfig::small_test()] {
+            let m = CostModel::new(&cfg);
+            let c = NocCosts::new(&cfg);
+            assert_eq!(c.hop(), m.noc_hop_latency(1));
+            for elems in [0u32, 1, 8, 9, 64, 1000, 4096] {
+                assert_eq!(c.flits_for_elems(elems), m.flits_for_elems(elems));
+                assert_eq!(c.local_copy(elems), m.local_copy_cost(elems));
+                assert_eq!(c.global_mem(elems), m.global_mem_cost(elems));
+            }
+            for flits in [1u64, 2, 17, 129] {
+                assert_eq!(c.serialization(flits), m.link_serialization(flits));
+                assert_eq!(c.noc_energy(flits, 3), m.noc_energy(flits, 3));
+            }
+            for (a, b) in [(0u16, 0u16), (0, 9), (5, 5), (0, 8)] {
+                assert_eq!(c.hops(a, b), cfg.resources.mesh_hops(a, b));
+                assert_eq!(c.message_energy(a, b, 64), m.message_energy(a, b, 64));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_occupancy_tracks_every_directed_link() {
+        // Bidirectional traffic on one edge occupies two distinct slots.
+        let cfg = ArchConfig::paper_default();
+        let c = costs(&cfg);
+        let mut noc = Noc::new(2, 2);
+        noc.message(0, 1, 64, SimTime::ZERO, &c);
+        noc.message(1, 0, 64, SimTime::ZERO, &c);
+        assert!(!noc.link_free(0, 1).is_zero());
+        assert!(!noc.link_free(1, 0).is_zero());
+        assert_ne!(noc.link_index(0, 1), noc.link_index(1, 0));
     }
 }

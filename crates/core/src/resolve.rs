@@ -123,19 +123,6 @@ pub enum Resolved {
 }
 
 impl Resolved {
-    /// Total payload elements of a transfer (`0` for non-transfers).
-    pub fn transfer_elems(&self) -> u32 {
-        match self {
-            Resolved::Send { len, .. }
-            | Resolved::GLoad { len, .. }
-            | Resolved::GStore { len, .. } => *len,
-            Resolved::Recv {
-                block_len, blocks, ..
-            } => block_len * blocks,
-            _ => 0,
-        }
-    }
-
     /// Local-memory ranges read by this instruction.
     pub fn reads(&self) -> Vec<Range> {
         match self {

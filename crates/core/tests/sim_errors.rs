@@ -166,6 +166,109 @@ fn length_mismatch_with_queued_message_fails() {
     assert!(matches!(err, SimError::TagMismatch { .. }), "got {err:?}");
 }
 
+// ---------------------------------------------------------- MemoryFault --
+
+#[test]
+fn negative_strided_recv_destination_is_a_memory_fault() {
+    // Regression: `(dst + b*stride).max(0)` used to clamp block 1's
+    // destination (0 + 1 * -8 = -8) to address 0, silently overwriting
+    // block 0 instead of failing.
+    let arch = ArchConfig::small_test();
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            vfill [r0+0], 7, 8
+            send core1, [r0+0], 8, tag=1
+            halt
+            .core 1
+            recv2d core0, [r0+0], block=4, blocks=2, dstride=-8, tag=1
+            halt
+        "#,
+    )
+    .expect_err("a strided recv reaching below address 0 must fail");
+    let SimError::MemoryFault { core, detail } = &err else {
+        panic!("expected MemoryFault, got {err:?}");
+    };
+    assert_eq!(*core, 1);
+    assert!(detail.contains("-8"), "names the bad address: {detail}");
+    assert!(detail.contains("stride -8"), "names the stride: {detail}");
+    assert!(err.source().is_none(), "MemoryFault is a root cause");
+    assert!(
+        err.to_string().starts_with("memory fault on core1: "),
+        "Display: {err}"
+    );
+}
+
+#[test]
+fn recv_past_the_scratchpad_capacity_is_a_memory_fault() {
+    // The opposite edge: a stride marching *past* the configured local
+    // memory must not silently grow the functional scratchpad either.
+    let arch = ArchConfig::small_test(); // 256 KiB -> 65536 elements
+    let err = run(
+        &arch,
+        r#"
+            .core 0
+            vfill [r0+0], 7, 8
+            send core1, [r0+0], 8, tag=1
+            halt
+            .core 1
+            recv2d core0, [r0+65532], block=4, blocks=2, dstride=8, tag=1
+            halt
+        "#,
+    )
+    .expect_err("a strided recv reaching past local memory must fail");
+    let SimError::MemoryFault { core, detail } = &err else {
+        panic!("expected MemoryFault, got {err:?}");
+    };
+    assert_eq!(*core, 1);
+    assert!(
+        detail.contains("65536-element"),
+        "names the bound: {detail}"
+    );
+}
+
+#[test]
+fn in_range_strided_recv_still_interleaves() {
+    // The fix must not touch valid strided receives (negative strides
+    // included, as long as every block stays in range).
+    let arch = ArchConfig::small_test();
+    let report = run(
+        &arch,
+        r#"
+            .core 0
+            vfill [r0+0], 9, 4
+            send core1, [r0+0], 4, tag=1
+            halt
+            .core 1
+            recv2d core0, [r0+8], block=2, blocks=2, dstride=-4, tag=1
+            halt
+        "#,
+    )
+    .expect("a fully in-range negative stride is legal");
+    // Block 0 at 8..10, block 1 at 4..6.
+    assert_eq!(report.read_local(1, 8, 2), vec![9, 9]);
+    assert_eq!(report.read_local(1, 4, 2), vec![9, 9]);
+}
+
+// ------------------------------------------------------------- Internal --
+
+#[test]
+fn internal_display_and_source() {
+    // The variant that replaced `deposit`'s silent `None => return`: a
+    // missing sender-side ROB entry now surfaces as a hard error instead
+    // of wedging the channel's credit accounting.
+    let err = SimError::Internal {
+        detail: "deposit on ch(0->1,tag3) found no ROB entry for sender core0 seq 7".into(),
+    };
+    assert_eq!(
+        err.to_string(),
+        "internal simulator invariant violated: \
+         deposit on ch(0->1,tag3) found no ROB entry for sender core0 seq 7"
+    );
+    assert!(err.source().is_none(), "Internal is a root cause");
+}
+
 // ------------------------------------------- validation errors + chains --
 
 #[test]

@@ -5,7 +5,7 @@ use std::path::Path;
 
 use serde::{Deserialize, Map, Number, Serialize, Value};
 
-use pimsim_arch::ArchConfig;
+use pimsim_arch::{ArchConfig, RoutingPolicy};
 use pimsim_compiler::MappingPolicy;
 use pimsim_nn::zoo;
 
@@ -54,6 +54,17 @@ pub fn parse_mapping(name: &str) -> Result<MappingPolicy, SweepError> {
         "utilization-first" => Ok(MappingPolicy::UtilizationFirst),
         other => Err(SweepError::UnknownMapping(other.to_string())),
     }
+}
+
+/// Parses a NoC routing-policy name (`xy` / `yx` / `xy-yx`) as used in
+/// configuration files and on the command line.
+///
+/// # Errors
+///
+/// Returns [`SweepError::UnknownRouting`] for anything else.
+pub fn parse_routing(name: &str) -> Result<RoutingPolicy, SweepError> {
+    name.parse()
+        .map_err(|_| SweepError::UnknownRouting(name.to_string()))
 }
 
 /// The default input resolution for a zoo network: CIFAR-scale for the
@@ -130,13 +141,19 @@ impl Scenario {
     }
 
     /// The label to display: the explicit one, or a derived
-    /// `network/res mapping xN rob=R` summary.
+    /// `network/res mapping xN rob=R` summary (plus the routing policy
+    /// when it differs from the paper's XY default).
     pub fn display_label(&self) -> String {
         if !self.label.is_empty() {
             return self.label.clone();
         }
+        let routing = if self.arch.noc.routing == RoutingPolicy::default() {
+            String::new()
+        } else {
+            format!(" {}", self.arch.noc.routing)
+        };
         format!(
-            "{}/{} {} x{} rob={} {}",
+            "{}/{} {} x{} rob={}{routing} {}",
             self.network,
             self.resolution,
             self.mapping,
@@ -179,6 +196,11 @@ impl Serialize for Scenario {
             "flit_bytes",
             Value::Number(Number::from_u64(self.arch.noc.flit_bytes as u64)),
         );
+        // Serialized only when swept away from the XY default, so campaign
+        // outputs from before the knob existed stay byte-identical.
+        if self.arch.noc.routing != RoutingPolicy::default() {
+            map.insert("routing", Value::String(self.arch.noc.routing.to_string()));
+        }
         map.insert(
             "structure_hazard",
             Value::Bool(self.arch.sim.structure_hazard),
@@ -221,6 +243,10 @@ pub struct SweepGrid {
     /// NoC flit widths in bytes; empty = the base architecture's.
     #[serde(default)]
     pub flit_bytes: Vec<u32>,
+    /// NoC routing policies (`xy` / `yx` / `xy-yx`); empty = the base
+    /// architecture's.
+    #[serde(default)]
+    pub routings: Vec<String>,
     /// Structure-hazard settings (ablation axis); empty = the base
     /// architecture's.
     #[serde(default)]
@@ -291,26 +317,30 @@ impl SweepGrid {
             * axis(self.adcs_per_xbar.len())
             * axis(self.vector_lanes.len())
             * axis(self.flit_bytes.len())
+            * axis(self.routings.len())
             * axis(self.structure_hazard.len())
     }
 
     /// Expands the cartesian product into concrete scenarios, in a fixed
     /// axis order (networks outermost, then resolution, mapping, batch,
-    /// simulator, ROB, ADCs, lanes, flit width, hazard innermost).
+    /// simulator, ROB, ADCs, lanes, flit width, routing, hazard
+    /// innermost).
     ///
-    /// Baseline-simulator points ignore the mapping, batch, ROB, and
-    /// structure-hazard axes (the behaviour-level model has none of
-    /// them): one baseline point is emitted per remaining axis
-    /// combination — pinned to performance-first, batch 1 and the first
-    /// ROB / hazard axis values — instead of duplicating identical
-    /// simulations.
+    /// Baseline-simulator points ignore the mapping, batch, ROB, routing,
+    /// and structure-hazard axes (the behaviour-level model has none of
+    /// them — its NoC cost is a hop-count closed form, identical for
+    /// every minimal routing order): one baseline point is emitted per
+    /// remaining axis combination — pinned to performance-first, batch 1
+    /// and the first ROB / routing / hazard axis values — instead of
+    /// duplicating identical simulations.
     ///
     /// # Errors
     ///
     /// Returns [`SweepError::EmptyGrid`] when no networks are given,
     /// [`SweepError::UnknownNetwork`] / [`SweepError::UnknownMapping`] /
-    /// [`SweepError::UnknownSimulator`] for bad axis values, and
-    /// [`SweepError::Arch`] when the base configuration is invalid.
+    /// [`SweepError::UnknownSimulator`] / [`SweepError::UnknownRouting`]
+    /// for bad axis values, and [`SweepError::Arch`] when the base
+    /// configuration is invalid.
     pub fn scenarios(&self) -> Result<Vec<Scenario>, SweepError> {
         if self.networks.is_empty() {
             return Err(SweepError::EmptyGrid);
@@ -338,6 +368,14 @@ impl SweepGrid {
         let adcs = non_empty(&self.adcs_per_xbar, base.resources.adcs_per_xbar);
         let lanes = non_empty(&self.vector_lanes, base.resources.vector_lanes);
         let flits = non_empty(&self.flit_bytes, base.noc.flit_bytes);
+        let routings = if self.routings.is_empty() {
+            vec![base.noc.routing]
+        } else {
+            self.routings
+                .iter()
+                .map(|r| parse_routing(r))
+                .collect::<Result<Vec<_>, _>>()?
+        };
         let hazards = non_empty(&self.structure_hazard, base.sim.structure_hazard);
 
         let mut out = Vec::with_capacity(self.points());
@@ -365,45 +403,51 @@ impl SweepGrid {
                                 for &adc in &adcs {
                                     for &lane in &lanes {
                                         for &flit in &flits {
-                                            for &hazard in &hazards {
-                                                // The behaviour-level baseline has no
-                                                // mapping, batch, ROB, or structure
-                                                // hazard: those axes would only
-                                                // duplicate identical simulations (and
-                                                // a misleading per-image latency), so
-                                                // baseline points collapse them to one
-                                                // representative each — performance-
-                                                // first, batch 1, and the first ROB /
-                                                // hazard axis values.
-                                                let baseline = simulator == SimulatorKind::Baseline;
-                                                if baseline
-                                                    && (mapping != mappings[0]
-                                                        || batch != batches[0]
-                                                        || rob != robs[0]
-                                                        || hazard != hazards[0])
-                                                {
-                                                    continue;
+                                            for &routing in &routings {
+                                                for &hazard in &hazards {
+                                                    // The behaviour-level baseline has no
+                                                    // mapping, batch, ROB, routing, or
+                                                    // structure hazard: those axes would
+                                                    // only duplicate identical simulations
+                                                    // (and a misleading per-image latency),
+                                                    // so baseline points collapse them to
+                                                    // one representative each —
+                                                    // performance-first, batch 1, and the
+                                                    // first ROB / routing / hazard axis
+                                                    // values.
+                                                    let baseline =
+                                                        simulator == SimulatorKind::Baseline;
+                                                    if baseline
+                                                        && (mapping != mappings[0]
+                                                            || batch != batches[0]
+                                                            || rob != robs[0]
+                                                            || routing != routings[0]
+                                                            || hazard != hazards[0])
+                                                    {
+                                                        continue;
+                                                    }
+                                                    let (mapping, batch) = if baseline {
+                                                        (MappingPolicy::PerformanceFirst, 1)
+                                                    } else {
+                                                        (mapping, batch.max(1))
+                                                    };
+                                                    let mut arch = base.clone();
+                                                    arch.resources.rob_size = rob;
+                                                    arch.resources.adcs_per_xbar = adc;
+                                                    arch.resources.vector_lanes = lane;
+                                                    arch.noc.flit_bytes = flit;
+                                                    arch.noc.routing = routing;
+                                                    arch.sim.structure_hazard = hazard;
+                                                    out.push(Scenario {
+                                                        network: network.clone(),
+                                                        resolution,
+                                                        mapping,
+                                                        batch,
+                                                        simulator,
+                                                        label: String::new(),
+                                                        arch,
+                                                    });
                                                 }
-                                                let (mapping, batch) = if baseline {
-                                                    (MappingPolicy::PerformanceFirst, 1)
-                                                } else {
-                                                    (mapping, batch.max(1))
-                                                };
-                                                let mut arch = base.clone();
-                                                arch.resources.rob_size = rob;
-                                                arch.resources.adcs_per_xbar = adc;
-                                                arch.resources.vector_lanes = lane;
-                                                arch.noc.flit_bytes = flit;
-                                                arch.sim.structure_hazard = hazard;
-                                                out.push(Scenario {
-                                                    network: network.clone(),
-                                                    resolution,
-                                                    mapping,
-                                                    batch,
-                                                    simulator,
-                                                    label: String::new(),
-                                                    arch,
-                                                });
                                             }
                                         }
                                     }
@@ -498,6 +542,57 @@ mod tests {
             baselines[0].arch.resources.adcs_per_xbar,
             baselines[1].arch.resources.adcs_per_xbar
         );
+    }
+
+    #[test]
+    fn routing_axis_expands_and_collapses_for_baseline() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.routings = vec!["xy".into(), "yx".into(), "xy-yx".into()];
+        grid.simulators = vec!["cycle".into(), "baseline".into()];
+        assert_eq!(grid.points(), 6);
+        let scenarios = grid.scenarios().unwrap();
+        // Cycle: one per routing. Baseline: the closed-form NoC cost is
+        // routing-independent, so the axis collapses to one point.
+        assert_eq!(scenarios.len(), 4);
+        let cycle: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.simulator == SimulatorKind::Cycle)
+            .map(|s| s.arch.noc.routing)
+            .collect();
+        assert_eq!(
+            cycle,
+            vec![
+                RoutingPolicy::Xy,
+                RoutingPolicy::Yx,
+                RoutingPolicy::XyYxAlternate
+            ]
+        );
+        let baseline: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.simulator == SimulatorKind::Baseline)
+            .collect();
+        assert_eq!(baseline.len(), 1);
+        assert_eq!(baseline[0].arch.noc.routing, RoutingPolicy::Xy);
+        // Labels and serialization surface the knob only when non-default.
+        assert!(!scenarios[0].display_label().contains("xy"));
+        assert!(scenarios[1].display_label().contains(" yx "));
+        assert_eq!(scenarios[0].to_value().get("routing"), None);
+        assert_eq!(
+            scenarios[2].to_value()["routing"],
+            Value::String("xy-yx".into())
+        );
+    }
+
+    #[test]
+    fn unknown_routing_is_rejected() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.routings = vec!["zigzag".into()];
+        assert!(matches!(
+            grid.scenarios().unwrap_err(),
+            SweepError::UnknownRouting(_)
+        ));
+        assert_eq!(parse_routing("yx").unwrap(), RoutingPolicy::Yx);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! of simulations per campaign. This crate turns such a campaign into a
 //! declarative [`SweepGrid`] — network × resolution × mapping policy ×
 //! batch × architecture knobs (ROB depth, ADCs per crossbar, SIMD lanes,
-//! flit width, structure hazard) × simulator kind — expands its cartesian
+//! flit width, routing policy, structure hazard) × simulator kind —
+//! expands its cartesian
 //! product into [`Scenario`]s, fans them out across OS threads, and
 //! collects one [`SweepRow`] per point.
 //!
@@ -40,7 +41,9 @@ mod engine;
 mod grid;
 
 pub use engine::{default_threads, results_to_json, run_grid, run_scenarios, SweepRow};
-pub use grid::{default_resolution, parse_mapping, Scenario, SimulatorKind, SweepGrid};
+pub use grid::{
+    default_resolution, parse_mapping, parse_routing, Scenario, SimulatorKind, SweepGrid,
+};
 
 use pimsim_arch::ArchError;
 
@@ -55,6 +58,8 @@ pub enum SweepError {
     UnknownMapping(String),
     /// A simulator name is not recognized.
     UnknownSimulator(String),
+    /// A NoC routing-policy name is not recognized.
+    UnknownRouting(String),
     /// A scenario's architecture configuration failed validation.
     Arch(String),
     /// A scenario failed to compile.
@@ -76,6 +81,9 @@ impl std::fmt::Display for SweepError {
             ),
             SweepError::UnknownSimulator(s) => {
                 write!(f, "unknown simulator `{s}` (want cycle or baseline)")
+            }
+            SweepError::UnknownRouting(r) => {
+                write!(f, "unknown routing policy `{r}` (want xy, yx or xy-yx)")
             }
             SweepError::Arch(e) => write!(f, "invalid architecture: {e}"),
             SweepError::Compile(e) => write!(f, "compile failed: {e}"),

@@ -51,7 +51,7 @@ pub use pimsim_sweep as sweep;
 
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
-    pub use pimsim_arch::ArchConfig;
+    pub use pimsim_arch::{ArchConfig, RoutingPolicy};
     pub use pimsim_baseline::BaselineSimulator;
     pub use pimsim_compiler::{Compiler, MappingPolicy};
     pub use pimsim_core::{SimReport, Simulator};
