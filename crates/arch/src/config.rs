@@ -129,9 +129,11 @@ pub struct TimingParams {
 ///
 /// The paper's chip routes dimension-ordered X-then-Y (§III-B); the other
 /// policies open a design-space axis over the same mesh (O1TURN-style
-/// per-message alternation balances load across the two dimension orders).
-/// All three are minimal, deterministic and deadlock-free on a mesh; the
-/// simulator's `Routing` trait is where higher-fidelity policies plug in.
+/// per-message alternation balances load across the two dimension orders;
+/// `adaptive` picks the less-congested minimal direction at each hop from
+/// live link occupancy). All are minimal, deterministic and deadlock-free
+/// on a mesh; the simulator's `Routing` trait is where further policies
+/// plug in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 #[serde(try_from = "String", into = "String")]
 pub enum RoutingPolicy {
@@ -142,14 +144,19 @@ pub enum RoutingPolicy {
     Yx,
     /// O1TURN-style: alternate XY / YX dimension order per message.
     XyYxAlternate,
+    /// Congestion-aware minimal routing: at each hop, step into the
+    /// minimal direction whose outgoing link frees earliest (ties broken
+    /// deterministically by the message's injection number).
+    Adaptive,
 }
 
 impl RoutingPolicy {
     /// Every selectable policy, in canonical order.
-    pub const ALL: [RoutingPolicy; 3] = [
+    pub const ALL: [RoutingPolicy; 4] = [
         RoutingPolicy::Xy,
         RoutingPolicy::Yx,
         RoutingPolicy::XyYxAlternate,
+        RoutingPolicy::Adaptive,
     ];
 
     /// The canonical configuration-file / CLI name.
@@ -158,6 +165,7 @@ impl RoutingPolicy {
             RoutingPolicy::Xy => "xy",
             RoutingPolicy::Yx => "yx",
             RoutingPolicy::XyYxAlternate => "xy-yx",
+            RoutingPolicy::Adaptive => "adaptive",
         }
     }
 }
@@ -176,8 +184,9 @@ impl std::str::FromStr for RoutingPolicy {
             "xy" => Ok(RoutingPolicy::Xy),
             "yx" => Ok(RoutingPolicy::Yx),
             "xy-yx" | "o1turn" | "alternate" => Ok(RoutingPolicy::XyYxAlternate),
+            "adaptive" => Ok(RoutingPolicy::Adaptive),
             other => Err(format!(
-                "unknown routing policy `{other}` (want xy, yx or xy-yx)"
+                "unknown routing policy `{other}` (want xy, yx, xy-yx or adaptive)"
             )),
         }
     }
@@ -216,11 +225,37 @@ pub struct NocParams {
     /// payload sits at the receiver), but a small hardware queue decouples
     /// sender and receiver enough to avoid rendezvous deadlocks.
     pub channel_credits: u32,
-    /// Mesh routing policy (`xy`, `yx`, or `xy-yx`). Defaults to `xy` —
-    /// the paper's dimension-order routing — so configurations written
-    /// before this knob existed keep their exact behaviour.
+    /// Mesh routing policy (`xy`, `yx`, `xy-yx`, or `adaptive`). Defaults
+    /// to `xy` — the paper's dimension-order routing — so configurations
+    /// written before this knob existed keep their exact behaviour.
     #[serde(default)]
     pub routing: RoutingPolicy,
+    /// Virtual channels per rendezvous channel: each `(sender, receiver,
+    /// tag)` flow is split round-robin over this many VCs, each with its
+    /// own `channel_credits` credit pool. Defaults to `1` — a single VC is
+    /// exactly the pre-VC credit model, so older configurations keep their
+    /// exact behaviour.
+    #[serde(default = "default_virtual_channels")]
+    pub virtual_channels: u32,
+    /// Router pipeline stages a head flit traverses per hop: per-hop head
+    /// latency is `hop_cycles * router_pipeline_depth` NoC cycles, while
+    /// link throughput (serialization) is unchanged — pipelining deepens
+    /// latency, not bandwidth. Defaults to `1` — the pre-pipeline flat hop
+    /// cost, so older configurations keep their exact behaviour.
+    #[serde(default = "default_router_pipeline_depth")]
+    pub router_pipeline_depth: u32,
+}
+
+/// Serde default for [`NocParams::virtual_channels`]: one VC, the
+/// pre-virtual-channel credit model.
+fn default_virtual_channels() -> u32 {
+    1
+}
+
+/// Serde default for [`NocParams::router_pipeline_depth`]: one stage, the
+/// pre-pipeline flat hop cost.
+fn default_router_pipeline_depth() -> u32 {
+    1
 }
 
 /// Per-operation energies, picojoules. Defaults are ISAAC/PUMA-class
@@ -349,6 +384,8 @@ impl ArchConfig {
                 link_flits_per_cycle: 1.0,
                 channel_credits: 2,
                 routing: RoutingPolicy::Xy,
+                virtual_channels: 1,
+                router_pipeline_depth: 1,
             },
             sim: SimSettings {
                 functional: false,
@@ -393,6 +430,18 @@ impl ArchConfig {
     /// Returns a copy with a different mesh routing policy.
     pub fn with_routing(mut self, routing: RoutingPolicy) -> ArchConfig {
         self.noc.routing = routing;
+        self
+    }
+
+    /// Returns a copy with a different virtual-channel count.
+    pub fn with_virtual_channels(mut self, vcs: u32) -> ArchConfig {
+        self.noc.virtual_channels = vcs;
+        self
+    }
+
+    /// Returns a copy with a different router pipeline depth.
+    pub fn with_router_pipeline_depth(mut self, depth: u32) -> ArchConfig {
+        self.noc.router_pipeline_depth = depth;
         self
     }
 
@@ -518,6 +567,15 @@ impl ArchConfig {
         if n.channel_credits == 0 {
             return bad("noc.channel_credits", "need at least one credit");
         }
+        if n.virtual_channels == 0 {
+            return bad("noc.virtual_channels", "need at least one virtual channel");
+        }
+        if n.router_pipeline_depth == 0 {
+            return bad(
+                "noc.router_pipeline_depth",
+                "router pipeline needs at least one stage",
+            );
+        }
         let e = &self.energy;
         for (field, v) in [
             ("energy.xbar_pj_per_cell", e.xbar_pj_per_cell),
@@ -628,6 +686,33 @@ mod tests {
     }
 
     #[test]
+    fn zero_virtual_channels_rejected_with_field_path() {
+        let mut cfg = ArchConfig::paper_default();
+        cfg.noc.virtual_channels = 0;
+        match cfg.validate().unwrap_err() {
+            ArchError::Invalid { field, .. } => assert_eq!(field, "noc.virtual_channels"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_router_pipeline_depth_rejected_with_field_path() {
+        let mut cfg = ArchConfig::paper_default();
+        cfg.noc.router_pipeline_depth = 0;
+        match cfg.validate().unwrap_err() {
+            ArchError::Invalid { field, .. } => assert_eq!(field, "noc.router_pipeline_depth"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // Same field-path error style as the existing credit check.
+        let mut cfg = ArchConfig::paper_default();
+        cfg.noc.channel_credits = 0;
+        match cfg.validate().unwrap_err() {
+            ArchError::Invalid { field, .. } => assert_eq!(field, "noc.channel_credits"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn builders() {
         let cfg = ArchConfig::paper_default()
             .with_rob(16)
@@ -648,8 +733,34 @@ mod tests {
             "o1turn".parse::<RoutingPolicy>().unwrap(),
             RoutingPolicy::XyYxAlternate
         );
+        assert_eq!(
+            "adaptive".parse::<RoutingPolicy>().unwrap(),
+            RoutingPolicy::Adaptive
+        );
         assert!("zigzag".parse::<RoutingPolicy>().is_err());
         assert_eq!(RoutingPolicy::default(), RoutingPolicy::Xy);
+    }
+
+    #[test]
+    fn router_model_knobs_default_and_roundtrip() {
+        // Configurations written before the knobs existed stay loadable
+        // and mean 1 VC / depth 1 — exactly what they simulated as before.
+        let text = ArchConfig::paper_default().to_json();
+        let legacy = text
+            .replace(",\n    \"virtual_channels\": 1", "")
+            .replace(",\n    \"router_pipeline_depth\": 1", "");
+        assert_ne!(legacy, text, "the default config serializes both knobs");
+        let cfg = ArchConfig::from_json(&legacy).unwrap();
+        assert_eq!(cfg.noc.virtual_channels, 1);
+        assert_eq!(cfg.noc.router_pipeline_depth, 1);
+        // Non-default values survive a JSON roundtrip.
+        let cfg = ArchConfig::paper_default()
+            .with_virtual_channels(4)
+            .with_router_pipeline_depth(3);
+        let back = ArchConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.noc.virtual_channels, 4);
+        assert_eq!(back.noc.router_pipeline_depth, 3);
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! Criterion benchmark: NoC fabric throughput — the dense, allocation-free
 //! fabric against the pre-PR4 HashMap reference on identical synthetic
-//! traffic, plus the transfer-saturated end-to-end workload per routing
-//! policy.
+//! traffic, plus the transfer-saturated and hotspot (transpose)
+//! end-to-end workloads per routing policy.
 //!
-//! The workloads live in [`pimsim_bench::fabric_workload`] and
-//! [`pimsim_bench::transfer_workload`], shared with the `perf_baseline`
+//! The workloads live in [`pimsim_bench::fabric_workload`],
+//! [`pimsim_bench::transfer_workload`] and
+//! [`pimsim_bench::hotspot_workload`], shared with the `perf_baseline`
 //! trajectory harness so both measure the same thing (see
-//! `BENCH_PR4.json`).
+//! `BENCH_PR5.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pimsim_arch::RoutingPolicy;
-use pimsim_bench::{fabric_workload as fw, transfer_workload as tw};
+use pimsim_bench::{fabric_workload as fw, hotspot_workload as hw, transfer_workload as tw};
 
 fn bench_fabric(c: &mut Criterion) {
     let msgs = fw::traffic(fw::FABRIC_MESSAGES);
@@ -30,9 +31,18 @@ fn bench_transfer_saturated(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hotspot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotspot_transpose");
+    group.throughput(Throughput::Elements(hw::MESSAGES));
+    for routing in RoutingPolicy::ALL {
+        group.bench_function(routing.name(), |b| b.iter(|| hw::run(routing)));
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fabric, bench_transfer_saturated
+    targets = bench_fabric, bench_transfer_saturated, bench_hotspot
 }
 criterion_main!(benches);

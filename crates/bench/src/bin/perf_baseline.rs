@@ -1,8 +1,8 @@
 //! Records the repo's performance trajectory: kernel events/sec, NoC
 //! fabric messages/sec (dense vs the pre-PR4 HashMap reference), the
-//! transfer-saturated workload per routing policy, and end-to-end
-//! simulation throughput per zoo network, written as JSON so future PRs
-//! have a baseline to compare against.
+//! transfer-saturated and hotspot (transpose) workloads per routing
+//! policy, and end-to-end simulation throughput per zoo network, written
+//! as JSON so future PRs have a baseline to compare against.
 //!
 //! ```text
 //! cargo run -p pimsim-bench --release --bin perf_baseline [-- <out.json>]
@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use pimsim_arch::{ArchConfig, RoutingPolicy};
 use pimsim_bench::kernel_workload as wl;
-use pimsim_bench::{fabric_workload as fw, transfer_workload as tw};
+use pimsim_bench::{fabric_workload as fw, hotspot_workload as hw, transfer_workload as tw};
 use pimsim_compiler::{Compiler, MappingPolicy};
 use pimsim_core::Simulator;
 use pimsim_nn::zoo;
@@ -44,7 +44,7 @@ fn best_secs(samples: u32, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let samples: u32 = std::env::var("PIMSIM_PERF_SAMPLES")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -105,6 +105,32 @@ fn main() {
         }));
     }
 
+    // Hotspot (transpose) workload, per routing policy: the traffic
+    // pattern where congestion-aware routing matters. `adaptive` must
+    // beat `xy` on simulated latency — the win the router model exists
+    // for — and stay deterministic.
+    let mut hotspot = Vec::new();
+    let mut hotspot_latency = std::collections::HashMap::new();
+    for routing in RoutingPolicy::ALL {
+        let report = hw::run(routing);
+        assert_eq!(report.latency, hw::run(routing).latency, "deterministic");
+        hotspot_latency.insert(routing, report.latency);
+        let secs = best_secs(samples, || {
+            hw::run(routing);
+        });
+        hotspot.push(serde_json::json!({
+            "routing": (routing.name()),
+            "messages": (hw::MESSAGES),
+            "simulated_latency_ns": (report.latency.as_ns_f64()),
+            "kernel_events": (report.events),
+            "host_seconds": (secs),
+        }));
+    }
+    assert!(
+        hotspot_latency[&RoutingPolicy::Adaptive] < hotspot_latency[&RoutingPolicy::Xy],
+        "adaptive must beat xy on the transpose hotspot"
+    );
+
     // End-to-end: compile once, then time Simulator::run per network.
     let arch = ArchConfig::paper_default();
     let mut simulator = Vec::new();
@@ -135,12 +161,13 @@ fn main() {
     }
 
     let doc = serde_json::json!({
-        "pr": 4,
-        "description": "perf baseline after the dense, policy-pluggable NoC fabric",
+        "pr": 5,
+        "description": "perf baseline after the cycle-approximate router model (adaptive routing, per-VC credits, pipeline depth)",
         "samples_per_datum": samples,
         "kernel": kernel,
         "fabric": fabric,
         "transfer_saturated": transfer,
+        "hotspot_transpose": hotspot,
         "simulator": simulator,
     });
     let text = serde_json::to_string_pretty(&doc).expect("serializes");

@@ -425,6 +425,63 @@ pub mod transfer_workload {
     }
 }
 
+/// The hotspot-traffic workload: matrix-transpose exchange on the paper
+/// chip — every off-diagonal core `(r, c)` streams rounds of messages to
+/// its mesh transpose `(c, r)`. Transpose is the canonical adversarial
+/// pattern for dimension-order routing: under XY, every flow out of row
+/// `r` funnels through the row-`r` links around the diagonal core
+/// `(r, r)` and then down column `r`, so a handful of links near the
+/// diagonal carry almost all of the traffic. A congestion-aware policy
+/// can step off the hot row early and spread the same minimal-length
+/// routes over the idle center links — this is the workload where
+/// `adaptive` measurably beats `xy` (pinned by a test, recorded in
+/// `BENCH_PR5.json`). Used by `perf_baseline` and the `noc` criterion
+/// bench.
+pub mod hotspot_workload {
+    use pimsim_arch::{ArchConfig, RoutingPolicy};
+    use pimsim_core::{SimReport, Simulator};
+    use pimsim_isa::{asm, Program};
+
+    /// Mesh edge of the workload chip (the paper's 8×8).
+    pub const MESH: u16 = 8;
+    /// Send/recv rounds per off-diagonal core.
+    pub const ROUNDS: u32 = 16;
+    /// Elements per message.
+    pub const LEN: u32 = 512;
+
+    /// Total messages one run injects (diagonal cores sit idle).
+    pub const MESSAGES: u64 = (MESH as u64 * MESH as u64 - MESH as u64) * ROUNDS as u64;
+
+    /// Builds the transpose-traffic program.
+    pub fn program() -> Program {
+        let mut text = String::new();
+        for r in 0..MESH {
+            for c in 0..MESH {
+                if r == c {
+                    continue; // a core's transpose is itself: nothing to move
+                }
+                let id = r * MESH + c;
+                let peer = c * MESH + r;
+                text.push_str(&format!(".core {id}\n"));
+                for _ in 0..ROUNDS {
+                    text.push_str(&format!("send core{peer}, [r0+0], {LEN}, tag=1\n"));
+                    text.push_str(&format!("recv core{peer}, [r0+4096], {LEN}, tag=1\n"));
+                }
+                text.push_str("halt\n");
+            }
+        }
+        asm::assemble(&text).expect("hotspot workload assembles")
+    }
+
+    /// Runs the workload under `routing` on the paper chip (timing only).
+    pub fn run(routing: RoutingPolicy) -> SimReport {
+        let arch = ArchConfig::paper_default().with_routing(routing);
+        Simulator::new(&arch)
+            .run(&program())
+            .expect("hotspot workload simulates")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +524,29 @@ mod tests {
         // Every injected message is two transfer-class instructions.
         assert_eq!(report.class_counts[2], transfer_workload::MESSAGES * 2);
         assert!(report.latency.as_ns_f64() > 0.0);
+    }
+
+    #[test]
+    fn hotspot_workload_adaptive_beats_xy_deterministically() {
+        use pimsim_arch::RoutingPolicy;
+        let xy = hotspot_workload::run(RoutingPolicy::Xy);
+        let adaptive = hotspot_workload::run(RoutingPolicy::Adaptive);
+        // Every injected message is two transfer-class instructions.
+        assert_eq!(xy.class_counts[2], hotspot_workload::MESSAGES * 2);
+        // The point of the workload: on transpose traffic, stepping off
+        // the congested diagonal links beats dimension-order routing.
+        assert!(
+            adaptive.latency < xy.latency,
+            "adaptive ({}) must beat xy ({}) on transpose hotspot traffic",
+            adaptive.latency,
+            xy.latency
+        );
+        // And both policies stay byte-reproducible.
+        assert_eq!(xy.latency, hotspot_workload::run(RoutingPolicy::Xy).latency);
+        assert_eq!(
+            adaptive.latency,
+            hotspot_workload::run(RoutingPolicy::Adaptive).latency
+        );
     }
 
     #[test]

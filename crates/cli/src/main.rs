@@ -47,7 +47,12 @@ common options (in parentheses: the commands that accept each):
   --mapping POLICY    performance-first | utilization-first (run/compile)
   --rob N             re-order buffer size override (run/compile)
   --batch N           inferences compiled back to back (run/compile)
-  --routing POLICY    NoC routing: xy (default) | yx | xy-yx (run/compile)
+  --routing POLICY    NoC routing: xy (default) | yx | xy-yx | adaptive
+                      (run/compile)
+  --vcs N             virtual channels per rendezvous channel, default 1
+                      (run/compile)
+  --router-depth N    router pipeline stages per hop, default 1
+                      (run/compile)
   --functional        run functionally, data + timing (run/compile)
   --trace             print the first instruction completions (run/compile)
   --json              machine-readable report (run/sweep)
@@ -64,7 +69,9 @@ left empty inherits a single value from the base architecture):
   --adcs N,M          ADCs per crossbar
   --lanes N,M         vector SIMD lanes
   --flits N,M         NoC flit widths (bytes)
-  --routings P,Q      NoC routing policies (xy | yx | xy-yx)
+  --routings P,Q      NoC routing policies (xy | yx | xy-yx | adaptive)
+  --vcs N,M           virtual channels per rendezvous channel
+  --router-depths N,M router pipeline depths
   --hazards on,off    structure-hazard settings (ablation)
   --simulators S,T    cycle | baseline
   --threads N         worker threads (default: available cores)
@@ -88,14 +95,32 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
     let vocab = match cmd {
         "run" => Vocabulary {
             value_options: &[
-                "network", "size", "config", "mapping", "rob", "batch", "routing",
+                "network",
+                "size",
+                "config",
+                "mapping",
+                "rob",
+                "batch",
+                "routing",
+                "vcs",
+                "router-depth",
             ],
             flags: &["baseline", "functional", "trace", "json", "help"],
             max_positionals: 0,
         },
         "compile" => Vocabulary {
             value_options: &[
-                "network", "size", "config", "mapping", "rob", "batch", "routing", "out", "asm",
+                "network",
+                "size",
+                "config",
+                "mapping",
+                "rob",
+                "batch",
+                "routing",
+                "vcs",
+                "router-depth",
+                "out",
+                "asm",
             ],
             flags: &["functional", "trace", "help"],
             max_positionals: 0,
@@ -119,6 +144,8 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
                 "lanes",
                 "flits",
                 "routings",
+                "vcs",
+                "router-depths",
                 "hazards",
                 "simulators",
             ],
@@ -184,6 +211,12 @@ fn load_arch(args: &Args) -> Result<ArchConfig, String> {
     }
     if let Some(routing) = args.get("routing") {
         arch.noc.routing = pimsim_sweep::parse_routing(routing).map_err(|e| e.to_string())?;
+    }
+    if let Some(vcs) = args.get_u32("vcs")? {
+        arch.noc.virtual_channels = vcs;
+    }
+    if let Some(depth) = args.get_u32("router-depth")? {
+        arch.noc.router_pipeline_depth = depth;
     }
     if args.flag("functional") {
         arch.sim.functional = true;
@@ -400,6 +433,12 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
     if let Some(v) = args.get_csv("routings") {
         grid.routings = v;
+    }
+    if let Some(v) = args.get_u32_csv("vcs")? {
+        grid.vcs = v;
+    }
+    if let Some(v) = args.get_u32_csv("router-depths")? {
+        grid.router_depths = v;
     }
     if let Some(v) = args.get_csv("hazards") {
         grid.structure_hazard = v

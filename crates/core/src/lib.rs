@@ -79,7 +79,8 @@ mod stats;
 
 pub use machine::{DefaultTiming, SimError, Simulator, TimingModel};
 pub use noc::{
-    routing_for, DimOrder, Noc, NocCosts, Route, Routing, Xy, XyYxAlternate, Yx, MEM_NODE, PORTS,
+    routing_for, Adaptive, AdaptiveRoute, DimOrder, Noc, NocCosts, Route, Routing, Xy,
+    XyYxAlternate, Yx, MEM_NODE, PORTS,
 };
 pub use stats::{CoreStats, EnergyBreakdown, NodeStats, SimReport, TraceEntry, TRACE_CAP};
 

@@ -160,7 +160,7 @@ impl<'a> Simulator<'a> {
             costs: NocCosts::new(self.arch),
             gmem,
             cores,
-            fabric: TransferFabric::default(),
+            fabric: TransferFabric::new(self.arch.noc.virtual_channels),
             functional,
             dispatch_interval,
             telemetry: Telemetry::new(self.arch.sim.trace),

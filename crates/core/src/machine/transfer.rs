@@ -5,9 +5,14 @@
 //! A `SEND` occupies its core's transfer unit until the payload's tail
 //! flit has crossed the mesh *and* been accepted on the receiving side
 //! (rendezvous semantics); a `RECV` parks until a message arrives. Each
-//! channel holds at most `noc.channel_credits` messages in flight or
-//! queued, so senders feel buffer pressure — the synchronization cost the
-//! paper shows behaviour-level models hide.
+//! channel is split round-robin over `noc.virtual_channels` virtual
+//! channels, and each VC holds at most `noc.channel_credits` messages in
+//! flight or queued, so senders feel buffer pressure — the synchronization
+//! cost the paper shows behaviour-level models hide. A single VC (the
+//! default) is exactly the pre-VC credit pool. Credit conservation is a
+//! hard invariant: any count that would underflow or exceed its pool stops
+//! the run with [`SimError::Internal`] instead of decaying into a mystery
+//! deadlock.
 //!
 //! Transfer *timing* is positional (policy-routed mesh walk, per-link
 //! occupancy, controller queue) and comes from [`Noc`](crate::noc::Noc)
@@ -29,32 +34,44 @@ pub(crate) type ChannelKey = (u16, u16, u16);
 
 /// One pending side of a transfer channel. Everything the fabric needs
 /// to launch or match the transfer later is captured at issue time —
-/// `tag` for telemetry attribution and `len` for credit kicks and length
-/// checks — so the hot path never walks the ROB to rediscover them.
+/// `tag` for telemetry attribution, `len` for credit kicks and length
+/// checks, and `vc` (the round-robin virtual-channel assignment, fixed at
+/// issue) — so the hot path never walks the ROB to rediscover them.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Pending {
     pub(crate) core: u16,
     pub(crate) seq: u64,
     pub(crate) tag: u16,
     pub(crate) len: u32,
+    pub(crate) vc: u32,
 }
 
 /// A message sitting in a receiver's credit queue.
 #[derive(Debug)]
 pub(crate) struct ArrivedMsg {
     pub(crate) len: u32,
+    /// The virtual channel whose credit the message still holds.
+    pub(crate) vc: u32,
     /// Captured payload (functional runs only).
     pub(crate) data: Vec<i32>,
 }
 
-/// One `(sender, receiver, tag)` flow-controlled channel.
-#[derive(Debug, Default)]
+/// One `(sender, receiver, tag)` flow-controlled channel, split over the
+/// configured virtual channels.
+#[derive(Debug)]
 pub(crate) struct Channel {
-    /// Messages delivered but not yet consumed by a `RECV`.
+    /// Messages delivered but not yet consumed by a `RECV`, in arrival
+    /// order (the receive order is the channel's, not a VC's).
     pub(crate) arrived: VecDeque<ArrivedMsg>,
-    /// Messages currently crossing the mesh.
+    /// Messages currently crossing the mesh (all VCs).
     pub(crate) in_flight: u32,
-    /// Sends waiting for a credit.
+    /// Credits in use per virtual channel: messages launched but not yet
+    /// consumed by a `RECV`, whether on the wire or queued at the
+    /// receiver. Each entry is bounded by `noc.channel_credits`.
+    pub(crate) vc_used: Vec<u32>,
+    /// Round-robin cursor for the next send's VC assignment.
+    pub(crate) next_vc: u32,
+    /// Sends waiting for a credit on their assigned VC, in issue order.
     pub(crate) waiting_sends: VecDeque<Pending>,
     /// The receiver's posted `RECV` awaiting a message (at most one:
     /// the transfer unit is single-occupancy).
@@ -62,6 +79,17 @@ pub(crate) struct Channel {
 }
 
 impl Channel {
+    fn new(vcs: u32) -> Channel {
+        Channel {
+            arrived: VecDeque::new(),
+            in_flight: 0,
+            vc_used: vec![0; vcs as usize],
+            next_vc: 0,
+            waiting_sends: VecDeque::new(),
+            parked_recv: None,
+        }
+    }
+
     /// `true` if anything is queued, parked, or on the wire.
     fn is_active(&self) -> bool {
         !self.waiting_sends.is_empty()
@@ -69,18 +97,39 @@ impl Channel {
             || self.parked_recv.is_some()
             || self.in_flight > 0
     }
+
+    /// Assigns the next send's virtual channel (round-robin at issue time).
+    fn assign_vc(&mut self) -> u32 {
+        let vc = self.next_vc;
+        self.next_vc = (vc + 1) % self.vc_used.len() as u32;
+        vc
+    }
 }
 
 /// All rendezvous channels of the chip.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct TransferFabric {
     channels: HashMap<ChannelKey, Channel>,
+    /// Virtual channels per rendezvous channel (`noc.virtual_channels`).
+    vcs: u32,
 }
 
 impl TransferFabric {
+    /// An empty fabric whose channels carry `vcs` virtual channels each.
+    pub(crate) fn new(vcs: u32) -> TransferFabric {
+        debug_assert!(vcs > 0, "validated: at least one virtual channel");
+        TransferFabric {
+            channels: HashMap::new(),
+            vcs,
+        }
+    }
+
     /// The channel for `key`, created empty on first touch.
     pub(crate) fn channel(&mut self, key: ChannelKey) -> &mut Channel {
-        self.channels.entry(key).or_default()
+        let vcs = self.vcs;
+        self.channels
+            .entry(key)
+            .or_insert_with(|| Channel::new(vcs))
     }
 
     /// Sorted one-line summaries of channels still holding traffic, for
@@ -92,11 +141,12 @@ impl TransferFabric {
             .filter(|(_, ch)| ch.is_active())
             .map(|((s, d, t), ch)| {
                 format!(
-                    "ch({s}->{d},tag{t}): inflight={} arrived={} waitsend={} parkedrecv={}",
+                    "ch({s}->{d},tag{t}): inflight={} arrived={} waitsend={} parkedrecv={} vc_used={:?}",
                     ch.in_flight,
                     ch.arrived.len(),
                     ch.waiting_sends.len(),
-                    ch.parked_recv.is_some()
+                    ch.parked_recv.is_some(),
+                    ch.vc_used
                 )
             })
             .collect();
@@ -127,17 +177,20 @@ impl Machine<'_> {
             } => {
                 let credits = self.cfg.noc.channel_credits;
                 let key = (c as u16, peer, chan_tag);
+                let chan = self.fabric.channel(key);
+                // The VC assignment is fixed here, at issue time, by the
+                // round-robin cursor — a send keeps its VC while waiting.
+                let vc = chan.assign_vc();
                 let pending = Pending {
                     core: c as u16,
                     seq,
                     tag,
                     len,
+                    vc,
                 };
-                let chan = self.fabric.channel(key);
-                if chan.in_flight + chan.arrived.len() as u32 >= credits {
+                if chan.vc_used[vc as usize] >= credits {
                     chan.waiting_sends.push_back(pending);
-                } else {
-                    chan.in_flight += 1;
+                } else if self.charge_credit(key, vc, ctx) {
                     self.launch_send(key, pending, now, ctx);
                 }
             }
@@ -160,12 +213,17 @@ impl Machine<'_> {
                         self.fail(SimError::TagMismatch { detail }, ctx);
                         return;
                     }
+                    let vc = msg.vc;
                     self.finish_recv(c, seq, msg, ctx);
                     if self.error.is_some() {
                         return;
                     }
-                    // A credit freed: launch one waiting send, if any.
-                    self.kick_channel(key, now, ctx);
+                    // The consumed message's VC credit freed: launch that
+                    // VC's oldest waiting send, if any.
+                    if !self.release_credit(key, vc, ctx) {
+                        return;
+                    }
+                    self.kick_channel(key, vc, now, ctx);
                 } else {
                     debug_assert!(
                         chan.parked_recv.is_none(),
@@ -176,6 +234,9 @@ impl Machine<'_> {
                         seq,
                         tag,
                         len: recv_len,
+                        // Receives hold no credit; the field only carries
+                        // meaning on the send side.
+                        vc: 0,
                     });
                 }
             }
@@ -241,6 +302,14 @@ impl Machine<'_> {
             return;
         }
         let chan = self.fabric.channel(key);
+        if chan.in_flight == 0 {
+            let detail = format!(
+                "deposit on ch({}->{},tag{}) with no message in flight",
+                key.0, key.1, key.2
+            );
+            self.fail(SimError::Internal { detail }, ctx);
+            return;
+        }
         chan.in_flight -= 1;
         if let Some(recv) = chan.parked_recv.take() {
             if recv.len != len {
@@ -251,33 +320,85 @@ impl Machine<'_> {
                 self.fail(SimError::TagMismatch { detail }, ctx);
                 return;
             }
-            self.finish_recv(recv.core as usize, recv.seq, ArrivedMsg { len, data }, ctx);
+            let vc = send.vc;
+            let msg = ArrivedMsg { len, vc, data };
+            self.finish_recv(recv.core as usize, recv.seq, msg, ctx);
             if self.error.is_some() {
                 return;
             }
-            self.kick_channel(key, ctx.now(), ctx);
+            // Consumed on arrival: the send's VC credit frees immediately.
+            if !self.release_credit(key, vc, ctx) {
+                return;
+            }
+            self.kick_channel(key, vc, ctx.now(), ctx);
         } else {
-            self.fabric
-                .channel(key)
-                .arrived
-                .push_back(ArrivedMsg { len, data });
+            self.fabric.channel(key).arrived.push_back(ArrivedMsg {
+                len,
+                vc: send.vc,
+                data,
+            });
         }
     }
 
-    /// A credit became free: launch the oldest waiting send, if any.
-    fn kick_channel(&mut self, key: ChannelKey, now: SimTime, ctx: &mut Ctx) {
+    /// Takes one credit on `key`'s virtual channel `vc` for a launching
+    /// send. Exceeding the configured pool is a conservation break:
+    /// reported as [`SimError::Internal`] (returning `false`) rather than
+    /// silently over-subscribing the receiver's buffer.
+    fn charge_credit(&mut self, key: ChannelKey, vc: u32, ctx: &mut Ctx) -> bool {
+        let credits = self.cfg.noc.channel_credits;
+        let chan = self.fabric.channel(key);
+        let used = &mut chan.vc_used[vc as usize];
+        if *used >= credits {
+            let detail = format!(
+                "credit overflow on ch({}->{},tag{}) vc{vc}: {} of {credits} already in use",
+                key.0, key.1, key.2, *used
+            );
+            self.fail(SimError::Internal { detail }, ctx);
+            return false;
+        }
+        *used += 1;
+        chan.in_flight += 1;
+        true
+    }
+
+    /// Releases the credit a consumed message held on `key`'s virtual
+    /// channel `vc`. Underflow is a conservation break: reported as
+    /// [`SimError::Internal`] (returning `false`) instead of wrapping into
+    /// a phantom credit pool.
+    fn release_credit(&mut self, key: ChannelKey, vc: u32, ctx: &mut Ctx) -> bool {
+        let chan = self.fabric.channel(key);
+        let used = &mut chan.vc_used[vc as usize];
+        if *used == 0 {
+            let detail = format!(
+                "credit release on ch({}->{},tag{}) vc{vc} with no credit in use",
+                key.0, key.1, key.2
+            );
+            self.fail(SimError::Internal { detail }, ctx);
+            return false;
+        }
+        *used -= 1;
+        true
+    }
+
+    /// A credit became free on `vc`: launch that VC's oldest waiting
+    /// send, if any.
+    fn kick_channel(&mut self, key: ChannelKey, vc: u32, now: SimTime, ctx: &mut Ctx) {
         let credits = self.cfg.noc.channel_credits;
         let launch = {
             let chan = self.fabric.channel(key);
-            if chan.in_flight + chan.arrived.len() as u32 >= credits {
+            if chan.vc_used[vc as usize] >= credits {
                 None
             } else {
-                chan.waiting_sends.pop_front()
+                chan.waiting_sends
+                    .iter()
+                    .position(|p| p.vc == vc)
+                    .and_then(|i| chan.waiting_sends.remove(i))
             }
         };
         if let Some(send) = launch {
-            self.fabric.channel(key).in_flight += 1;
-            self.launch_send(key, send, now, ctx);
+            if self.charge_credit(key, send.vc, ctx) {
+                self.launch_send(key, send, now, ctx);
+            }
         }
     }
 

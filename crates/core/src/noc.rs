@@ -20,9 +20,19 @@
 //!
 //! Which links a message takes is decided by a [`Routing`] policy — the
 //! seam LP5X-PIM-style interconnect studies plug into. The built-in
-//! policies ([`Xy`], [`Yx`], [`XyYxAlternate`]) are selected by
-//! [`ArchConfig`]`.noc.routing`; all of them produce minimal (Manhattan)
-//! routes, so only *contention*, never distance, differs between them.
+//! policies ([`Xy`], [`Yx`], [`XyYxAlternate`], [`Adaptive`]) are selected
+//! by [`ArchConfig`]`.noc.routing`; all of them produce minimal
+//! (Manhattan) routes, so only *contention*, never distance, differs
+//! between them. Oblivious policies pick one dimension order per message;
+//! [`Adaptive`] instead decides *per hop*, stepping into the minimal
+//! direction whose outgoing link frees earliest (deterministic tie-break
+//! on the injection counter, so runs stay byte-reproducible).
+//!
+//! Per-hop latency prices the router pipeline: a head flit pays
+//! `hop_cycles * router_pipeline_depth` NoC cycles per router
+//! ([`NocCosts::router_latency`]), while serialization — link throughput —
+//! is depth-independent. Depth 1 reproduces the pre-pipeline flat hop cost
+//! exactly.
 
 use std::fmt;
 
@@ -63,11 +73,20 @@ pub enum DimOrder {
 /// implement the same seam without touching the transfer fabric.
 pub trait Routing: fmt::Debug + Send + Sync {
     /// Dimension order for the `msg_seq`-th message injected into the
-    /// fabric, travelling `from -> to`.
+    /// fabric, travelling `from -> to`. For adaptive policies this is the
+    /// *tie-break* order, applied at hops where both minimal directions
+    /// are equally congested.
     fn order(&self, from: u16, to: u16, msg_seq: u64) -> DimOrder;
 
     /// Short policy name (for reports and labels).
     fn name(&self) -> &'static str;
+
+    /// `true` when the policy decides per hop from live link occupancy:
+    /// the fabric then walks hop-by-hop (see [`Noc::adaptive_route`])
+    /// instead of following a precomputed dimension-order [`Route`].
+    fn is_adaptive(&self) -> bool {
+        false
+    }
 }
 
 /// X-then-Y dimension-order routing — the paper's mesh, the default.
@@ -117,12 +136,39 @@ impl Routing for XyYxAlternate {
     }
 }
 
+/// Congestion-aware minimal routing: at each hop the message steps into
+/// the minimal direction (toward the destination) whose outgoing link
+/// frees earliest. Ties — including the contention-free case where both
+/// candidate links are idle — fall back to [`Routing::order`], which
+/// alternates per message so tied traffic still spreads; the decision is a
+/// pure function of fabric state and the injection counter, so runs stay
+/// byte-reproducible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Adaptive;
+
+impl Routing for Adaptive {
+    fn order(&self, from: u16, to: u16, msg_seq: u64) -> DimOrder {
+        // Ties alternate exactly like O1TURN, so idle-fabric adaptive
+        // traffic spreads the same way `xy-yx` does.
+        XyYxAlternate.order(from, to, msg_seq)
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
 /// The built-in [`Routing`] instance for a configured [`RoutingPolicy`].
 pub fn routing_for(policy: RoutingPolicy) -> &'static dyn Routing {
     match policy {
         RoutingPolicy::Xy => &Xy,
         RoutingPolicy::Yx => &Yx,
         RoutingPolicy::XyYxAlternate => &XyYxAlternate,
+        RoutingPolicy::Adaptive => &Adaptive,
     }
 }
 
@@ -175,6 +221,31 @@ impl Iterator for Route {
     }
 }
 
+/// An allocation-free, read-only walk of the route the next injected
+/// message would take under an adaptive policy, given the fabric's current
+/// occupancy. Produced by [`Noc::adaptive_route`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveRoute<'a> {
+    noc: &'a Noc,
+    cur: u16,
+    to: u16,
+    msg_seq: u64,
+}
+
+impl Iterator for AdaptiveRoute<'_> {
+    type Item = (u16, u16);
+
+    fn next(&mut self) -> Option<(u16, u16)> {
+        if self.cur == self.to {
+            return None;
+        }
+        let next = self.noc.adaptive_step(self.cur, self.to, self.msg_seq);
+        let link = (self.cur, next);
+        self.cur = next;
+        Some(link)
+    }
+}
+
 /// Per-message cost constants, derived once from an [`ArchConfig`].
 ///
 /// The transfer hot path used to rebuild a [`CostModel`] (and its clocks)
@@ -185,6 +256,7 @@ impl Iterator for Route {
 #[derive(Debug, Clone, Copy)]
 pub struct NocCosts {
     hop: SimTime,
+    router_latency: SimTime,
     noc_clock: Clock,
     core_clock: Clock,
     flit_bytes: u64,
@@ -204,6 +276,7 @@ impl NocCosts {
         let model = CostModel::new(cfg);
         NocCosts {
             hop: model.noc_hop_latency(1),
+            router_latency: model.noc_hop_latency(1) * cfg.noc.router_pipeline_depth as u64,
             noc_clock: model.noc_clock(),
             core_clock: model.core_clock(),
             flit_bytes: cfg.noc.flit_bytes as u64,
@@ -218,9 +291,18 @@ impl NocCosts {
         }
     }
 
-    /// One-hop pipe latency (`hop_cycles` NoC cycles).
+    /// One-hop pipe latency (`hop_cycles` NoC cycles) of a single router
+    /// pipeline stage.
     pub fn hop(&self) -> SimTime {
         self.hop
+    }
+
+    /// Head-flit latency of one full router traversal: `hop_cycles *
+    /// router_pipeline_depth` NoC cycles. This — not [`NocCosts::hop`] —
+    /// is what every link walk pays per hop; at depth 1 the two coincide,
+    /// reproducing the pre-pipeline flat hop cost exactly.
+    pub fn router_latency(&self) -> SimTime {
+        self.router_latency
     }
 
     /// Flits needed to carry `elems` 32-bit elements (plus a header flit).
@@ -422,23 +504,108 @@ impl Noc {
         }
         let flits = costs.flits_for_elems(elems);
         let ser = costs.serialization(flits);
-        let order = self.routing.order(from, to, self.next_msg());
-        let route = self.route(from, to, order);
+        let seq = self.next_msg();
         let mut walk = Walk {
             head: start,
             tail: start,
         };
-        self.walk_route(route, &mut walk, costs.hop, ser);
+        self.walk(from, to, seq, &mut walk, costs.router_latency(), ser);
         walk.tail
+    }
+
+    /// Walks a packet `from -> to` under the active policy, reserving each
+    /// link in turn: a fixed dimension-order [`Route`] for oblivious
+    /// policies, a hop-by-hop congestion-guided walk for adaptive ones.
+    fn walk(
+        &mut self,
+        from: u16,
+        to: u16,
+        msg_seq: u64,
+        walk: &mut Walk,
+        hop: SimTime,
+        ser: SimTime,
+    ) {
+        if self.routing.is_adaptive() {
+            // A minimal walk visits distinct routers, so the links this
+            // message has already reserved are never candidates again:
+            // each step sees exactly the occupancy `adaptive_route` would.
+            let mut cur = from;
+            while cur != to {
+                let next = self.adaptive_step(cur, to, msg_seq);
+                self.reserve(cur, next, walk, hop, ser);
+                cur = next;
+            }
+        } else {
+            let order = self.routing.order(from, to, msg_seq);
+            let route = self.route(from, to, order);
+            self.walk_route(route, walk, hop, ser);
+        }
+    }
+
+    /// Reserves the directed link `a -> b` for `walk`'s head/tail flits.
+    fn reserve(&mut self, a: u16, b: u16, walk: &mut Walk, hop: SimTime, ser: SimTime) {
+        let idx = self.link_index(a, b);
+        walk.head = walk.head.max(self.link_free[idx]) + hop;
+        walk.tail = walk.head + ser;
+        self.link_free[idx] = walk.tail;
     }
 
     /// Walks a packet along `route`, reserving each link in turn.
     fn walk_route(&mut self, route: Route, walk: &mut Walk, hop: SimTime, ser: SimTime) {
         for (a, b) in route {
-            let idx = self.link_index(a, b);
-            walk.head = walk.head.max(self.link_free[idx]) + hop;
-            walk.tail = walk.head + ser;
-            self.link_free[idx] = walk.tail;
+            self.reserve(a, b, walk, hop, ser);
+        }
+    }
+
+    /// The router an adaptively routed message at `cur` steps to next on
+    /// its way to `to`: of the (at most two) minimal directions, the one
+    /// whose outgoing link frees earliest; ties fall back to the policy's
+    /// per-message dimension order.
+    fn adaptive_step(&self, cur: u16, to: u16, msg_seq: u64) -> u16 {
+        let (cr, cc) = (cur / self.cols, cur % self.cols);
+        let (tr, tc) = (to / self.cols, to % self.cols);
+        let x_next = (cc != tc).then(|| {
+            let next_c = if tc > cc { cc + 1 } else { cc - 1 };
+            cr * self.cols + next_c
+        });
+        let y_next = (cr != tr).then(|| {
+            let next_r = if tr > cr { cr + 1 } else { cr - 1 };
+            next_r * self.cols + cc
+        });
+        match (x_next, y_next) {
+            (Some(x), None) => x,
+            (None, Some(y)) => y,
+            (Some(x), Some(y)) => {
+                let x_free = self.link_free[self.link_index(cur, x)];
+                let y_free = self.link_free[self.link_index(cur, y)];
+                if x_free < y_free {
+                    x
+                } else if y_free < x_free {
+                    y
+                } else {
+                    match self.routing.order(cur, to, msg_seq) {
+                        DimOrder::XFirst => x,
+                        DimOrder::YFirst => y,
+                    }
+                }
+            }
+            (None, None) => unreachable!("walk loop stops at the destination"),
+        }
+    }
+
+    /// The route the *next injected* message would take from `from` to
+    /// `to` under an adaptive policy, given the fabric's current link
+    /// occupancy — a read-only hop-by-hop view for tests and diagnostics.
+    /// Because a minimal walk never revisits a router, this is exactly the
+    /// path [`Noc::message`] reserves when it injects that message.
+    pub fn adaptive_route(&self, from: u16, to: u16) -> AdaptiveRoute<'_> {
+        self.check_core(from);
+        self.check_core(to);
+        AdaptiveRoute {
+            noc: self,
+            cur: from,
+            to,
+            msg_seq: self.msg_seq,
         }
     }
 
@@ -455,18 +622,14 @@ impl Noc {
         self.check_core(core);
         let flits = costs.flits_for_elems(elems);
         let ser = costs.serialization(flits);
-        let order = self.routing.order(core, 0, self.next_msg());
-        let route = self.route(core, 0, order);
+        let seq = self.next_msg();
         let mut walk = Walk {
             head: start,
             tail: start,
         };
-        self.walk_route(route, &mut walk, costs.hop, ser);
+        self.walk(core, 0, seq, &mut walk, costs.router_latency(), ser);
         // The memory port continues the same head progression.
-        let idx = self.link_index(0, MEM_NODE);
-        walk.head = walk.head.max(self.link_free[idx]) + costs.hop;
-        walk.tail = walk.head + ser;
-        self.link_free[idx] = walk.tail;
+        self.reserve(0, MEM_NODE, &mut walk, costs.router_latency(), ser);
         let arrived = walk.tail;
         let service_start = arrived.max(self.mem_free);
         let done = service_start + costs.global_mem(elems).time;
@@ -534,6 +697,59 @@ mod tests {
         assert_eq!(routing_for(RoutingPolicy::Xy).name(), "xy");
         assert_eq!(routing_for(RoutingPolicy::Yx).name(), "yx");
         assert_eq!(routing_for(RoutingPolicy::XyYxAlternate).name(), "xy-yx");
+        assert_eq!(routing_for(RoutingPolicy::Adaptive).name(), "adaptive");
+        assert!(routing_for(RoutingPolicy::Adaptive).is_adaptive());
+        assert!(!routing_for(RoutingPolicy::Xy).is_adaptive());
+    }
+
+    #[test]
+    fn adaptive_steps_around_congestion() {
+        let cfg = ArchConfig::paper_default();
+        let c = costs(&cfg);
+        let mut noc = Noc::with_routing(2, 2, &Adaptive);
+        // Occupy the eastward link 0 -> 1; the next message 0 -> 3 must
+        // open with the idle southward link 0 -> 2 instead.
+        noc.message(0, 1, 1024, SimTime::ZERO, &c);
+        assert!(!noc.link_free(0, 1).is_zero());
+        let path: Vec<_> = noc.adaptive_route(0, 3).collect();
+        assert_eq!(path, vec![(0, 2), (2, 3)]);
+        // And the actual injection reserves exactly that read-only path.
+        noc.message(0, 3, 64, SimTime::ZERO, &c);
+        assert!(!noc.link_free(0, 2).is_zero());
+        assert!(!noc.link_free(2, 3).is_zero());
+    }
+
+    #[test]
+    fn adaptive_tie_breaks_on_the_injection_counter() {
+        let noc = Noc::with_routing(2, 2, &Adaptive);
+        // Idle fabric: both minimal directions tie, so the tie-break
+        // alternates with the injection counter — deterministically.
+        let even: Vec<_> = noc.adaptive_route(0, 3).collect();
+        assert_eq!(even, vec![(0, 1), (1, 3)], "msg 0 ties toward X first");
+        let mut noc = noc;
+        noc.msg_seq = 1;
+        let odd: Vec<_> = noc.adaptive_route(0, 3).collect();
+        assert_eq!(odd, vec![(0, 2), (2, 3)], "msg 1 ties toward Y first");
+    }
+
+    #[test]
+    fn router_pipeline_depth_scales_head_latency_only() {
+        let cfg = ArchConfig::paper_default();
+        let deep = cfg.clone().with_router_pipeline_depth(3);
+        let c1 = NocCosts::new(&cfg);
+        let c3 = NocCosts::new(&deep);
+        // Serialization (link throughput) is depth-independent; only the
+        // per-hop head latency deepens.
+        assert_eq!(c1.serialization(17), c3.serialization(17));
+        assert_eq!(c1.router_latency(), c1.hop());
+        assert_eq!(c3.router_latency(), c3.hop() * 3);
+        // A one-hop message pays exactly depth * hop + serialization.
+        for (costs, depth) in [(c1, 1u64), (c3, 3u64)] {
+            let mut noc = Noc::new(2, 2);
+            let done = noc.message(0, 1, 64, SimTime::ZERO, &costs);
+            let expect = costs.hop() * depth + costs.serialization(costs.flits_for_elems(64));
+            assert_eq!(done, SimTime::ZERO + expect);
+        }
     }
 
     #[test]
@@ -631,6 +847,9 @@ mod tests {
             let m = CostModel::new(&cfg);
             let c = NocCosts::new(&cfg);
             assert_eq!(c.hop(), m.noc_hop_latency(1));
+            // At the default depth 1 the full router traversal is the
+            // plain hop cost, so the fabric cannot move a picosecond.
+            assert_eq!(c.router_latency(), m.noc_hop_latency(1));
             for elems in [0u32, 1, 8, 9, 64, 1000, 4096] {
                 assert_eq!(c.flits_for_elems(elems), m.flits_for_elems(elems));
                 assert_eq!(c.local_copy(elems), m.local_copy_cost(elems));

@@ -6,11 +6,11 @@
 use proptest::prelude::*;
 
 use pimsim_arch::{ArchConfig, RoutingPolicy};
-use pimsim_core::{routing_for, Noc, NocCosts, Simulator};
+use pimsim_core::{routing_for, Adaptive, Noc, NocCosts, Simulator};
 use pimsim_event::SimTime;
 use pimsim_isa::asm;
 
-const POLICIES: [RoutingPolicy; 3] = RoutingPolicy::ALL;
+const POLICIES: [RoutingPolicy; 4] = RoutingPolicy::ALL;
 
 fn manhattan(cols: u16, a: u16, b: u16) -> usize {
     let (ar, ac) = (a / cols, a % cols);
@@ -100,6 +100,70 @@ proptest! {
                 }
                 prev_free = free;
             }
+        }
+    }
+
+    /// Adaptive routes stay minimal on random meshes, whatever congestion
+    /// the fabric has already accumulated: exactly the Manhattan distance,
+    /// each step a mesh neighbour, ending at the destination.
+    #[test]
+    fn adaptive_routes_stay_minimal_under_random_congestion(
+        rows in 1u16..9,
+        cols in 1u16..9,
+        warm in proptest::collection::vec((0u32..10_000, 0u32..10_000, 1u32..512), 0..24),
+        from_seed in 0u32..10_000,
+        to_seed in 0u32..10_000,
+    ) {
+        let cfg = ArchConfig::paper_default();
+        let costs = NocCosts::new(&cfg);
+        let routers = rows as u32 * cols as u32;
+        let mut noc = Noc::with_routing(rows, cols, &Adaptive);
+        // Random warm-up traffic loads the links the adaptive walk reads.
+        for (i, &(f, t, elems)) in warm.iter().enumerate() {
+            let from = (f % routers) as u16;
+            let to = (t % routers) as u16;
+            noc.message(from, to, elems, SimTime::from_ns(i as u64), &costs);
+        }
+        let from = (from_seed % routers) as u16;
+        let to = (to_seed % routers) as u16;
+        let links: Vec<(u16, u16)> = noc.adaptive_route(from, to).collect();
+        prop_assert_eq!(links.len(), manhattan(cols, from, to));
+        let mut cur = from;
+        for (a, b) in &links {
+            prop_assert_eq!(*a, cur, "route is connected");
+            prop_assert_eq!(
+                manhattan(cols, *a, *b), 1,
+                "each link joins mesh neighbours"
+            );
+            cur = *b;
+        }
+        prop_assert_eq!(cur, to, "route ends at the destination");
+    }
+
+    /// On contention-free traffic — every message injected after the
+    /// fabric has fully drained — adaptive and XY complete byte-equally:
+    /// both take minimal routes through idle links, so only congestion
+    /// can ever separate them.
+    #[test]
+    fn adaptive_equals_xy_on_contention_free_traffic(
+        rows in 2u16..7,
+        cols in 2u16..7,
+        traffic in proptest::collection::vec((0u32..10_000, 0u32..10_000, 1u32..1024), 1..32),
+    ) {
+        let cfg = ArchConfig::paper_default();
+        let costs = NocCosts::new(&cfg);
+        let routers = rows as u32 * cols as u32;
+        let mut xy = Noc::with_routing(rows, cols, &pimsim_core::Xy);
+        let mut adaptive = Noc::with_routing(rows, cols, &Adaptive);
+        for (i, &(f, t, elems)) in traffic.iter().enumerate() {
+            let from = (f % routers) as u16;
+            let to = (t % routers) as u16;
+            // 1 ms spacing dwarfs any route's latency, so every message
+            // sees a drained fabric (starts past every link's free time).
+            let start = SimTime::from_ns(i as u64 * 1_000_000);
+            let a = xy.message(from, to, elems, start, &costs);
+            let b = adaptive.message(from, to, elems, start, &costs);
+            prop_assert_eq!(a, b, "message {} diverged without contention", i);
         }
     }
 }

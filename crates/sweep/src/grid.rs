@@ -56,8 +56,8 @@ pub fn parse_mapping(name: &str) -> Result<MappingPolicy, SweepError> {
     }
 }
 
-/// Parses a NoC routing-policy name (`xy` / `yx` / `xy-yx`) as used in
-/// configuration files and on the command line.
+/// Parses a NoC routing-policy name (`xy` / `yx` / `xy-yx` / `adaptive`)
+/// as used in configuration files and on the command line.
 ///
 /// # Errors
 ///
@@ -141,8 +141,9 @@ impl Scenario {
     }
 
     /// The label to display: the explicit one, or a derived
-    /// `network/res mapping xN rob=R` summary (plus the routing policy
-    /// when it differs from the paper's XY default).
+    /// `network/res mapping xN rob=R` summary (plus the routing policy,
+    /// virtual-channel count and router pipeline depth when they differ
+    /// from the paper defaults).
     pub fn display_label(&self) -> String {
         if !self.label.is_empty() {
             return self.label.clone();
@@ -152,8 +153,18 @@ impl Scenario {
         } else {
             format!(" {}", self.arch.noc.routing)
         };
+        let vcs = if self.arch.noc.virtual_channels == 1 {
+            String::new()
+        } else {
+            format!(" vc={}", self.arch.noc.virtual_channels)
+        };
+        let depth = if self.arch.noc.router_pipeline_depth == 1 {
+            String::new()
+        } else {
+            format!(" depth={}", self.arch.noc.router_pipeline_depth)
+        };
         format!(
-            "{}/{} {} x{} rob={}{routing} {}",
+            "{}/{} {} x{} rob={}{routing}{vcs}{depth} {}",
             self.network,
             self.resolution,
             self.mapping,
@@ -196,10 +207,23 @@ impl Serialize for Scenario {
             "flit_bytes",
             Value::Number(Number::from_u64(self.arch.noc.flit_bytes as u64)),
         );
-        // Serialized only when swept away from the XY default, so campaign
-        // outputs from before the knob existed stay byte-identical.
+        // The router-model knobs are serialized only when swept away from
+        // their paper defaults, so campaign outputs from before the knobs
+        // existed stay byte-identical.
         if self.arch.noc.routing != RoutingPolicy::default() {
             map.insert("routing", Value::String(self.arch.noc.routing.to_string()));
+        }
+        if self.arch.noc.virtual_channels != 1 {
+            map.insert(
+                "virtual_channels",
+                Value::Number(Number::from_u64(self.arch.noc.virtual_channels as u64)),
+            );
+        }
+        if self.arch.noc.router_pipeline_depth != 1 {
+            map.insert(
+                "router_pipeline_depth",
+                Value::Number(Number::from_u64(self.arch.noc.router_pipeline_depth as u64)),
+            );
         }
         map.insert(
             "structure_hazard",
@@ -243,10 +267,18 @@ pub struct SweepGrid {
     /// NoC flit widths in bytes; empty = the base architecture's.
     #[serde(default)]
     pub flit_bytes: Vec<u32>,
-    /// NoC routing policies (`xy` / `yx` / `xy-yx`); empty = the base
-    /// architecture's.
+    /// NoC routing policies (`xy` / `yx` / `xy-yx` / `adaptive`); empty =
+    /// the base architecture's.
     #[serde(default)]
     pub routings: Vec<String>,
+    /// Virtual channels per rendezvous channel; empty = the base
+    /// architecture's.
+    #[serde(default)]
+    pub vcs: Vec<u32>,
+    /// Router pipeline depths (stages per hop); empty = the base
+    /// architecture's.
+    #[serde(default)]
+    pub router_depths: Vec<u32>,
     /// Structure-hazard settings (ablation axis); empty = the base
     /// architecture's.
     #[serde(default)]
@@ -318,21 +350,25 @@ impl SweepGrid {
             * axis(self.vector_lanes.len())
             * axis(self.flit_bytes.len())
             * axis(self.routings.len())
+            * axis(self.vcs.len())
+            * axis(self.router_depths.len())
             * axis(self.structure_hazard.len())
     }
 
     /// Expands the cartesian product into concrete scenarios, in a fixed
     /// axis order (networks outermost, then resolution, mapping, batch,
-    /// simulator, ROB, ADCs, lanes, flit width, routing, hazard
-    /// innermost).
+    /// simulator, ROB, ADCs, lanes, flit width, routing, virtual
+    /// channels, router depth, hazard innermost).
     ///
     /// Baseline-simulator points ignore the mapping, batch, ROB, routing,
-    /// and structure-hazard axes (the behaviour-level model has none of
-    /// them — its NoC cost is a hop-count closed form, identical for
-    /// every minimal routing order): one baseline point is emitted per
-    /// remaining axis combination — pinned to performance-first, batch 1
-    /// and the first ROB / routing / hazard axis values — instead of
-    /// duplicating identical simulations.
+    /// virtual-channel, router-depth and structure-hazard axes (the
+    /// behaviour-level model has none of them — its NoC cost is a
+    /// hop-count closed form, identical for every minimal routing order
+    /// and blind to flow control and router pipelining): one baseline
+    /// point is emitted per remaining axis combination — pinned to
+    /// performance-first, batch 1 and the first ROB / routing / VC /
+    /// depth / hazard axis values — instead of duplicating identical
+    /// simulations.
     ///
     /// # Errors
     ///
@@ -376,6 +412,8 @@ impl SweepGrid {
                 .map(|r| parse_routing(r))
                 .collect::<Result<Vec<_>, _>>()?
         };
+        let vc_counts = non_empty(&self.vcs, base.noc.virtual_channels);
+        let depths = non_empty(&self.router_depths, base.noc.router_pipeline_depth);
         let hazards = non_empty(&self.structure_hazard, base.sim.structure_hazard);
 
         let mut out = Vec::with_capacity(self.points());
@@ -404,49 +442,58 @@ impl SweepGrid {
                                     for &lane in &lanes {
                                         for &flit in &flits {
                                             for &routing in &routings {
-                                                for &hazard in &hazards {
-                                                    // The behaviour-level baseline has no
-                                                    // mapping, batch, ROB, routing, or
-                                                    // structure hazard: those axes would
-                                                    // only duplicate identical simulations
-                                                    // (and a misleading per-image latency),
-                                                    // so baseline points collapse them to
-                                                    // one representative each —
-                                                    // performance-first, batch 1, and the
-                                                    // first ROB / routing / hazard axis
-                                                    // values.
-                                                    let baseline =
-                                                        simulator == SimulatorKind::Baseline;
-                                                    if baseline
-                                                        && (mapping != mappings[0]
-                                                            || batch != batches[0]
-                                                            || rob != robs[0]
-                                                            || routing != routings[0]
-                                                            || hazard != hazards[0])
-                                                    {
-                                                        continue;
+                                                for &vc in &vc_counts {
+                                                    for &depth in &depths {
+                                                        for &hazard in &hazards {
+                                                            // The behaviour-level baseline has no
+                                                            // mapping, batch, ROB, routing, VCs,
+                                                            // router pipeline, or structure hazard:
+                                                            // those axes would only duplicate
+                                                            // identical simulations (and a
+                                                            // misleading per-image latency), so
+                                                            // baseline points collapse them to one
+                                                            // representative each —
+                                                            // performance-first, batch 1, and the
+                                                            // first ROB / routing / VC / depth /
+                                                            // hazard axis values.
+                                                            let baseline = simulator
+                                                                == SimulatorKind::Baseline;
+                                                            if baseline
+                                                                && (mapping != mappings[0]
+                                                                    || batch != batches[0]
+                                                                    || rob != robs[0]
+                                                                    || routing != routings[0]
+                                                                    || vc != vc_counts[0]
+                                                                    || depth != depths[0]
+                                                                    || hazard != hazards[0])
+                                                            {
+                                                                continue;
+                                                            }
+                                                            let (mapping, batch) = if baseline {
+                                                                (MappingPolicy::PerformanceFirst, 1)
+                                                            } else {
+                                                                (mapping, batch.max(1))
+                                                            };
+                                                            let mut arch = base.clone();
+                                                            arch.resources.rob_size = rob;
+                                                            arch.resources.adcs_per_xbar = adc;
+                                                            arch.resources.vector_lanes = lane;
+                                                            arch.noc.flit_bytes = flit;
+                                                            arch.noc.routing = routing;
+                                                            arch.noc.virtual_channels = vc;
+                                                            arch.noc.router_pipeline_depth = depth;
+                                                            arch.sim.structure_hazard = hazard;
+                                                            out.push(Scenario {
+                                                                network: network.clone(),
+                                                                resolution,
+                                                                mapping,
+                                                                batch,
+                                                                simulator,
+                                                                label: String::new(),
+                                                                arch,
+                                                            });
+                                                        }
                                                     }
-                                                    let (mapping, batch) = if baseline {
-                                                        (MappingPolicy::PerformanceFirst, 1)
-                                                    } else {
-                                                        (mapping, batch.max(1))
-                                                    };
-                                                    let mut arch = base.clone();
-                                                    arch.resources.rob_size = rob;
-                                                    arch.resources.adcs_per_xbar = adc;
-                                                    arch.resources.vector_lanes = lane;
-                                                    arch.noc.flit_bytes = flit;
-                                                    arch.noc.routing = routing;
-                                                    arch.sim.structure_hazard = hazard;
-                                                    out.push(Scenario {
-                                                        network: network.clone(),
-                                                        resolution,
-                                                        mapping,
-                                                        batch,
-                                                        simulator,
-                                                        label: String::new(),
-                                                        arch,
-                                                    });
                                                 }
                                             }
                                         }
@@ -581,6 +628,53 @@ mod tests {
         assert_eq!(
             scenarios[2].to_value()["routing"],
             Value::String("xy-yx".into())
+        );
+    }
+
+    #[test]
+    fn router_model_axes_expand_and_collapse_for_baseline() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.vcs = vec![1, 2];
+        grid.router_depths = vec![1, 3];
+        grid.simulators = vec!["cycle".into(), "baseline".into()];
+        assert_eq!(grid.points(), 8);
+        let scenarios = grid.scenarios().unwrap();
+        // Cycle: the 2x2 product. Baseline: blind to flow control and
+        // router pipelining, so both axes collapse to one point.
+        assert_eq!(scenarios.len(), 5);
+        let cycle: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.simulator == SimulatorKind::Cycle)
+            .map(|s| {
+                (
+                    s.arch.noc.virtual_channels,
+                    s.arch.noc.router_pipeline_depth,
+                )
+            })
+            .collect();
+        assert_eq!(cycle, vec![(1, 1), (1, 3), (2, 1), (2, 3)]);
+        let baseline: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.simulator == SimulatorKind::Baseline)
+            .collect();
+        assert_eq!(baseline.len(), 1);
+        assert_eq!(baseline[0].arch.noc.virtual_channels, 1);
+        assert_eq!(baseline[0].arch.noc.router_pipeline_depth, 1);
+        // Labels and serialization surface the knobs only when
+        // non-default, so pre-knob campaign output stays byte-identical.
+        assert!(!scenarios[0].display_label().contains("vc="));
+        assert!(!scenarios[0].display_label().contains("depth="));
+        assert!(scenarios[3].display_label().contains(" vc=2 depth=3 "));
+        assert_eq!(scenarios[0].to_value().get("virtual_channels"), None);
+        assert_eq!(scenarios[0].to_value().get("router_pipeline_depth"), None);
+        assert_eq!(
+            scenarios[2].to_value()["virtual_channels"],
+            Value::Number(Number::from_u64(2))
+        );
+        assert_eq!(
+            scenarios[1].to_value()["router_pipeline_depth"],
+            Value::Number(Number::from_u64(3))
         );
     }
 

@@ -83,7 +83,10 @@ impl std::fmt::Display for SweepError {
                 write!(f, "unknown simulator `{s}` (want cycle or baseline)")
             }
             SweepError::UnknownRouting(r) => {
-                write!(f, "unknown routing policy `{r}` (want xy, yx or xy-yx)")
+                write!(
+                    f,
+                    "unknown routing policy `{r}` (want xy, yx, xy-yx or adaptive)"
+                )
             }
             SweepError::Arch(e) => write!(f, "invalid architecture: {e}"),
             SweepError::Compile(e) => write!(f, "compile failed: {e}"),

@@ -9,8 +9,8 @@
 //! * structs (named, tuple, unit) and enums (unit / newtype / tuple / struct
 //!   variants, externally tagged like real serde)
 //! * `#[serde(transparent)]`, `#[serde(deny_unknown_fields)]`,
-//!   `#[serde(default)]` on fields, `#[serde(try_from = "T")]` /
-//!   `#[serde(into = "T")]` on containers
+//!   `#[serde(default)]` / `#[serde(default = "path")]` on fields,
+//!   `#[serde(try_from = "T")]` / `#[serde(into = "T")]` on containers
 //!
 //! Anything else (generics, unsupported attributes) aborts compilation with
 //! a clear message rather than silently producing wrong code.
@@ -32,9 +32,19 @@ struct ContainerAttrs {
     into: Option<String>,
 }
 
+/// How a missing named field is filled in during deserialization.
+enum FieldDefault {
+    /// No default: the field is required.
+    None,
+    /// `#[serde(default)]`: `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: call the named function.
+    Path(String),
+}
+
 struct Field {
     name: String,
-    default: bool,
+    default: FieldDefault,
 }
 
 enum VariantShape {
@@ -74,10 +84,10 @@ fn is_ident(tt: &TokenTree, name: &str) -> bool {
 }
 
 /// Parses the attributes at the current position, folding any
-/// `#[serde(...)]` entries into `attrs` and reporting whether a field-level
-/// `default` was seen.
-fn parse_attrs(tokens: &mut Tokens, attrs: &mut ContainerAttrs) -> bool {
-    let mut field_default = false;
+/// `#[serde(...)]` entries into `attrs` and reporting which field-level
+/// `default` (if any) was seen.
+fn parse_attrs(tokens: &mut Tokens, attrs: &mut ContainerAttrs) -> FieldDefault {
+    let mut field_default = FieldDefault::None;
     while tokens.peek().is_some_and(|tt| is_punct(tt, '#')) {
         tokens.next();
         let group = match tokens.next() {
@@ -101,7 +111,24 @@ fn parse_attrs(tokens: &mut Tokens, attrs: &mut ContainerAttrs) -> bool {
             match key.to_string().as_str() {
                 "transparent" => attrs.transparent = true,
                 "deny_unknown_fields" => attrs.deny_unknown = true,
-                "default" => field_default = true,
+                "default" => {
+                    // Bare `default` uses the Default trait; `default =
+                    // "path"` (real serde's spelling) calls the function.
+                    if it.peek().is_some_and(|tt| is_punct(tt, '=')) {
+                        it.next();
+                        let path = match it.next() {
+                            Some(TokenTree::Literal(l)) => {
+                                l.to_string().trim_matches('"').to_string()
+                            }
+                            other => panic!(
+                                "serde derive: expected string after `default =`, found {other:?}"
+                            ),
+                        };
+                        field_default = FieldDefault::Path(path);
+                    } else {
+                        field_default = FieldDefault::Trait;
+                    }
+                }
                 k @ ("try_from" | "into") => {
                     match it.next() {
                         Some(ref eq) if is_punct(eq, '=') => {}
@@ -388,19 +415,22 @@ fn gen_serialize(item: &Item) -> String {
 
 /// The expression deserializing one named field from `__map`.
 fn named_field_expr(f: &Field, ty_name: &str) -> String {
-    if f.default {
-        format!(
-            "match __map.get(\"{0}\") {{\n\
-             Some(__f) => {DE}(__f)?,\n\
-             None => ::core::default::Default::default(),\n}}",
-            f.name
-        )
-    } else {
-        format!(
-            "{DE}(::serde::__private::require(__map, \"{0}\", \"{ty_name}\")?)?",
-            f.name
-        )
-    }
+    let fallback = match &f.default {
+        FieldDefault::None => {
+            return format!(
+                "{DE}(::serde::__private::require(__map, \"{0}\", \"{ty_name}\")?)?",
+                f.name
+            )
+        }
+        FieldDefault::Trait => "::core::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "match __map.get(\"{0}\") {{\n\
+         Some(__f) => {DE}(__f)?,\n\
+         None => {fallback},\n}}",
+        f.name
+    )
 }
 
 fn gen_deserialize(item: &Item) -> String {
