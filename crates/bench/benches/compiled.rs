@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the two-engine split: the same program driven
+//! by the event kernel and by the compiled scheduler (with event-kernel
+//! fallback at transfer boundaries), so the region machinery's win — or
+//! its hybrid-boundary overhead — shows up as a tracked number instead of
+//! a claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pimsim_arch::ArchConfig;
+use pimsim_compiler::{Compiled, Compiler, MappingPolicy};
+use pimsim_core::{EngineKind, Simulator};
+use pimsim_nn::zoo;
+
+fn compile(arch: &ArchConfig, net: &pimsim_nn::Network) -> Compiled {
+    Compiler::new(arch)
+        .mapping(MappingPolicy::PerformanceFirst)
+        .functional(false)
+        .compile(net)
+        .expect("compiles")
+}
+
+/// Both engines over a contention-light run (shallow ROB, so cores drain
+/// between transfers and the compiled engine re-enters regions often).
+fn bench_engines_tiny_cnn(c: &mut Criterion) {
+    let arch = ArchConfig::paper_default().with_rob(1);
+    let compiled = compile(&arch, &zoo::tiny_cnn());
+    let mut group = c.benchmark_group("engine_tiny_cnn_rob1");
+    for kind in EngineKind::ALL {
+        let cache = pimsim_core::ScheduleCache::default();
+        let sim = Simulator::new(&arch)
+            .with_engine(kind.engine())
+            .with_schedule_cache(&cache);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| sim.run(&compiled.program).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+/// Both engines over a deeper-ROB run where in-flight transfers keep the
+/// cores busy: the hybrid boundary dominates and the compiled engine's
+/// edge shrinks. Tracking this honestly is the point.
+fn bench_engines_lenet(c: &mut Criterion) {
+    let arch = ArchConfig::paper_default();
+    let compiled = compile(&arch, &zoo::lenet(32));
+    let mut group = c.benchmark_group("engine_lenet");
+    for kind in EngineKind::ALL {
+        let cache = pimsim_core::ScheduleCache::default();
+        let sim = Simulator::new(&arch)
+            .with_engine(kind.engine())
+            .with_schedule_cache(&cache);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| sim.run(&compiled.program).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_engines_tiny_cnn, bench_engines_lenet
+}
+criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! Records the repo's performance trajectory: kernel events/sec, NoC
 //! fabric messages/sec (dense vs the pre-PR4 HashMap reference), the
 //! transfer-saturated and hotspot (transpose) workloads per routing
-//! policy, and end-to-end simulation throughput per zoo network, written
-//! as JSON so future PRs have a baseline to compare against.
+//! policy, and end-to-end simulation throughput per zoo network under
+//! **both run-loop engines** (event and compiled, which must agree
+//! byte-for-byte), written as JSON so future PRs have a baseline to
+//! compare against.
 //!
 //! ```text
 //! cargo run -p pimsim-bench --release --bin perf_baseline [-- <out.json>]
@@ -17,7 +19,7 @@ use pimsim_arch::{ArchConfig, RoutingPolicy};
 use pimsim_bench::kernel_workload as wl;
 use pimsim_bench::{fabric_workload as fw, hotspot_workload as hw, transfer_workload as tw};
 use pimsim_compiler::{Compiler, MappingPolicy};
-use pimsim_core::Simulator;
+use pimsim_core::{EngineKind, Simulator};
 use pimsim_nn::zoo;
 
 /// Networks tracked end-to-end (all simulate in well under a second).
@@ -44,7 +46,7 @@ fn best_secs(samples: u32, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let samples: u32 = std::env::var("PIMSIM_PERF_SAMPLES")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -131,38 +133,97 @@ fn main() {
         "adaptive must beat xy on the transpose hotspot"
     );
 
-    // End-to-end: compile once, then time Simulator::run per network.
-    let arch = ArchConfig::paper_default();
+    // End-to-end: compile once, then time Simulator::run per network
+    // under both run-loop engines. The engines must agree byte-for-byte
+    // on every observable; the events/sec ratio is the compiled engine's
+    // honest win (or loss) once the hybrid boundary is priced in. Two
+    // arch points per network: the paper default (deep ROB — dispatch
+    // runs ahead of completions, the ROB never drains, and the compiled
+    // engine finds nothing to place) and rob=1 (contention-light — cores
+    // drain at every completion and nearly all events come from placed
+    // schedule slots).
     let mut simulator = Vec::new();
     for name in NETWORKS {
         let net =
             zoo::by_name(name, pimsim_sweep::default_resolution(name)).expect("zoo network exists");
-        let compiled = Compiler::new(&arch)
-            .mapping(MappingPolicy::PerformanceFirst)
-            .functional(false)
-            .compile(&net)
-            .expect("compiles");
-        let report = Simulator::new(&arch)
-            .run(&compiled.program)
-            .expect("simulates");
-        let secs = best_secs(samples, || {
-            Simulator::new(&arch)
-                .run(&compiled.program)
-                .expect("simulates");
-        });
-        simulator.push(serde_json::json!({
-            "network": (*name),
-            "latency_ns": (report.latency.as_ns_f64()),
-            "kernel_events": (report.events),
-            "instructions": (report.instructions),
-            "host_seconds": (secs),
-            "events_per_host_sec": ((report.events as f64 / secs).round()),
-        }));
+        for (arch_label, arch) in [
+            ("paper_default", ArchConfig::paper_default()),
+            ("rob1", ArchConfig::paper_default().with_rob(1)),
+        ] {
+            let compiled_prog = Compiler::new(&arch)
+                .mapping(MappingPolicy::PerformanceFirst)
+                .functional(false)
+                .compile(&net)
+                .expect("compiles");
+            let program = &compiled_prog.program;
+            let mut per_engine = serde_json::Map::new();
+            let mut reference: Option<pimsim_core::SimReport> = None;
+            for kind in EngineKind::ALL {
+                // Timed samples run with a warm schedule cache: the first
+                // (report) run compiles regions, later runs replay them —
+                // the compile-once-simulate-many regime the compiled
+                // engine exists for. The event engine ignores the cache.
+                let cache = pimsim_core::ScheduleCache::default();
+                let sim = Simulator::new(&arch)
+                    .with_engine(kind.engine())
+                    .with_schedule_cache(&cache);
+                let report = sim.run(program).expect("simulates");
+                if let Some(reference) = &reference {
+                    assert_eq!(
+                        reference.latency, report.latency,
+                        "{name}: latency diverged"
+                    );
+                    assert_eq!(
+                        reference.energy.total().as_pj().to_bits(),
+                        report.energy.total().as_pj().to_bits(),
+                        "{name}: energy diverged"
+                    );
+                    assert_eq!(
+                        reference.events, report.events,
+                        "{name}: event count diverged"
+                    );
+                }
+                let secs = best_secs(samples, || {
+                    sim.run(program).expect("simulates");
+                });
+                per_engine.insert(
+                    kind.name().to_string(),
+                    serde_json::json!({
+                        "host_seconds": (secs),
+                        "events_per_host_sec": ((report.events as f64 / secs).round()),
+                        "events_dispatched": (report.schedule.events_dispatched),
+                        "events_placed": (report.schedule.events_placed),
+                        "regions_compiled": (report.schedule.regions_compiled),
+                        "regions_reused": (report.schedule.regions_reused),
+                        "regions_fallback": (report.schedule.regions_fallback),
+                    }),
+                );
+                if reference.is_none() {
+                    reference = Some(report);
+                }
+            }
+            let report = reference.expect("at least one engine ran");
+            let host_secs = |engine: &str| {
+                per_engine.get(engine).expect("recorded above")["host_seconds"]
+                    .as_f64()
+                    .expect("recorded above")
+            };
+            let speedup = host_secs("event") / host_secs("compiled");
+            simulator.push(serde_json::json!({
+                "network": (*name),
+                "arch": (arch_label),
+                "latency_ns": (report.latency.as_ns_f64()),
+                "kernel_events": (report.events),
+                "instructions": (report.instructions),
+                "engines": (serde_json::Value::Object(per_engine)),
+                "compiled_speedup": (speedup),
+            }));
+        }
     }
 
     let doc = serde_json::json!({
-        "pr": 5,
-        "description": "perf baseline after the cycle-approximate router model (adaptive routing, per-VC credits, pipeline depth)",
+        "pr": 6,
+        "description": "perf baseline after the two-engine split (compiled scheduler for static regions, event-kernel fallback at transfer boundaries)",
         "samples_per_datum": samples,
         "kernel": kernel,
         "fabric": fabric,

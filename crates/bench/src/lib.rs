@@ -29,6 +29,17 @@ pub const FIG5_RESOLUTION: u32 = 32;
 /// Back-to-back inferences for the pipelined Fig. 3/4 runs.
 pub const BATCH: u32 = 4;
 
+/// The sweep-grid engine axis selected by the `PIMSIM_ENGINE` environment
+/// variable (`event` / `compiled`): empty — the default engine — when the
+/// variable is unset. Both engines are byte-identical on every figure, so
+/// this exists to *prove* that (CI regenerates the figures under each),
+/// not to change any number.
+pub fn engine_axis() -> Vec<String> {
+    std::env::var("PIMSIM_ENGINE")
+        .map(|e| vec![e])
+        .unwrap_or_default()
+}
+
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

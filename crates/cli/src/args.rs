@@ -45,17 +45,21 @@ fn edit_distance(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
-/// The closest name in `vocab`, if any is close enough to be a plausible
-/// typo.
-fn suggestion(name: &str, vocab: &Vocabulary) -> Option<&'static str> {
-    vocab
-        .value_options
-        .iter()
-        .chain(vocab.flags)
-        .map(|known| (edit_distance(name, known), *known))
+/// The closest candidate, if any is close enough to be a plausible typo.
+/// Used for option names and for closed option-value sets alike.
+pub fn closest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .into_iter()
+        .map(|known| (edit_distance(name, known), known))
         .min()
         .filter(|(d, known)| *d <= 2.max(known.len() / 3))
         .map(|(_, known)| known)
+}
+
+/// The closest name in `vocab`, if any is close enough to be a plausible
+/// typo.
+fn suggestion(name: &str, vocab: &Vocabulary) -> Option<&'static str> {
+    closest(name, vocab.value_options.iter().chain(vocab.flags).copied())
 }
 
 impl Args {

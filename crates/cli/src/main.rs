@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use pimsim_arch::ArchConfig;
 use pimsim_baseline::BaselineSimulator;
 use pimsim_compiler::{Compiler, MappingPolicy};
-use pimsim_core::Simulator;
+use pimsim_core::{EngineKind, Simulator};
 use pimsim_isa::{asm, Program};
 use pimsim_nn::{zoo, Network};
 use pimsim_sweep::{results_to_json, run_scenarios, SweepGrid};
@@ -53,6 +53,11 @@ common options (in parentheses: the commands that accept each):
                       (run/compile)
   --router-depth N    router pipeline stages per hop, default 1
                       (run/compile)
+  --engine KIND       run-loop engine: event (default, reference) |
+                      compiled (pre-placed schedules, identical output)
+                      (run)
+  --schedule          include the engine's schedule counters in the
+                      report (run)
   --functional        run functionally, data + timing (run/compile)
   --trace             print the first instruction completions (run/compile)
   --json              machine-readable report (run/sweep)
@@ -74,6 +79,7 @@ left empty inherits a single value from the base architecture):
   --router-depths N,M router pipeline depths
   --hazards on,off    structure-hazard settings (ablation)
   --simulators S,T    cycle | baseline
+  --engines A,B       run-loop engines (event | compiled)
   --threads N         worker threads (default: available cores)
 ";
 
@@ -104,8 +110,16 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
                 "routing",
                 "vcs",
                 "router-depth",
+                "engine",
             ],
-            flags: &["baseline", "functional", "trace", "json", "help"],
+            flags: &[
+                "baseline",
+                "functional",
+                "trace",
+                "json",
+                "schedule",
+                "help",
+            ],
             max_positionals: 0,
         },
         "compile" => Vocabulary {
@@ -148,6 +162,7 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
                 "router-depths",
                 "hazards",
                 "simulators",
+                "engines",
             ],
             flags: &["json", "help"],
             max_positionals: 0,
@@ -243,10 +258,35 @@ fn mapping_policy(args: &Args) -> Result<MappingPolicy, String> {
         .map_err(|e| e.to_string())
 }
 
+fn engine_kind(args: &Args) -> Result<EngineKind, String> {
+    let Some(v) = args.get("engine") else {
+        return Ok(EngineKind::default());
+    };
+    pimsim_sweep::parse_engine(v).map_err(|e| {
+        let names = EngineKind::ALL.map(EngineKind::name);
+        match args::closest(v, names) {
+            Some(s) => format!("{e} — did you mean `{s}`?"),
+            None => e.to_string(),
+        }
+    })
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let arch = load_arch(args)?;
     let net = load_network(args)?;
+    let engine = engine_kind(args)?;
     if args.flag("baseline") {
+        if args.get("engine").is_some() {
+            return Err(
+                "--engine selects the cycle-accurate run loop; it does not apply to --baseline"
+                    .to_string(),
+            );
+        }
+        if args.flag("schedule") {
+            return Err(
+                "--schedule reports run-loop counters; it does not apply to --baseline".to_string(),
+            );
+        }
         let report = BaselineSimulator::new(&arch)
             .run(&net)
             .map_err(|e| e.to_string())?;
@@ -276,12 +316,28 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .compile(&net)
         .map_err(|e| e.to_string())?;
     let report = Simulator::new(&arch)
+        .with_engine(engine.engine())
         .run(&compiled.program)
         .map_err(|e| e.to_string())?;
     let per_image = report.latency / batch as u64;
+    // Opt-in so default JSON output stays byte-identical across engines
+    // (and with pre-engine releases).
+    let schedule = if args.flag("schedule") {
+        let s = &report.schedule;
+        format!(
+            ",\"engine\":\"{engine}\",\"schedule\":{{\"events_dispatched\":{},\"events_placed\":{},\"regions_compiled\":{},\"regions_reused\":{},\"regions_fallback\":{}}}",
+            s.events_dispatched,
+            s.events_placed,
+            s.regions_compiled,
+            s.regions_reused,
+            s.regions_fallback
+        )
+    } else {
+        String::new()
+    };
     if args.flag("json") {
         println!(
-            "{{\"simulator\":\"cycle-accurate\",\"network\":\"{}\",\"mapping\":\"{}\",\"batch\":{},\"latency_ns\":{},\"latency_per_image_ns\":{},\"energy_pj\":{},\"power_w\":{},\"instructions\":{},\"events\":{}}}",
+            "{{\"simulator\":\"cycle-accurate\",\"network\":\"{}\",\"mapping\":\"{}\",\"batch\":{},\"latency_ns\":{},\"latency_per_image_ns\":{},\"energy_pj\":{},\"power_w\":{},\"instructions\":{},\"events\":{}{schedule}}}",
             net.name,
             policy,
             batch,
@@ -316,6 +372,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             report.class_counts[3]
         );
         println!("  kernel events  : {}", report.events);
+        if args.flag("schedule") {
+            let s = &report.schedule;
+            println!("  engine         : {engine}");
+            println!(
+                "    dispatched {} / placed {} / regions: {} compiled, {} reused, {} fallback",
+                s.events_dispatched,
+                s.events_placed,
+                s.regions_compiled,
+                s.regions_reused,
+                s.regions_fallback
+            );
+        }
         println!("  cores w/ work  : {}", compiled.placement.cores_used);
         if arch.sim.functional {
             let out = report.read_global(compiled.output.gaddr, compiled.output.elems.min(8));
@@ -449,6 +517,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if let Some(v) = args.get_csv("simulators") {
         grid.simulators = v;
     }
+    if let Some(v) = args.get_csv("engines") {
+        grid.engines = v;
+    }
     let threads = match args.get_u32("threads")? {
         Some(t) => t.max(1) as usize,
         None => pimsim_sweep::default_threads(),
@@ -550,6 +621,75 @@ mod tests {
             }
         }
         out
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn engine_values_are_validated_with_suggestions() {
+        // An unknown engine is rejected with the valid set...
+        let err =
+            dispatch(&argv(&["run", "--network", "tiny_mlp", "--engine", "jit"])).unwrap_err();
+        assert!(err.contains("unknown engine `jit`"), "{err}");
+        assert!(err.contains("want event or compiled"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+        // ...and a near-miss also gets a did-you-mean hint.
+        let err = dispatch(&argv(&[
+            "run",
+            "--network",
+            "tiny_mlp",
+            "--engine",
+            "compield",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("did you mean `compiled`?"), "{err}");
+        let err =
+            dispatch(&argv(&["run", "--network", "tiny_mlp", "--engine", "even"])).unwrap_err();
+        assert!(err.contains("did you mean `event`?"), "{err}");
+    }
+
+    #[test]
+    fn engine_option_duplicates_and_typos_are_rejected() {
+        let err = dispatch(&argv(&[
+            "run",
+            "--network",
+            "tiny_mlp",
+            "--engine",
+            "event",
+            "--engine",
+            "compiled",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--engine given more than once"), "{err}");
+        let err =
+            dispatch(&argv(&["run", "--network", "tiny_mlp", "--engin", "event"])).unwrap_err();
+        assert!(err.contains("unknown option --engin"), "{err}");
+        assert!(err.contains("did you mean --engine"), "{err}");
+    }
+
+    #[test]
+    fn engine_and_schedule_do_not_apply_to_the_baseline() {
+        let err = dispatch(&argv(&[
+            "run",
+            "--network",
+            "tiny_mlp",
+            "--baseline",
+            "--engine",
+            "compiled",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not apply to --baseline"), "{err}");
+        let err = dispatch(&argv(&[
+            "run",
+            "--network",
+            "tiny_mlp",
+            "--baseline",
+            "--schedule",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not apply to --baseline"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! The `Engine` seam: *how* a built machine is driven to completion.
+//!
+//! [`Simulator::run`](super::Simulator::run) validates inputs, builds the
+//! [`Machine`](super::Machine), and assembles the report; everything in
+//! between — seeding the kernel, executing the event stream — happens
+//! behind this trait, the run-loop sibling of the
+//! [`TimingModel`](super::TimingModel) cost seam:
+//!
+//! * [`EventEngine`] (the default and the reference model) hands the
+//!   machine to the typed event kernel and interprets every event live.
+//! * [`CompiledEngine`](crate::compiled::CompiledEngine) pre-computes
+//!   per-core schedules for contention-free regions and replays them,
+//!   falling back to live event handling at NoC / shared-memory
+//!   boundaries. Its output is byte-identical to the event engine's.
+//!
+//! Both engines drive the same kernel and the same machine state, so the
+//! deterministic `(time, seq)` event stream — and with it every `f64`
+//! energy accumulation order — is common property, not per-engine code.
+
+use std::fmt;
+
+use pimsim_event::{Kernel, RunResult, SimTime};
+
+use super::{Machine, MachineEvent};
+use crate::stats::ScheduleStats;
+
+/// A built machine plus the run horizon, handed to an [`Engine`]. Opaque
+/// outside the crate: the machine's internals are not API.
+pub struct EngineInput<'a> {
+    pub(crate) machine: Machine<'a>,
+    pub(crate) horizon: SimTime,
+    /// Cross-run region store, when the caller opted into one with
+    /// [`Simulator::with_schedule_cache`](super::Simulator::with_schedule_cache).
+    /// Ignored by engines that pre-compute nothing.
+    pub(crate) cache: Option<&'a crate::compiled::ScheduleCache>,
+}
+
+/// What an [`Engine`] hands back: the final machine state, why the run
+/// loop returned, and the executed-event accounting.
+pub struct EngineOutput<'a> {
+    pub(crate) machine: Machine<'a>,
+    pub(crate) result: RunResult,
+    pub(crate) events: u64,
+    pub(crate) schedule: ScheduleStats,
+}
+
+/// Drives a built machine to completion.
+///
+/// Implementations must preserve the reference event stream exactly: the
+/// same events, in the same `(time, seq)` order, with the same telemetry
+/// mutations — [`Simulator`](super::Simulator) output is byte-compared
+/// across engines by the test suite and the CI determinism gate.
+pub trait Engine: fmt::Debug + Send + Sync {
+    /// Short identifier (`"event"` / `"compiled"`).
+    fn name(&self) -> &'static str;
+
+    /// Seeds the kernel and runs the machine until the queue drains, a
+    /// handler stops the run, or `horizon` is reached.
+    fn drive<'a>(&self, input: EngineInput<'a>) -> EngineOutput<'a>;
+}
+
+/// The reference engine: every event interpreted live by the machine's
+/// own handlers. Default for every run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventEngine;
+
+impl Engine for EventEngine {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn drive<'a>(&self, input: EngineInput<'a>) -> EngineOutput<'a> {
+        let EngineInput {
+            machine, horizon, ..
+        } = input;
+        let n_cores = machine.cores.len();
+        let mut kernel = Kernel::new(machine);
+        for c in 0..n_cores {
+            if !kernel.world().cores[c].halted {
+                kernel.schedule_at(SimTime::ZERO, MachineEvent::Advance { core: c });
+            }
+        }
+        let result = kernel.run_until(horizon);
+        let events = kernel.stats().executed;
+        EngineOutput {
+            machine: kernel.into_world(),
+            result,
+            events,
+            schedule: ScheduleStats {
+                events_dispatched: events,
+                ..ScheduleStats::default()
+            },
+        }
+    }
+}
+
+/// Engine selection by name, for CLI flags and sweep axes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The live event-kernel interpreter (default, reference model).
+    #[default]
+    Event,
+    /// The compiled scheduler with event-kernel fallback.
+    Compiled,
+}
+
+impl EngineKind {
+    /// Every selectable engine.
+    pub const ALL: [EngineKind; 2] = [EngineKind::Event, EngineKind::Compiled];
+
+    /// The engine's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Event => "event",
+            EngineKind::Compiled => "compiled",
+        }
+    }
+
+    /// The engine implementation this kind selects.
+    pub fn engine(self) -> &'static dyn Engine {
+        static EVENT: EventEngine = EventEngine;
+        static COMPILED: crate::compiled::CompiledEngine = crate::compiled::CompiledEngine;
+        match self {
+            EngineKind::Event => &EVENT,
+            EngineKind::Compiled => &COMPILED,
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "event" => Ok(EngineKind::Event),
+            "compiled" => Ok(EngineKind::Compiled),
+            other => Err(format!("unknown engine `{other}` (want event or compiled)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kinds_parse_and_print() {
+        assert_eq!("event".parse::<EngineKind>().unwrap(), EngineKind::Event);
+        assert_eq!(
+            "compiled".parse::<EngineKind>().unwrap(),
+            EngineKind::Compiled
+        );
+        assert!("jit".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::default(), EngineKind::Event);
+        for kind in EngineKind::ALL {
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.engine().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn engine_trait_is_object_safe() {
+        fn takes_dyn(e: &dyn Engine) -> &'static str {
+            e.name()
+        }
+        assert_eq!(takes_dyn(&EventEngine), "event");
+    }
+}

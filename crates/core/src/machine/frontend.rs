@@ -10,7 +10,7 @@
 
 use pimsim_isa::{BranchCond, InstrClass, Instruction, SBinOp, SImmOp};
 
-use super::{Ctx, Machine, MachineEvent};
+use super::{Ctx, EnergyField, Machine, MachineEvent};
 use crate::resolve::{resolve, Resolved};
 
 impl Machine<'_> {
@@ -46,16 +46,18 @@ impl Machine<'_> {
             let dispatch_at = self.cores[c].next_dispatch.max(now);
             self.cores[c].next_dispatch = dispatch_at + self.dispatch_interval;
             self.cores[c].stats.dispatched += 1;
-            self.telemetry.instructions += 1;
+            self.telemetry.count_dispatch(tag);
             let frontend_energy = self.timing.frontend_energy(self.cfg);
-            self.telemetry.energy.frontend += frontend_energy;
-            self.telemetry.node(tag).instructions += 1;
+            self.telemetry
+                .add_energy(EnergyField::Frontend, frontend_energy);
 
             match resolve(&instr, &self.cores[c].regs) {
                 None => {
                     // Scalar class: execute at dispatch.
-                    self.telemetry.class_counts[3] += 1;
-                    self.telemetry.energy.scalar += self.timing.scalar_cost(self.cfg).energy;
+                    self.telemetry.count_class(3);
+                    let scalar_energy = self.timing.scalar_cost(self.cfg).energy;
+                    self.telemetry
+                        .add_energy(EnergyField::Scalar, scalar_energy);
                     if self.telemetry.trace_live() {
                         self.telemetry
                             .record_trace(dispatch_at, c as u16, instr.to_string());
@@ -76,9 +78,9 @@ impl Machine<'_> {
     fn enter_rob(&mut self, c: usize, tag: u16, instr: &Instruction, res: Resolved) {
         let class = instr.class();
         match class {
-            InstrClass::Matrix => self.telemetry.class_counts[0] += 1,
-            InstrClass::Vector => self.telemetry.class_counts[1] += 1,
-            InstrClass::Transfer => self.telemetry.class_counts[2] += 1,
+            InstrClass::Matrix => self.telemetry.count_class(0),
+            InstrClass::Vector => self.telemetry.count_class(1),
+            InstrClass::Transfer => self.telemetry.count_class(2),
             InstrClass::Scalar => unreachable!("resolved scalar"),
         }
         let text = self.telemetry.trace_live().then(|| instr.to_string());

@@ -72,16 +72,19 @@ impl Core {
         self.rob.iter_mut().find(|e| e.seq == seq)
     }
 
-    /// Builds the in-flight entry for a freshly dispatched memory-class
-    /// instruction — hazard ranges, global-memory interval, crossbar
-    /// occupancy — and appends it to the ROB.
-    pub(crate) fn admit(
-        &mut self,
+    /// Builds the in-flight entry for a memory-class instruction with
+    /// sequence number `seq` — hazard ranges, global-memory interval,
+    /// crossbar occupancy — in the `Waiting` state. Shared between live
+    /// dispatch ([`Core::admit`]) and the compiled engine's boundary
+    /// materialization, so both derive identical hazard metadata.
+    pub(crate) fn entry_for(
+        &self,
         tag: u16,
         class: InstrClass,
         res: Resolved,
         text: Option<String>,
-    ) {
+        seq: u64,
+    ) -> InFlight {
         let (mvm_out, xbars) = match &res {
             Resolved::Mvm { group, .. } => {
                 let g = &self.groups[group.as_usize()];
@@ -89,14 +92,12 @@ impl Core {
             }
             _ => (0, Vec::new()),
         };
-        let seq = self.seq_next;
-        self.seq_next += 1;
         let gmem = match &res {
             Resolved::GLoad { gaddr, len, .. } => Some((*gaddr, gaddr + *len as u64, false)),
             Resolved::GStore { gaddr, len, .. } => Some((*gaddr, gaddr + *len as u64, true)),
             _ => None,
         };
-        self.rob.push_back(InFlight {
+        InFlight {
             seq,
             reads: res.reads(),
             writes: res.writes(mvm_out),
@@ -108,7 +109,22 @@ impl Core {
             issue_at: SimTime::ZERO,
             text,
             xbars,
-        });
+        }
+    }
+
+    /// Builds the in-flight entry for a freshly dispatched memory-class
+    /// instruction and appends it to the ROB.
+    pub(crate) fn admit(
+        &mut self,
+        tag: u16,
+        class: InstrClass,
+        res: Resolved,
+        text: Option<String>,
+    ) {
+        let seq = self.seq_next;
+        self.seq_next += 1;
+        let entry = self.entry_for(tag, class, res, text, seq);
+        self.rob.push_back(entry);
     }
 
     /// The flow-control channel of a transfer, if any: `(src, dst, tag)`.

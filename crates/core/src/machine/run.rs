@@ -5,13 +5,14 @@ use std::collections::VecDeque;
 
 use pimsim_arch::model::CostModel;
 use pimsim_arch::ArchConfig;
-use pimsim_event::{Kernel, RunResult, SimTime};
+use pimsim_event::{RunResult, SimTime};
 use pimsim_isa::{Program, ProgramLimits};
 
+use super::engine::{Engine, EngineInput, EventEngine};
 use super::rob::Core;
 use super::timing::{DefaultTiming, TimingModel};
 use super::transfer::TransferFabric;
-use super::{error::SimError, Machine, MachineEvent, Telemetry};
+use super::{error::SimError, Machine, Telemetry};
 use crate::exec::Memory;
 use crate::noc::{Noc, NocCosts};
 use crate::stats::{CoreStats, SimReport};
@@ -20,26 +21,59 @@ use crate::stats::{CoreStats, SimReport};
 ///
 /// See the crate docs for the machine model. Unit latencies and energies
 /// come from a [`TimingModel`] — [`DefaultTiming`] (the paper's shared
-/// cost tables) unless [`Simulator::with_timing`] swaps in another.
+/// cost tables) unless [`Simulator::with_timing`] swaps in another. The
+/// run loop itself sits behind the [`Engine`] seam — [`EventEngine`]
+/// (the live interpreter) unless [`Simulator::with_engine`] swaps in the
+/// compiled scheduler.
 #[derive(Debug, Clone, Copy)]
 pub struct Simulator<'a> {
     arch: &'a ArchConfig,
     timing: &'a dyn TimingModel,
+    engine: &'a dyn Engine,
+    cache: Option<&'a crate::compiled::ScheduleCache>,
+    /// Set by [`Simulator::with_timing`]: custom cost models have no
+    /// comparable identity, so cross-run schedule caches are bypassed to
+    /// keep a cache from replaying schedules recorded under other costs.
+    custom_timing: bool,
 }
 
 impl<'a> Simulator<'a> {
-    /// Creates a simulator over `arch` with the default timing model.
+    /// Creates a simulator over `arch` with the default timing model and
+    /// the event engine.
     pub fn new(arch: &'a ArchConfig) -> Self {
         Simulator {
             arch,
             timing: &DefaultTiming,
+            engine: &EventEngine,
+            cache: None,
+            custom_timing: false,
         }
     }
 
     /// Replaces the unit-timing model (the run loop is untouched; only
-    /// cost lookups change).
+    /// cost lookups change). Disables any [`Simulator::with_schedule_cache`]:
+    /// cached region schedules embed the cost model they were recorded
+    /// under.
     pub fn with_timing(mut self, timing: &'a dyn TimingModel) -> Self {
         self.timing = timing;
+        self.custom_timing = true;
+        self
+    }
+
+    /// Replaces the run-loop engine (costs and machine semantics are
+    /// untouched; only how the event stream is driven changes).
+    pub fn with_engine(mut self, engine: &'a dyn Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Shares a compiled-region store across runs, so repeated simulation
+    /// of the same program under the compiled engine pays each region's
+    /// compile cost once instead of once per run. The cache binds to the
+    /// first architecture it sees and is bypassed for any other; engines
+    /// that pre-compute nothing ignore it.
+    pub fn with_schedule_cache(mut self, cache: &'a crate::compiled::ScheduleCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -63,20 +97,16 @@ impl<'a> Simulator<'a> {
 
         let functional = self.arch.sim.functional;
         let machine = self.build_machine(program, functional);
-        let n_cores = machine.cores.len();
-
-        let mut kernel = Kernel::new(machine);
-        for c in 0..n_cores {
-            if !kernel.world().cores[c].halted {
-                kernel.schedule_at(SimTime::ZERO, MachineEvent::Advance { core: c });
-            }
-        }
 
         let clock = CostModel::new(self.arch).core_clock();
         let horizon = clock.cycles_to_time(self.arch.sim.max_cycles);
-        let result = kernel.run_until(horizon);
-        let events = kernel.stats().executed;
-        let mut machine = kernel.into_world();
+        let out = self.engine.drive(EngineInput {
+            machine,
+            horizon,
+            cache: if self.custom_timing { None } else { self.cache },
+        });
+        let (mut machine, result, events, schedule) =
+            (out.machine, out.result, out.events, out.schedule);
         let now = machine.finish_time;
 
         if let Some(err) = machine.error.take() {
@@ -104,6 +134,7 @@ impl<'a> Simulator<'a> {
             per_core,
             per_node: machine.telemetry.per_node,
             events,
+            schedule,
             trace: machine.telemetry.trace,
             gmem: functional.then_some(machine.gmem),
             locals: functional.then(|| machine.cores.into_iter().map(|c| c.mem).collect()),
@@ -112,7 +143,7 @@ impl<'a> Simulator<'a> {
 
     /// Assembles the machine: one core per mesh slot with its program
     /// slice, the NoC, global memory, and an empty transfer fabric.
-    fn build_machine(&self, program: &Program, functional: bool) -> Machine<'a> {
+    pub(crate) fn build_machine(&self, program: &Program, functional: bool) -> Machine<'a> {
         let dispatch_interval = self.timing.dispatch_interval(self.arch);
         let decode_offset = self.timing.decode_offset(self.arch);
 
@@ -166,6 +197,8 @@ impl<'a> Simulator<'a> {
             telemetry: Telemetry::new(self.arch.sim.trace),
             error: None,
             finish_time: SimTime::ZERO,
+            hybrid: false,
+            deferred_advance: None,
         }
     }
 

@@ -14,8 +14,9 @@ use pimsim_event::SimTime;
 use pimsim_isa::InstrClass;
 
 use super::rob::State;
-use super::{Ctx, Machine, MachineEvent};
+use super::{Ctx, EnergyField, Machine, MachineEvent, NodeTimeField};
 use crate::exec::execute_local;
+use crate::machine::error::SimError;
 use crate::resolve::Resolved;
 
 /// `(len, reads, writes)` streams of a vector operation, for cost lookup.
@@ -64,8 +65,8 @@ impl Machine<'_> {
                 let (len, reads, writes) = vector_shape(&res);
                 let cost = self.timing.vector_cost(self.cfg, len, reads, writes);
                 self.cores[c].vector_busy = true;
-                self.telemetry.energy.vector += cost.energy;
-                self.telemetry.node(tag).energy += cost.energy;
+                self.telemetry.add_energy(EnergyField::Vector, cost.energy);
+                self.telemetry.add_node_energy(tag, cost.energy);
                 let end = now + cost.time;
                 ctx.schedule_at(end, MachineEvent::Complete { core: c, seq });
             }
@@ -83,8 +84,8 @@ impl Machine<'_> {
                     .map(|e| e.xbars.clone())
                     .unwrap_or_default();
                 self.cores[c].busy_xbars.extend(xbars);
-                self.telemetry.energy.matrix += cost.energy;
-                self.telemetry.node(tag).energy += cost.energy;
+                self.telemetry.add_energy(EnergyField::Matrix, cost.energy);
+                self.telemetry.add_node_energy(tag, cost.energy);
                 let end = now + cost.time;
                 ctx.schedule_at(end, MachineEvent::Complete { core: c, seq });
             }
@@ -103,9 +104,14 @@ impl Machine<'_> {
         }
         let now = ctx.now();
         self.finish_time = self.finish_time.max(now);
-        let functional = self.functional;
         let (class, res, tag, span, text) = {
             let Some(e) = self.cores[c].find(seq) else {
+                // A completion whose ROB entry vanished is an invariant
+                // break (entries leave the ROB only through in-order
+                // retirement after completing); silently dropping it used
+                // to leave the unit booked forever.
+                let detail = format!("unit completion on core{c} found no ROB entry for seq {seq}");
+                self.fail(SimError::Internal { detail }, ctx);
                 return;
             };
             e.state = State::Done;
@@ -124,10 +130,9 @@ impl Machine<'_> {
             InstrClass::Vector => {
                 self.cores[c].vector_busy = false;
                 self.cores[c].stats.vector_busy += span;
-                self.telemetry.node(tag).vector_time += span;
-                if functional {
-                    self.execute_functional(c, &res);
-                }
+                self.telemetry
+                    .add_node_time(tag, NodeTimeField::Vector, span);
+                self.functional_payload(c, &res);
             }
             InstrClass::Matrix => {
                 let xbars = self.cores[c]
@@ -136,16 +141,15 @@ impl Machine<'_> {
                     .unwrap_or_default();
                 self.cores[c].busy_xbars.retain(|x| !xbars.contains(x));
                 self.cores[c].stats.matrix_busy += span;
-                self.telemetry.node(tag).matrix_time += span;
-                if functional {
-                    self.execute_functional(c, &res);
-                }
+                self.telemetry
+                    .add_node_time(tag, NodeTimeField::Matrix, span);
+                self.functional_payload(c, &res);
             }
             InstrClass::Transfer => {
                 // Only global-memory transfers complete through here.
                 self.cores[c].stats.transfer_busy += span;
                 self.telemetry.node(tag).comm_time += span;
-                if functional {
+                if self.functional {
                     match &res {
                         Resolved::GLoad { dst, gaddr, len } => {
                             let data: Vec<i32> =
@@ -166,12 +170,31 @@ impl Machine<'_> {
         }
         self.cores[c].retire();
         self.try_issue(c, ctx);
-        self.try_advance(c, ctx);
+        if self.hybrid && self.entry_ready(c, now) {
+            // Dispatch is the last thing this handler does, so handing it
+            // to the hybrid driver is exact: the driver either splices a
+            // compiled region in here or runs the same `try_advance`.
+            self.deferred_advance = Some(c);
+        } else {
+            self.try_advance(c, ctx);
+        }
+    }
+
+    /// Hands a completed vector/matrix payload onward: executed on the
+    /// core's local memory in functional runs, logged for later replay
+    /// while the compiled engine records a region (scratch machines are
+    /// never functional), dropped otherwise.
+    fn functional_payload(&mut self, c: usize, res: &Resolved) {
+        if self.functional {
+            self.execute_functional(c, res);
+        } else {
+            self.telemetry.log_payload(res);
+        }
     }
 
     /// Runs a vector/matrix payload on the core's local memory with the
     /// golden-model integer semantics.
-    fn execute_functional(&mut self, c: usize, res: &Resolved) {
+    pub(crate) fn execute_functional(&mut self, c: usize, res: &Resolved) {
         let core = &mut self.cores[c];
         // Split borrow: groups are not touched by local data movement.
         let groups = std::mem::take(&mut core.groups);

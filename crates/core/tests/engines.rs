@@ -1,0 +1,380 @@
+//! Engine equivalence: the compiled engine must be byte-identical to the
+//! event engine on every observable of a run — latency, energies (exact
+//! `f64` bits), per-core/per-node attribution, executed-event count, and
+//! functional memory — plus a seeded differential sweep over randomly
+//! generated mixed compute/transfer programs.
+
+use pimsim_arch::ArchConfig;
+use pimsim_core::{EngineKind, ScheduleStats, SimReport, Simulator};
+use pimsim_isa::asm;
+
+fn arch() -> ArchConfig {
+    ArchConfig::small_test()
+}
+
+/// Every public observable of a report except the engine-specific
+/// schedule counters. `f64` Debug formatting is shortest-roundtrip, so
+/// equal fingerprints mean bit-equal energies.
+fn fingerprint(r: &SimReport) -> String {
+    format!(
+        "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{:?}",
+        r.latency,
+        r.energy,
+        r.instructions,
+        r.class_counts,
+        r.per_core,
+        r.per_node,
+        r.events,
+        r.trace
+    )
+}
+
+/// Runs `text` under both engines and checks equivalence; returns the
+/// compiled engine's schedule counters for shape assertions.
+fn run_both(arch: &ArchConfig, text: &str) -> ScheduleStats {
+    let program = asm::assemble(text).expect("assembles");
+    let event = Simulator::new(arch)
+        .run(&program)
+        .expect("event engine runs");
+    let compiled = Simulator::new(arch)
+        .with_engine(EngineKind::Compiled.engine())
+        .run(&program)
+        .expect("compiled engine runs");
+    assert_eq!(fingerprint(&event), fingerprint(&compiled));
+    if arch.sim.functional {
+        for core in 0..arch.resources.cores() {
+            assert_eq!(
+                event.read_local(core, 0, 512),
+                compiled.read_local(core, 0, 512),
+                "local memory of core{core} diverged"
+            );
+        }
+        assert_eq!(event.read_global(0, 256), compiled.read_global(0, 256));
+    }
+    assert_eq!(
+        event.schedule,
+        ScheduleStats {
+            events_dispatched: event.events,
+            ..ScheduleStats::default()
+        },
+        "event engine dispatches everything live"
+    );
+    assert_eq!(
+        compiled.schedule.events_dispatched + compiled.schedule.events_placed,
+        compiled.events,
+        "every executed event is either dispatched or placed"
+    );
+    compiled.schedule
+}
+
+#[test]
+fn compute_only_program_is_fully_placed() {
+    let schedule = run_both(
+        &arch(),
+        r#"
+        .core 0
+        .group 0 in=16 out=16 xbars=0
+        .group 1 in=16 out=16 xbars=1
+        vfill [r0+0], 3, 16
+        mvm g0, [r0+100], [r0+0], 16
+        mvm g1, [r0+200], [r0+0], 16
+        vaddi [r0+300], [r0+100], 1, 16
+        halt
+    "#,
+    );
+    assert_eq!(schedule.regions_compiled, 1, "one straight-line region");
+    assert_eq!(schedule.regions_fallback, 0);
+    assert!(
+        schedule.events_placed > schedule.events_dispatched,
+        "a compute-only program should replay almost everything: {schedule:?}"
+    );
+}
+
+#[test]
+fn transfer_boundary_falls_back_then_recompiles() {
+    let text = r#"
+        .core 0
+        vfill [r0+0], 42, 16
+        send core1, [r0+0], 16, tag=5
+        vaddi [r0+100], [r0+0], 1, 16
+        halt
+        .core 1
+        recv core0, [r0+32], 16, tag=5
+        vaddi [r0+64], [r0+32], 1, 16
+        halt
+    "#;
+    // With a deep ROB, dispatch runs ahead while the transfer is in
+    // flight, so only the pre-send window compiles; the rendezvous and
+    // everything overlapping it stays live.
+    let schedule = run_both(&arch(), text);
+    assert!(
+        schedule.regions_compiled >= 1,
+        "expected the pre-send window to compile: {schedule:?}"
+    );
+    assert!(schedule.events_dispatched > 0, "the rendezvous stays live");
+
+    // With a single-entry ROB every completion drains the core, so the
+    // windows *after* the transfers become compiled regions too: the
+    // deferred-dispatch hook re-enters at completion sites.
+    let schedule = run_both(&arch().with_rob(1), text);
+    assert!(
+        schedule.regions_compiled >= 2,
+        "expected windows on both sides of the transfers: {schedule:?}"
+    );
+    assert!(schedule.events_dispatched > 0, "the rendezvous stays live");
+}
+
+#[test]
+fn scalar_loop_branches_stay_live_and_match() {
+    // Branches cut windows, so the loop body mostly runs on the event
+    // path; equivalence must hold regardless.
+    run_both(
+        &arch(),
+        r#"
+        .core 0
+        li r1, 10
+    loop:
+        vaddi [r0+0], [r0+0], 1, 1
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    "#,
+    );
+}
+
+#[test]
+fn mirrored_cores_share_one_compiled_region() {
+    let body = r#"
+        .group 0 in=16 out=16 xbars=0
+        vfill [r0+0], 2, 16
+        mvm g0, [r0+100], [r0+0], 16
+        vaddi [r0+200], [r0+100], 7, 16
+        halt
+    "#;
+    let text = format!(".core 0\n{body}\n.core 1\n{body}\n.core 2\n{body}");
+    let schedule = run_both(&arch(), &text);
+    assert_eq!(
+        schedule.regions_compiled, 1,
+        "identical windows compile once"
+    );
+    assert_eq!(
+        schedule.regions_reused, 2,
+        "the other cores replay the memo"
+    );
+}
+
+#[test]
+fn global_memory_traffic_matches() {
+    run_both(
+        &arch(),
+        r#"
+        .core 0
+        vfill [r0+0], 9, 16
+        gstore g[r0+128], [r0+0], 16
+        gload [r0+64], g[r0+128], 16
+        vaddi [r0+96], [r0+64], 1, 16
+        halt
+    "#,
+    );
+}
+
+#[test]
+fn timing_only_runs_match_too() {
+    run_both(
+        &arch().with_functional(false),
+        r#"
+        .core 0
+        .group 0 in=16 out=16 xbars=0,1
+        vfill [r0+0], 3, 16
+        mvm g0, [r0+100], [r0+0], 16
+        send core1, [r0+100], 16, tag=1
+        halt
+        .core 1
+        recv core0, [r0+0], 16, tag=1
+        vmuli [r0+32], [r0+0], 2, 16
+        halt
+    "#,
+    );
+}
+
+#[test]
+fn schedule_cache_reuses_regions_across_runs() {
+    use pimsim_core::ScheduleCache;
+    let arch = arch();
+    let program = asm::assemble(
+        r#"
+        .core 0
+        .group 0 in=16 out=16 xbars=0
+        vfill [r0+0], 3, 16
+        mvm g0, [r0+100], [r0+0], 16
+        vaddi [r0+200], [r0+100], 1, 16
+        halt
+    "#,
+    )
+    .expect("assembles");
+
+    let cache = ScheduleCache::default();
+    let sim = Simulator::new(&arch)
+        .with_engine(EngineKind::Compiled.engine())
+        .with_schedule_cache(&cache);
+    let cold = sim.run(&program).expect("cold run");
+    assert_eq!(cold.schedule.regions_compiled, 1);
+    assert!(!cache.is_empty(), "the cache keeps the compiled region");
+
+    // The second run replays the cached schedule: nothing recompiles,
+    // and the report stays byte-identical.
+    let warm = sim.run(&program).expect("warm run");
+    assert_eq!(warm.schedule.regions_compiled, 0, "{:?}", warm.schedule);
+    assert_eq!(warm.schedule.regions_reused, 1);
+    assert_eq!(fingerprint(&cold), fingerprint(&warm));
+
+    // A run under a different architecture bypasses the cache (regions
+    // embed arch-dependent timing) instead of reusing or poisoning it.
+    let other = arch.clone().with_rob(1);
+    let before = cache.len();
+    let report = Simulator::new(&other)
+        .with_engine(EngineKind::Compiled.engine())
+        .with_schedule_cache(&cache)
+        .run(&program)
+        .expect("other arch runs");
+    assert!(report.schedule.regions_compiled > 0, "compiled privately");
+    assert_eq!(cache.len(), before, "the bound cache is left untouched");
+}
+
+#[test]
+fn rob_one_serialized_machine_matches() {
+    run_both(
+        &arch().with_rob(1),
+        r#"
+        .core 0
+        .group 0 in=16 out=16 xbars=0
+        mvm g0, [r0+100], [r0+0], 16
+        mvm g0, [r0+200], [r0+0], 16
+        vaddi [r0+300], [r0+200], 1, 16
+        halt
+    "#,
+    );
+}
+
+// --- seeded differential property test -----------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64*; deterministic across platforms.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generates a random two-core program mixing vector/matrix compute,
+/// scalar loops, and matched send/recv pairs (appended to both sides in
+/// the same global order, so every rendezvous can match).
+fn random_program(rng: &mut Rng) -> String {
+    let mut core: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+    let mut labels = 0usize;
+    let n_ops = 4 + rng.below(10);
+    for op in 0..n_ops {
+        let c = rng.below(2) as usize;
+        let a = (rng.below(12) * 16) as u32;
+        let b = (rng.below(12) * 16) as u32;
+        let len = 1 + rng.below(16);
+        match rng.below(8) {
+            0 => core[c].push(format!("vfill [r0+{a}], {}, {len}", rng.below(100))),
+            1 => core[c].push(format!("vaddi [r0+{a}], [r0+{b}], {}, {len}", rng.below(9))),
+            2 => core[c].push(format!("vmuli [r0+{a}], [r0+{b}], {}, {len}", rng.below(5))),
+            3 => core[c].push(format!("mvm g0, [r0+{}], [r0+{b}], 16", 256 + a)),
+            4 => core[c].push(format!(
+                "addi r{}, r{}, {}",
+                1 + rng.below(5),
+                rng.below(6),
+                rng.below(50)
+            )),
+            5 => {
+                // A short counted loop: branches are fallback sites.
+                let l = labels;
+                labels += 1;
+                let reps = 2 + rng.below(4);
+                core[c].push(format!("li r7, {reps}"));
+                core[c].push(format!("l{l}:"));
+                core[c].push(format!("vaddi [r0+{a}], [r0+{a}], 1, {len}"));
+                core[c].push("addi r7, r7, -1".to_string());
+                core[c].push(format!("bne r7, r0, l{l}"));
+            }
+            _ => {
+                // A matched transfer pair, inserted on both cores now so
+                // pair order is consistent and the rendezvous can't wedge.
+                let (src, dst) = if rng.below(2) == 0 { (0, 1) } else { (1, 0) };
+                core[src].push(format!("send core{dst}, [r0+{a}], 8, tag={op}"));
+                core[dst].push(format!("recv core{src}, [r0+{b}], 8, tag={op}"));
+            }
+        }
+    }
+    let mut text = String::new();
+    for (c, ops) in core.iter().enumerate() {
+        text.push_str(&format!(".core {c}\n.group 0 in=16 out=16 xbars={c}\n"));
+        for line in ops {
+            text.push_str(line);
+            text.push('\n');
+        }
+        text.push_str("halt\n");
+    }
+    text
+}
+
+#[test]
+fn differential_random_programs_agree() {
+    let arch = arch();
+    let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+    for case in 0..40 {
+        let text = random_program(&mut rng);
+        let program = asm::assemble(&text)
+            .unwrap_or_else(|e| panic!("case {case} failed to assemble: {e}\n{text}"));
+        let event = Simulator::new(&arch).run(&program);
+        let compiled = Simulator::new(&arch)
+            .with_engine(EngineKind::Compiled.engine())
+            .run(&program);
+        match (&event, &compiled) {
+            (Ok(e), Ok(c)) => {
+                assert_eq!(
+                    fingerprint(e),
+                    fingerprint(c),
+                    "case {case} diverged:\n{text}"
+                );
+                for core in 0..2 {
+                    assert_eq!(
+                        e.read_local(core, 0, 512),
+                        c.read_local(core, 0, 512),
+                        "case {case} core{core} memory diverged:\n{text}"
+                    );
+                }
+                assert_eq!(
+                    c.schedule.events_dispatched + c.schedule.events_placed,
+                    c.events,
+                    "case {case} lost events:\n{text}"
+                );
+            }
+            (Err(e), Err(c)) => {
+                // Both engines must fail the same way (e.g. a generated
+                // deadlock): errors are observables too.
+                assert_eq!(
+                    format!("{e:?}"),
+                    format!("{c:?}"),
+                    "case {case} errors diverged:\n{text}"
+                );
+            }
+            _ => panic!(
+                "case {case}: engines disagree on success: event={event:?} compiled={compiled:?}\n{text}"
+            ),
+        }
+    }
+}

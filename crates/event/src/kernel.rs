@@ -135,6 +135,17 @@ impl<E> EventCtx<E> {
     pub fn stop(&mut self) {
         self.stop = true;
     }
+
+    /// The events the running handler has scheduled so far, in scheduling
+    /// order (the order their sequence numbers will be assigned in).
+    ///
+    /// This is the observation point for engines that record a handler's
+    /// follow-ups — a compiled/replay engine must reproduce exactly this
+    /// list, in this order, to keep the kernel's deterministic (time, seq)
+    /// stream byte-identical.
+    pub fn scheduled(&self) -> &[(SimTime, E)] {
+        &self.buffered
+    }
 }
 
 /// Counters describing what a [`Kernel`] has done so far.

@@ -132,6 +132,7 @@ impl Scenario {
                     .compile(&net)
                     .map_err(|e| SweepError::Compile(format!("{}: {e}", self.display_label())))?;
                 let report = Simulator::new(&self.arch)
+                    .with_engine(self.engine.engine())
                     .run(&compiled.program)
                     .map_err(|e| SweepError::Sim(format!("{}: {e}", self.display_label())))?;
                 let comm_ratios = (0..compiled.node_names.len())
@@ -291,6 +292,28 @@ mod tests {
         }
         assert_eq!(rows[0].scenario.network, "tiny_mlp");
         assert_eq!(rows[3].scenario.network, "tiny_cnn");
+    }
+
+    #[test]
+    fn engines_produce_identical_rows() {
+        let base = Scenario::cycle(
+            "tiny_mlp",
+            64,
+            MappingPolicy::PerformanceFirst,
+            1,
+            ArchConfig::small_test(),
+        );
+        let event = base.clone().execute(0).unwrap();
+        let compiled = base
+            .with_engine(pimsim_core::EngineKind::Compiled)
+            .execute(0)
+            .unwrap();
+        assert_eq!(event.latency_ps, compiled.latency_ps);
+        assert_eq!(event.energy_pj.to_bits(), compiled.energy_pj.to_bits());
+        assert_eq!(event.power_w.to_bits(), compiled.power_w.to_bits());
+        assert_eq!(event.events, compiled.events);
+        assert_eq!(event.instructions, compiled.instructions);
+        assert_eq!(event.comm_ratios, compiled.comm_ratios);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use serde::{Deserialize, Map, Number, Serialize, Value};
 
 use pimsim_arch::{ArchConfig, RoutingPolicy};
 use pimsim_compiler::MappingPolicy;
+use pimsim_core::EngineKind;
 use pimsim_nn::zoo;
 
 use crate::SweepError;
@@ -56,6 +57,17 @@ pub fn parse_mapping(name: &str) -> Result<MappingPolicy, SweepError> {
     }
 }
 
+/// Parses a run-loop engine name (`event` / `compiled`) as used in
+/// configuration files and on the command line.
+///
+/// # Errors
+///
+/// Returns [`SweepError::UnknownEngine`] for anything else.
+pub fn parse_engine(name: &str) -> Result<EngineKind, SweepError> {
+    name.parse()
+        .map_err(|_| SweepError::UnknownEngine(name.to_string()))
+}
+
 /// Parses a NoC routing-policy name (`xy` / `yx` / `xy-yx` / `adaptive`)
 /// as used in configuration files and on the command line.
 ///
@@ -93,6 +105,9 @@ pub struct Scenario {
     pub batch: u32,
     /// Which simulator evaluates the point.
     pub simulator: SimulatorKind,
+    /// Which run-loop engine drives the cycle-accurate simulator
+    /// (ignored by the behaviour-level baseline).
+    pub engine: EngineKind,
     /// Optional human label (used by campaign front ends); empty means
     /// "derive one from the fields".
     pub label: String,
@@ -115,6 +130,7 @@ impl Scenario {
             mapping,
             batch,
             simulator: SimulatorKind::Cycle,
+            engine: EngineKind::default(),
             label: String::new(),
             arch,
         }
@@ -129,6 +145,7 @@ impl Scenario {
             mapping: MappingPolicy::PerformanceFirst,
             batch: 1,
             simulator: SimulatorKind::Baseline,
+            engine: EngineKind::default(),
             label: String::new(),
             arch,
         }
@@ -137,6 +154,13 @@ impl Scenario {
     /// Returns the scenario tagged with a human-readable label.
     pub fn with_label(mut self, label: impl Into<String>) -> Scenario {
         self.label = label.into();
+        self
+    }
+
+    /// Returns the scenario driven by `engine` (cycle simulator only;
+    /// the baseline has no run loop to swap).
+    pub fn with_engine(mut self, engine: EngineKind) -> Scenario {
+        self.engine = engine;
         self
     }
 
@@ -163,8 +187,13 @@ impl Scenario {
         } else {
             format!(" depth={}", self.arch.noc.router_pipeline_depth)
         };
+        let engine = if self.engine == EngineKind::default() {
+            String::new()
+        } else {
+            format!(" engine={}", self.engine)
+        };
         format!(
-            "{}/{} {} x{} rob={}{routing}{vcs}{depth} {}",
+            "{}/{} {} x{} rob={}{routing}{vcs}{depth}{engine} {}",
             self.network,
             self.resolution,
             self.mapping,
@@ -224,6 +253,9 @@ impl Serialize for Scenario {
                 "router_pipeline_depth",
                 Value::Number(Number::from_u64(self.arch.noc.router_pipeline_depth as u64)),
             );
+        }
+        if self.engine != EngineKind::default() {
+            map.insert("engine", Value::String(self.engine.to_string()));
         }
         map.insert(
             "structure_hazard",
@@ -286,6 +318,11 @@ pub struct SweepGrid {
     /// Simulators (`cycle` / `baseline`); empty = cycle.
     #[serde(default)]
     pub simulators: Vec<String>,
+    /// Run-loop engines (`event` / `compiled`); empty = event. The
+    /// behaviour-level baseline has no run loop, so baseline points
+    /// collapse this axis.
+    #[serde(default)]
+    pub engines: Vec<String>,
     /// Base architecture every knob is applied to; absent = the paper
     /// chip.
     #[serde(default)]
@@ -345,6 +382,7 @@ impl SweepGrid {
             * axis(self.mappings.len())
             * axis(self.batches.len())
             * axis(self.simulators.len())
+            * axis(self.engines.len())
             * axis(self.rob_sizes.len())
             * axis(self.adcs_per_xbar.len())
             * axis(self.vector_lanes.len())
@@ -358,10 +396,10 @@ impl SweepGrid {
     /// Expands the cartesian product into concrete scenarios, in a fixed
     /// axis order (networks outermost, then resolution, mapping, batch,
     /// simulator, ROB, ADCs, lanes, flit width, routing, virtual
-    /// channels, router depth, hazard innermost).
+    /// channels, router depth, hazard, run-loop engine innermost).
     ///
     /// Baseline-simulator points ignore the mapping, batch, ROB, routing,
-    /// virtual-channel, router-depth and structure-hazard axes (the
+    /// virtual-channel, router-depth, structure-hazard and engine axes (the
     /// behaviour-level model has none of them — its NoC cost is a
     /// hop-count closed form, identical for every minimal routing order
     /// and blind to flow control and router pipelining): one baseline
@@ -397,6 +435,14 @@ impl SweepGrid {
             self.simulators
                 .iter()
                 .map(|s| s.parse())
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let engines = if self.engines.is_empty() {
+            vec![EngineKind::default()]
+        } else {
+            self.engines
+                .iter()
+                .map(|e| parse_engine(e))
                 .collect::<Result<Vec<_>, _>>()?
         };
         let batches = non_empty(&self.batches, 1);
@@ -483,15 +529,28 @@ impl SweepGrid {
                                                             arch.noc.virtual_channels = vc;
                                                             arch.noc.router_pipeline_depth = depth;
                                                             arch.sim.structure_hazard = hazard;
-                                                            out.push(Scenario {
-                                                                network: network.clone(),
-                                                                resolution,
-                                                                mapping,
-                                                                batch,
-                                                                simulator,
-                                                                label: String::new(),
-                                                                arch,
-                                                            });
+                                                            // The baseline has no run loop to
+                                                            // swap, so the engine axis collapses
+                                                            // to one default-engine point; cycle
+                                                            // points fan out per engine
+                                                            // (innermost axis).
+                                                            let point_engines = if baseline {
+                                                                &[EngineKind::Event][..]
+                                                            } else {
+                                                                &engines[..]
+                                                            };
+                                                            for &engine in point_engines {
+                                                                out.push(Scenario {
+                                                                    network: network.clone(),
+                                                                    resolution,
+                                                                    mapping,
+                                                                    batch,
+                                                                    simulator,
+                                                                    engine,
+                                                                    label: String::new(),
+                                                                    arch: arch.clone(),
+                                                                });
+                                                            }
                                                         }
                                                     }
                                                 }
@@ -676,6 +735,53 @@ mod tests {
             scenarios[1].to_value()["router_pipeline_depth"],
             Value::Number(Number::from_u64(3))
         );
+    }
+
+    #[test]
+    fn engine_axis_expands_and_collapses_for_baseline() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.engines = vec!["event".into(), "compiled".into()];
+        grid.simulators = vec!["cycle".into(), "baseline".into()];
+        assert_eq!(grid.points(), 4);
+        let scenarios = grid.scenarios().unwrap();
+        // Cycle: one per engine. Baseline: no run loop to swap, so the
+        // axis collapses to one default-engine point.
+        assert_eq!(scenarios.len(), 3);
+        let cycle: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.simulator == SimulatorKind::Cycle)
+            .map(|s| s.engine)
+            .collect();
+        assert_eq!(cycle, vec![EngineKind::Event, EngineKind::Compiled]);
+        let baseline: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.simulator == SimulatorKind::Baseline)
+            .collect();
+        assert_eq!(baseline.len(), 1);
+        assert_eq!(baseline[0].engine, EngineKind::Event);
+        // Labels and serialization surface the engine only when
+        // non-default, so default campaign output stays byte-identical.
+        assert!(!scenarios[0].display_label().contains("engine="));
+        assert!(scenarios[1].display_label().contains(" engine=compiled "));
+        assert_eq!(scenarios[0].to_value().get("engine"), None);
+        assert_eq!(
+            scenarios[1].to_value()["engine"],
+            Value::String("compiled".into())
+        );
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.engines = vec!["jit".into()];
+        let err = grid.scenarios().unwrap_err();
+        assert!(matches!(err, SweepError::UnknownEngine(_)));
+        assert_eq!(
+            err.to_string(),
+            "unknown engine `jit` (want event or compiled)"
+        );
+        assert_eq!(parse_engine("compiled").unwrap(), EngineKind::Compiled);
     }
 
     #[test]

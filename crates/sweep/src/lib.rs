@@ -7,8 +7,8 @@
 //! of simulations per campaign. This crate turns such a campaign into a
 //! declarative [`SweepGrid`] — network × resolution × mapping policy ×
 //! batch × architecture knobs (ROB depth, ADCs per crossbar, SIMD lanes,
-//! flit width, routing policy, structure hazard) × simulator kind —
-//! expands its cartesian
+//! flit width, routing policy, structure hazard) × simulator kind ×
+//! run-loop engine (event / compiled) — expands its cartesian
 //! product into [`Scenario`]s, fans them out across OS threads, and
 //! collects one [`SweepRow`] per point.
 //!
@@ -42,7 +42,8 @@ mod grid;
 
 pub use engine::{default_threads, results_to_json, run_grid, run_scenarios, SweepRow};
 pub use grid::{
-    default_resolution, parse_mapping, parse_routing, Scenario, SimulatorKind, SweepGrid,
+    default_resolution, parse_engine, parse_mapping, parse_routing, Scenario, SimulatorKind,
+    SweepGrid,
 };
 
 use pimsim_arch::ArchError;
@@ -58,6 +59,8 @@ pub enum SweepError {
     UnknownMapping(String),
     /// A simulator name is not recognized.
     UnknownSimulator(String),
+    /// A run-loop engine name is not recognized.
+    UnknownEngine(String),
     /// A NoC routing-policy name is not recognized.
     UnknownRouting(String),
     /// A scenario's architecture configuration failed validation.
@@ -81,6 +84,9 @@ impl std::fmt::Display for SweepError {
             ),
             SweepError::UnknownSimulator(s) => {
                 write!(f, "unknown simulator `{s}` (want cycle or baseline)")
+            }
+            SweepError::UnknownEngine(e) => {
+                write!(f, "unknown engine `{e}` (want event or compiled)")
             }
             SweepError::UnknownRouting(r) => {
                 write!(
