@@ -1,0 +1,321 @@
+//! Per-core control-flow graphs over the ISA instruction stream.
+//!
+//! Blocks are cut at terminators (`branch`, `jump`, `halt` — see
+//! [`Instruction::is_terminator`]) and at branch targets, so every
+//! instruction belongs to exactly one block and a terminator is always
+//! the last instruction of its block. The graph drives reachability
+//! (unreachable-block and missing-`halt` detection), the dataflow passes,
+//! and — through [`Cfg::linear_trace`] — the rendezvous analysis, which
+//! only reasons precisely about cores whose execution order is statically
+//! determined.
+
+use pimsim_isa::Instruction;
+
+/// One basic block: the half-open pc range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block indices (deduplicated, in target-then-fallthrough
+    /// order).
+    pub succs: Vec<usize>,
+    /// `true` if control can leave this block past the end of the
+    /// instruction stream (the machine halts silently when `pc` runs off
+    /// the end).
+    pub falls_off_end: bool,
+}
+
+/// A per-core control-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Basic blocks, sorted by `start`, covering every instruction.
+    pub blocks: Vec<BasicBlock>,
+    /// `blocks` index for each pc.
+    block_of: Vec<usize>,
+    /// Per-block reachability from the entry block (block 0).
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of one core's instruction stream. An empty stream
+    /// (an idle core) yields an empty graph.
+    pub fn build(instrs: &[Instruction]) -> Cfg {
+        let n = instrs.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                reachable: Vec::new(),
+            };
+        }
+
+        // Leaders: the entry, every branch/jump target, and the
+        // instruction after every terminator.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, instr) in instrs.iter().enumerate() {
+            if let Some(t) = instr.branch_target() {
+                // Out-of-range targets are a `Program::validate` error;
+                // tolerate them here so the CFG never panics on input the
+                // analyzer will reject anyway.
+                if (t as usize) < n {
+                    leader[t as usize] = true;
+                }
+            }
+            if instr.is_terminator() && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+
+        // Cut blocks at leaders; a terminator is always last in its block
+        // because the following instruction (if any) is a leader.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for pc in 0..n {
+            block_of[pc] = blocks.len();
+            let last = pc + 1 == n || leader[pc + 1];
+            if last {
+                blocks.push(BasicBlock {
+                    start: start as u32,
+                    end: (pc + 1) as u32,
+                    succs: Vec::new(),
+                    falls_off_end: false,
+                });
+                start = pc + 1;
+            }
+        }
+
+        // Successor edges.
+        for blk in &mut blocks {
+            let end = blk.end as usize;
+            let last = &instrs[end - 1];
+            let mut succs = Vec::new();
+            let mut falls_off = false;
+            match last {
+                Instruction::Halt => {}
+                Instruction::Jump { target } => {
+                    if (*target as usize) < n {
+                        succs.push(block_of[*target as usize]);
+                    } else {
+                        falls_off = true;
+                    }
+                }
+                Instruction::Branch { target, .. } => {
+                    if (*target as usize) < n {
+                        succs.push(block_of[*target as usize]);
+                    } else {
+                        falls_off = true;
+                    }
+                    if end < n {
+                        succs.push(block_of[end]);
+                    } else {
+                        falls_off = true;
+                    }
+                }
+                _ => {
+                    if end < n {
+                        succs.push(block_of[end]);
+                    } else {
+                        falls_off = true;
+                    }
+                }
+            }
+            succs.dedup();
+            blk.succs = succs;
+            blk.falls_off_end = falls_off;
+        }
+
+        // Reachability from the entry block.
+        let mut reachable = vec![false; blocks.len()];
+        let mut stack = vec![0usize];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &blocks[b].succs {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+        }
+    }
+
+    /// The block containing `pc`.
+    pub fn block_of(&self, pc: u32) -> usize {
+        self.block_of[pc as usize]
+    }
+
+    /// `true` if `pc` is reachable from the entry.
+    pub fn pc_reachable(&self, pc: u32) -> bool {
+        self.block_of
+            .get(pc as usize)
+            .is_some_and(|&b| self.reachable[b])
+    }
+
+    /// The statically-determined execution order of the core, as the pc
+    /// sequence from entry to `halt` (or to running off the end), when
+    /// control never actually forks: no reachable two-way branch and no
+    /// cycle. Returns `None` for cores whose order depends on data.
+    ///
+    /// Compiled (straight-line) programs always have a trace; hand-written
+    /// programs with loops don't, and the rendezvous analysis treats them
+    /// conservatively.
+    pub fn linear_trace(&self) -> Option<Vec<u32>> {
+        if self.blocks.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut trace = Vec::new();
+        let mut visited = vec![false; self.blocks.len()];
+        let mut b = 0usize;
+        loop {
+            if visited[b] {
+                return None; // cycle: iteration count is data-dependent
+            }
+            visited[b] = true;
+            let blk = &self.blocks[b];
+            trace.extend(blk.start..blk.end);
+            let outcomes = blk.succs.len() + usize::from(blk.falls_off_end);
+            match (blk.succs.as_slice(), outcomes) {
+                (_, 2..) => return None, // a real fork
+                ([], _) => return Some(trace),
+                (&[s], 1) => b = s,
+                (&[_], _) => return None, // one succ plus fall-off-end
+                _ => unreachable!("outcome count covers these"),
+            }
+        }
+        // A `branch` whose taken and untaken paths coincide (target ==
+        // fallthrough) dedupes to one successor and stays linear.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_isa::{BranchCond, Reg};
+
+    fn branch(target: u32) -> Instruction {
+        Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+            target,
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_empty_graph() {
+        let cfg = Cfg::build(&[]);
+        assert!(cfg.blocks.is_empty());
+        assert_eq!(cfg.linear_trace(), Some(vec![]));
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let instrs = vec![Instruction::Nop, Instruction::Nop, Instruction::Halt];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].start, 0);
+        assert_eq!(cfg.blocks[0].end, 3);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(!cfg.blocks[0].falls_off_end);
+        assert_eq!(cfg.linear_trace(), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn missing_halt_falls_off_end() {
+        let instrs = vec![Instruction::Nop, Instruction::Nop];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].falls_off_end);
+        assert_eq!(cfg.linear_trace(), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn branch_cuts_blocks_and_forks() {
+        // 0: beq -> 3 ; 1: nop ; 2: halt ; 3: halt
+        let instrs = vec![
+            branch(3),
+            Instruction::Nop,
+            Instruction::Halt,
+            Instruction::Halt,
+        ];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[0].succs, vec![2, 1]);
+        assert!(cfg.reachable.iter().all(|&r| r));
+        assert_eq!(cfg.linear_trace(), None);
+        assert_eq!(cfg.block_of(1), 1);
+        assert_eq!(cfg.block_of(3), 2);
+    }
+
+    #[test]
+    fn code_after_jump_is_unreachable() {
+        // 0: jump 2 ; 1: nop (dead) ; 2: halt
+        let instrs = vec![
+            Instruction::Jump { target: 2 },
+            Instruction::Nop,
+            Instruction::Halt,
+        ];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.reachable, vec![true, false, true]);
+        // Execution order is still statically known: 0 then 2.
+        assert_eq!(cfg.linear_trace(), Some(vec![0, 2]));
+    }
+
+    #[test]
+    fn self_loop_has_no_linear_trace() {
+        let instrs = vec![Instruction::Jump { target: 0 }];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].succs, vec![0]);
+        assert_eq!(cfg.linear_trace(), None);
+    }
+
+    #[test]
+    fn branch_to_fallthrough_stays_linear() {
+        // beq -> 1 has identical outcomes; the trace is deterministic.
+        let instrs = vec![branch(1), Instruction::Halt];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+        assert_eq!(cfg.linear_trace(), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn trailing_branch_off_end_is_a_fork() {
+        // A branch at the last pc whose untaken path runs off the end.
+        let instrs = vec![Instruction::Nop, branch(0)];
+        let cfg = Cfg::build(&instrs);
+        let last = cfg.blocks.last().unwrap();
+        assert!(last.falls_off_end);
+        assert_eq!(cfg.linear_trace(), None);
+    }
+
+    #[test]
+    fn every_pc_in_exactly_one_block() {
+        let instrs = vec![
+            branch(4),
+            Instruction::Nop,
+            Instruction::Jump { target: 1 },
+            Instruction::Halt,
+            Instruction::Nop,
+            Instruction::Halt,
+        ];
+        let cfg = Cfg::build(&instrs);
+        let mut seen = vec![0u32; instrs.len()];
+        for blk in &cfg.blocks {
+            for pc in blk.start..blk.end {
+                seen[pc as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+}

@@ -1,0 +1,913 @@
+//! Intra-core register dataflow: definite assignment (def-before-use),
+//! liveness (dead writes), and a conservative interval analysis over the
+//! scalar registers that flags statically-provable out-of-bounds memory
+//! operands.
+//!
+//! All three passes are classic worklist fixpoints over the reachable
+//! part of the [`Cfg`]. Soundness direction: the interval of a register
+//! over-approximates the values it can hold at runtime (the entry state
+//! is `[0, 0]` everywhere — the machine powers on with a zeroed register
+//! file), so an access is reported as out of bounds only when *every*
+//! value in the interval faults. Arithmetic mirrors the machine exactly
+//! (`wrapping_*`, shift counts masked to 5 bits) when operands are
+//! single-valued, and widens to the full `i32` range whenever a result
+//! could wrap.
+
+use pimsim_isa::{Instruction, Reg, SBinOp, SImmOp};
+
+use crate::cfg::Cfg;
+use crate::diag::{DiagKind, Diagnostic};
+
+/// Memory capacities the out-of-bounds check runs against.
+#[derive(Debug, Clone, Copy)]
+pub struct MemLimits {
+    /// Local scratchpad capacity, 32-bit elements.
+    pub local_elems: u32,
+    /// Global memory capacity, 32-bit elements.
+    pub global_elems: u64,
+}
+
+// ---------------------------------------------------------------- intervals
+
+/// An inclusive value interval `[lo, hi]` in `i64` (always within `i32`
+/// range; `i64` keeps the arithmetic overflow-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+const TOP: Interval = Interval {
+    lo: i32::MIN as i64,
+    hi: i32::MAX as i64,
+};
+
+impl Interval {
+    fn exact(v: i32) -> Interval {
+        Interval {
+            lo: v as i64,
+            hi: v as i64,
+        }
+    }
+
+    fn single(self) -> Option<i32> {
+        (self.lo == self.hi).then_some(self.lo as i32)
+    }
+
+    /// Union hull of two intervals.
+    fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Clamps to `i32` range, widening to [`TOP`] when the bounds could
+    /// only have been produced by a wrap.
+    fn fit(lo: i64, hi: i64) -> Interval {
+        if lo < i32::MIN as i64 || hi > i32::MAX as i64 {
+            TOP
+        } else {
+            Interval { lo, hi }
+        }
+    }
+}
+
+type Regs = [Interval; 32];
+
+/// Evaluates one scalar instruction over the interval state, mirroring
+/// `exec_scalar` in the simulator's frontend.
+fn eval(instr: &Instruction, regs: &mut Regs) {
+    let get = |regs: &Regs, r: Reg| regs[r.index() as usize];
+    let set = |regs: &mut Regs, r: Reg, v: Interval| {
+        if !r.is_zero() {
+            regs[r.index() as usize] = v;
+        }
+    };
+    match instr {
+        Instruction::SBin { op, rd, rs1, rs2 } => {
+            let a = get(regs, *rs1);
+            let b = get(regs, *rs2);
+            let v = match (a.single(), b.single()) {
+                // Both single-valued: fold exactly with machine semantics.
+                (Some(x), Some(y)) => Interval::exact(match op {
+                    SBinOp::Add => x.wrapping_add(y),
+                    SBinOp::Sub => x.wrapping_sub(y),
+                    SBinOp::Mul => x.wrapping_mul(y),
+                    SBinOp::And => x & y,
+                    SBinOp::Or => x | y,
+                    SBinOp::Xor => x ^ y,
+                    SBinOp::Slt => (x < y) as i32,
+                    SBinOp::Sll => ((x as u32) << (y as u32 & 31)) as i32,
+                    SBinOp::Srl => ((x as u32) >> (y as u32 & 31)) as i32,
+                }),
+                _ => match op {
+                    SBinOp::Add => Interval::fit(a.lo + b.lo, a.hi + b.hi),
+                    SBinOp::Sub => Interval::fit(a.lo - b.hi, a.hi - b.lo),
+                    SBinOp::Mul => {
+                        let c = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+                        Interval::fit(
+                            c.iter().copied().min().expect("nonempty"),
+                            c.iter().copied().max().expect("nonempty"),
+                        )
+                    }
+                    SBinOp::Slt => Interval { lo: 0, hi: 1 },
+                    SBinOp::And | SBinOp::Or | SBinOp::Xor | SBinOp::Sll | SBinOp::Srl => TOP,
+                },
+            };
+            set(regs, *rd, v);
+        }
+        Instruction::SImm { op, rd, rs1, imm } => {
+            let a = get(regs, *rs1);
+            let v = match a.single() {
+                Some(x) => Interval::exact(match op {
+                    SImmOp::Add => x.wrapping_add(*imm),
+                    SImmOp::Mul => x.wrapping_mul(*imm),
+                    SImmOp::Sll => ((x as u32) << (*imm as u32 & 31)) as i32,
+                    SImmOp::Srl => ((x as u32) >> (*imm as u32 & 31)) as i32,
+                    SImmOp::And => x & *imm,
+                    SImmOp::Or => x | *imm,
+                    SImmOp::Slt => (x < *imm) as i32,
+                }),
+                None => match op {
+                    SImmOp::Add => Interval::fit(a.lo + *imm as i64, a.hi + *imm as i64),
+                    SImmOp::Mul => {
+                        let c = [a.lo * *imm as i64, a.hi * *imm as i64];
+                        Interval::fit(c[0].min(c[1]), c[0].max(c[1]))
+                    }
+                    SImmOp::Slt => Interval { lo: 0, hi: 1 },
+                    SImmOp::Sll | SImmOp::Srl | SImmOp::And | SImmOp::Or => TOP,
+                },
+            };
+            set(regs, *rd, v);
+        }
+        // Memory-class and control instructions never write registers.
+        _ => {}
+    }
+}
+
+// ------------------------------------------------------------ the passes
+
+/// Runs every dataflow pass over one core and appends its diagnostics.
+pub fn check_core(
+    core: u16,
+    instrs: &[Instruction],
+    cfg: &Cfg,
+    limits: MemLimits,
+    out: &mut Vec<Diagnostic>,
+) {
+    if cfg.blocks.is_empty() {
+        return;
+    }
+    let preds = predecessors(cfg);
+    def_before_use(core, instrs, cfg, &preds, out);
+    dead_writes(core, instrs, cfg, out);
+    out_of_bounds(core, instrs, cfg, &preds, limits, out);
+}
+
+/// Predecessor lists, restricted to reachable blocks.
+fn predecessors(cfg: &Cfg) -> Vec<Vec<usize>> {
+    let mut preds = vec![Vec::new(); cfg.blocks.len()];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        for &s in &blk.succs {
+            preds[s].push(b);
+        }
+    }
+    preds
+}
+
+/// Forward definite-assignment: warn when a register can be read before
+/// any instruction writes it (it reads as `0`, the power-on value).
+fn def_before_use(
+    core: u16,
+    instrs: &[Instruction],
+    cfg: &Cfg,
+    preds: &[Vec<usize>],
+    out: &mut Vec<Diagnostic>,
+) {
+    const ALL: u32 = u32::MAX;
+    let nb = cfg.blocks.len();
+    // Bit r set = register r definitely assigned. r0 is always "assigned".
+    let mut inb = vec![ALL; nb];
+    inb[0] = 1;
+    let transfer = |blk: &crate::cfg::BasicBlock, mut mask: u32| {
+        for pc in blk.start..blk.end {
+            if let Some(rd) = instrs[pc as usize].def_reg() {
+                if !rd.is_zero() {
+                    mask |= 1 << rd.index();
+                }
+            }
+        }
+        mask
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            if !cfg.reachable[b] {
+                continue;
+            }
+            if b == 0 {
+                // The entry meets with the power-on state: nothing but r0
+                // is definitely assigned at pc 0 on the first entry, and
+                // intersection with any loop-back edge can't add to that.
+                continue;
+            }
+            // Meet (intersection) over predecessors' OUT sets.
+            let m = preds[b]
+                .iter()
+                .fold(ALL, |acc, &p| acc & transfer(&cfg.blocks[p], inb[p]));
+            if m != inb[b] {
+                inb[b] = m;
+                changed = true;
+            }
+        }
+    }
+    // Report pass.
+    for (b, entry) in inb.iter().enumerate().take(nb) {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut mask = *entry;
+        for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+            let instr = &instrs[pc as usize];
+            let mut uses = Vec::new();
+            instr.uses_regs(&mut uses);
+            uses.sort_unstable();
+            uses.dedup();
+            for r in uses {
+                if !r.is_zero() && mask & (1 << r.index()) == 0 {
+                    out.push(Diagnostic::at(
+                        DiagKind::DefBeforeUse,
+                        core,
+                        pc,
+                        instr,
+                        format!("{r} may be read before any write (reads as 0)"),
+                    ));
+                }
+            }
+            if let Some(rd) = instr.def_reg() {
+                if !rd.is_zero() {
+                    mask |= 1 << rd.index();
+                }
+            }
+        }
+    }
+}
+
+/// Backward liveness: warn about register writes no path can observe,
+/// including writes to the hardwired-zero register.
+fn dead_writes(core: u16, instrs: &[Instruction], cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let nb = cfg.blocks.len();
+    // Bit r set = register r live (read before next write on some path).
+    let mut live_in = vec![0u32; nb];
+    let transfer = |blk: &crate::cfg::BasicBlock, live_out: u32| {
+        let mut live = live_out;
+        for pc in (blk.start..blk.end).rev() {
+            let instr = &instrs[pc as usize];
+            if let Some(rd) = instr.def_reg() {
+                live &= !(1 << rd.index());
+            }
+            let mut uses = Vec::new();
+            instr.uses_regs(&mut uses);
+            for r in uses {
+                live |= 1 << r.index();
+            }
+        }
+        live
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            if !cfg.reachable[b] {
+                continue;
+            }
+            let live_out = cfg.blocks[b]
+                .succs
+                .iter()
+                .fold(0u32, |acc, &s| acc | live_in[s]);
+            let li = transfer(&cfg.blocks[b], live_out);
+            if li != live_in[b] {
+                live_in[b] = li;
+                changed = true;
+            }
+        }
+    }
+    // Report pass.
+    for b in 0..nb {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut live = cfg.blocks[b]
+            .succs
+            .iter()
+            .fold(0u32, |acc, &s| acc | live_in[s]);
+        // Walk backward so `live` is the live-after set at each pc.
+        let pcs: Vec<u32> = (cfg.blocks[b].start..cfg.blocks[b].end).collect();
+        for &pc in pcs.iter().rev() {
+            let instr = &instrs[pc as usize];
+            if let Some(rd) = instr.def_reg() {
+                if rd.is_zero() {
+                    out.push(Diagnostic::at(
+                        DiagKind::DeadWrite,
+                        core,
+                        pc,
+                        instr,
+                        "write to r0 is discarded (hardwired zero)".to_string(),
+                    ));
+                } else if live & (1 << rd.index()) == 0 {
+                    out.push(Diagnostic::at(
+                        DiagKind::DeadWrite,
+                        core,
+                        pc,
+                        instr,
+                        format!("value written to {rd} is never read"),
+                    ));
+                }
+                live &= !(1 << rd.index());
+            }
+            let mut uses = Vec::new();
+            instr.uses_regs(&mut uses);
+            for r in uses {
+                live |= 1 << r.index();
+            }
+        }
+    }
+    // The backward report walk emits per block in reverse pc order; the
+    // caller sorts all diagnostics, so order here doesn't matter.
+}
+
+/// Forward interval analysis + provable out-of-bounds memory operands.
+fn out_of_bounds(
+    core: u16,
+    instrs: &[Instruction],
+    cfg: &Cfg,
+    preds: &[Vec<usize>],
+    limits: MemLimits,
+    out: &mut Vec<Diagnostic>,
+) {
+    let nb = cfg.blocks.len();
+    let entry: Regs = [Interval::exact(0); 32];
+    let mut inb: Vec<Option<Regs>> = vec![None; nb]; // None = not yet seen
+    inb[0] = Some(entry);
+    let transfer = |blk: &crate::cfg::BasicBlock, mut regs: Regs| {
+        for pc in blk.start..blk.end {
+            eval(&instrs[pc as usize], &mut regs);
+        }
+        regs
+    };
+    // Round-robin to fixpoint with widening after a few sweeps: interval
+    // joins only ever grow, and widening snaps growing bounds to TOP, so
+    // this terminates quickly.
+    let mut sweeps = 0usize;
+    loop {
+        let mut changed = false;
+        sweeps += 1;
+        for b in 0..nb {
+            if !cfg.reachable[b] {
+                continue;
+            }
+            let mut joined: Option<Regs> = if b == 0 { Some(entry) } else { None };
+            for &p in &preds[b] {
+                let Some(pi) = inb[p] else { continue };
+                let po = transfer(&cfg.blocks[p], pi);
+                joined = Some(match joined {
+                    None => po,
+                    Some(mut j) => {
+                        for r in 0..32 {
+                            j[r] = j[r].join(po[r]);
+                        }
+                        j
+                    }
+                });
+            }
+            let Some(mut j) = joined else { continue };
+            if let Some(old) = inb[b] {
+                if sweeps > 3 {
+                    // Widen: any bound still moving goes straight to TOP.
+                    for r in 0..32 {
+                        if j[r] != old[r] {
+                            j[r] = TOP;
+                        }
+                    }
+                }
+                for r in 0..32 {
+                    j[r] = j[r].join(old[r]);
+                }
+                if j != old {
+                    inb[b] = Some(j);
+                    changed = true;
+                }
+            } else {
+                inb[b] = Some(j);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Report pass: evaluate each reachable block from its converged entry
+    // state and check memory operands.
+    for (b, entry) in inb.iter().enumerate().take(nb) {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let Some(mut regs) = *entry else { continue };
+        for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+            let instr = &instrs[pc as usize];
+            check_instr_bounds(core, pc, instr, &regs, limits, out);
+            eval(instr, &mut regs);
+        }
+    }
+}
+
+/// The effective-address interval of a memory operand: base register
+/// interval plus the static offset (the machine computes
+/// `max(reg + offset, 0)` in `i64`; clamping happens in the checks).
+fn eff(addr: pimsim_isa::Addr, regs: &Regs) -> Interval {
+    let base = regs[addr.base().index() as usize];
+    Interval {
+        lo: base.lo + addr.offset() as i64,
+        hi: base.hi + addr.offset() as i64,
+    }
+}
+
+/// Checks one access with relative span `[rel_lo, rel_hi)` around an
+/// effective base interval against a memory of `capacity` elements.
+/// Reports only when the access faults for *every* value in the interval.
+#[allow(clippy::too_many_arguments)]
+fn check_span(
+    core: u16,
+    pc: u32,
+    instr: &Instruction,
+    what: &str,
+    base: Interval,
+    rel_lo: i64,
+    rel_hi: i64,
+    capacity: i64,
+    out: &mut Vec<Diagnostic>,
+) {
+    if rel_hi <= rel_lo {
+        return; // empty access
+    }
+    if base.hi + rel_lo < 0 {
+        out.push(Diagnostic::at(
+            DiagKind::OutOfBounds,
+            core,
+            pc,
+            instr,
+            format!(
+                "{what} address is provably negative (lowest element at {})",
+                base.hi + rel_lo
+            ),
+        ));
+    } else if base.lo.max(-rel_lo) + rel_hi > capacity {
+        // Even the smallest possible base (after the machine's clamp to
+        // 0) reaches past the end.
+        out.push(Diagnostic::at(
+            DiagKind::OutOfBounds,
+            core,
+            pc,
+            instr,
+            format!(
+                "{what} access [{}, {}) provably exceeds {what} memory of {capacity} elements",
+                base.lo.max(-rel_lo) + rel_lo,
+                base.lo.max(-rel_lo) + rel_hi,
+            ),
+        ));
+    }
+}
+
+/// Bounds checks for the transfer-class operands the issue calls out:
+/// `recv`/`recv2d` destinations, and `gload`/`gstore` local + global
+/// operands.
+fn check_instr_bounds(
+    core: u16,
+    pc: u32,
+    instr: &Instruction,
+    regs: &Regs,
+    limits: MemLimits,
+    out: &mut Vec<Diagnostic>,
+) {
+    let local = limits.local_elems as i64;
+    let global = limits.global_elems.min(i64::MAX as u64) as i64;
+    match instr {
+        Instruction::Recv { dst, len, .. } => {
+            check_span(
+                core,
+                pc,
+                instr,
+                "local",
+                eff(*dst, regs),
+                0,
+                *len as i64,
+                local,
+                out,
+            );
+        }
+        Instruction::Recv2d {
+            dst,
+            block_len,
+            blocks,
+            dst_stride,
+            ..
+        } => {
+            if *blocks == 0 || *block_len == 0 {
+                return;
+            }
+            let reach = (*blocks as i64 - 1) * *dst_stride as i64;
+            let rel_lo = reach.min(0);
+            let rel_hi = reach.max(0) + *block_len as i64;
+            check_span(
+                core,
+                pc,
+                instr,
+                "local",
+                eff(*dst, regs),
+                rel_lo,
+                rel_hi,
+                local,
+                out,
+            );
+        }
+        Instruction::GLoad { dst, gaddr, len } => {
+            check_span(
+                core,
+                pc,
+                instr,
+                "local",
+                eff(*dst, regs),
+                0,
+                *len as i64,
+                local,
+                out,
+            );
+            check_span(
+                core,
+                pc,
+                instr,
+                "global",
+                eff(*gaddr, regs),
+                0,
+                *len as i64,
+                global,
+                out,
+            );
+        }
+        Instruction::GStore { gaddr, src, len } => {
+            check_span(
+                core,
+                pc,
+                instr,
+                "local",
+                eff(*src, regs),
+                0,
+                *len as i64,
+                local,
+                out,
+            );
+            check_span(
+                core,
+                pc,
+                instr,
+                "global",
+                eff(*gaddr, regs),
+                0,
+                *len as i64,
+                global,
+                out,
+            );
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_isa::{Addr, CoreId, Reg};
+
+    const LIMITS: MemLimits = MemLimits {
+        local_elems: 1024,
+        global_elems: 1 << 20,
+    };
+
+    fn addr(base: Reg, off: i32) -> Addr {
+        Addr::new(base, off).unwrap()
+    }
+
+    fn li(rd: Reg, v: i32) -> Instruction {
+        Instruction::SImm {
+            op: SImmOp::Add,
+            rd,
+            rs1: Reg::R0,
+            imm: v,
+        }
+    }
+
+    fn run(instrs: &[Instruction]) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(instrs);
+        let mut out = Vec::new();
+        check_core(0, instrs, &cfg, LIMITS, &mut out);
+        out
+    }
+
+    /// `(kind, pc)` pairs sorted by pc — `check_core` leaves the global
+    /// sort to the caller.
+    fn kinds(diags: &[Diagnostic]) -> Vec<(DiagKind, u32)> {
+        let mut v: Vec<(DiagKind, u32)> = diags.iter().map(|d| (d.kind, d.pc.unwrap())).collect();
+        v.sort_by_key(|&(_, pc)| pc);
+        v
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let instrs = vec![
+            li(Reg::R1, 64),
+            Instruction::Recv {
+                peer: CoreId(1),
+                dst: addr(Reg::R1, 0),
+                len: 32,
+                tag: 1,
+            },
+            Instruction::Send {
+                peer: CoreId(1),
+                src: addr(Reg::R1, 0),
+                len: 32,
+                tag: 2,
+            },
+            Instruction::Halt,
+        ];
+        assert_eq!(run(&instrs), vec![]);
+    }
+
+    #[test]
+    fn def_before_use_flagged_once_per_site() {
+        // r5 is never written; the recv base reads as 0.
+        let instrs = vec![
+            Instruction::Recv {
+                peer: CoreId(1),
+                dst: addr(Reg::R5, 0),
+                len: 8,
+                tag: 1,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&instrs);
+        assert_eq!(kinds(&diags), vec![(DiagKind::DefBeforeUse, 0)]);
+        assert!(diags[0].message.contains("r5"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn def_on_every_path_suppresses_warning() {
+        // 0: beq->2 ; 1: li r1 ; 2: li r1 ... both paths write r1? No —
+        // path 0->2 skips pc 1. Write on one path only: still a warning.
+        let instrs = vec![
+            Instruction::Branch {
+                cond: pimsim_isa::BranchCond::Eq,
+                rs1: Reg::R0,
+                rs2: Reg::R0,
+                target: 2,
+            },
+            li(Reg::R1, 4),
+            Instruction::Send {
+                peer: CoreId(1),
+                src: addr(Reg::R1, 0),
+                len: 4,
+                tag: 1,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&instrs);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == DiagKind::DefBeforeUse && d.pc == Some(2)),
+            "{diags:?}"
+        );
+        // Writing before the branch on the shared prefix clears it.
+        let instrs2 = vec![
+            li(Reg::R1, 4),
+            Instruction::Branch {
+                cond: pimsim_isa::BranchCond::Eq,
+                rs1: Reg::R0,
+                rs2: Reg::R0,
+                target: 3,
+            },
+            Instruction::Nop,
+            Instruction::Send {
+                peer: CoreId(1),
+                src: addr(Reg::R1, 0),
+                len: 4,
+                tag: 1,
+            },
+            Instruction::Halt,
+        ];
+        assert!(
+            run(&instrs2)
+                .iter()
+                .all(|d| d.kind != DiagKind::DefBeforeUse),
+            "{:?}",
+            run(&instrs2)
+        );
+    }
+
+    #[test]
+    fn dead_write_flagged() {
+        let instrs = vec![li(Reg::R1, 4), li(Reg::R1, 8), Instruction::Halt];
+        let diags = run(&instrs);
+        // pc 0's value is overwritten unread; pc 1's is never read.
+        assert_eq!(
+            kinds(&diags),
+            vec![(DiagKind::DeadWrite, 0), (DiagKind::DeadWrite, 1)]
+        );
+    }
+
+    #[test]
+    fn write_to_r0_is_dead() {
+        let instrs = vec![li(Reg::R0, 4), Instruction::Halt];
+        let diags = run(&instrs);
+        assert_eq!(kinds(&diags), vec![(DiagKind::DeadWrite, 0)]);
+        assert!(
+            diags[0].message.contains("hardwired"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn live_through_loop_is_not_dead() {
+        // r1 counts down a loop: written at 0, read+written at 1, read by
+        // the branch at 2.
+        let instrs = vec![
+            li(Reg::R1, 4),
+            Instruction::SImm {
+                op: SImmOp::Add,
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                imm: -1,
+            },
+            Instruction::Branch {
+                cond: pimsim_isa::BranchCond::Ne,
+                rs1: Reg::R1,
+                rs2: Reg::R0,
+                target: 1,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&instrs);
+        assert!(
+            diags.iter().all(|d| d.kind != DiagKind::DeadWrite),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn provable_oob_recv_flagged() {
+        let instrs = vec![
+            li(Reg::R1, 1020),
+            Instruction::Recv {
+                peer: CoreId(1),
+                dst: addr(Reg::R1, 0),
+                len: 8,
+                tag: 1,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&instrs);
+        assert_eq!(kinds(&diags), vec![(DiagKind::OutOfBounds, 1)]);
+        assert!(
+            diags[0].message.contains("[1020, 1028)"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn unknown_base_is_not_flagged() {
+        // r1's value depends on a branch: [0, 1020] hull — some values in
+        // bounds, so nothing is provable.
+        let instrs = vec![
+            Instruction::Branch {
+                cond: pimsim_isa::BranchCond::Eq,
+                rs1: Reg::R0,
+                rs2: Reg::R0,
+                target: 2,
+            },
+            li(Reg::R1, 1020),
+            Instruction::Recv {
+                peer: CoreId(1),
+                dst: addr(Reg::R1, 0),
+                len: 8,
+                tag: 1,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&instrs);
+        assert!(
+            diags.iter().all(|d| d.kind != DiagKind::OutOfBounds),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn negative_address_flagged() {
+        let instrs = vec![
+            li(Reg::R1, -100),
+            Instruction::GLoad {
+                dst: addr(Reg::R1, 0),
+                gaddr: addr(Reg::R0, 0),
+                len: 4,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&instrs);
+        assert_eq!(kinds(&diags), vec![(DiagKind::OutOfBounds, 1)]);
+        assert!(
+            diags[0].message.contains("negative"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn strided_recv2d_span_checked() {
+        // 2 blocks of 4, stride 1020: reaches [0, 1024) from base 0 — ok;
+        // from base 8 the last block ends at 1032 — provably out.
+        let ok = vec![
+            Instruction::Recv2d {
+                peer: CoreId(1),
+                dst: addr(Reg::R0, 0),
+                block_len: 4,
+                blocks: 2,
+                dst_stride: 1020,
+                tag: 1,
+            },
+            Instruction::Halt,
+        ];
+        assert!(run(&ok).iter().all(|d| d.kind != DiagKind::OutOfBounds));
+        let bad = vec![
+            Instruction::Recv2d {
+                peer: CoreId(1),
+                dst: addr(Reg::R0, 8),
+                block_len: 4,
+                blocks: 2,
+                dst_stride: 1020,
+                tag: 1,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&bad);
+        assert_eq!(kinds(&diags), vec![(DiagKind::OutOfBounds, 0)]);
+    }
+
+    #[test]
+    fn gstore_global_bounds_checked() {
+        let instrs = vec![
+            li(Reg::R1, 1 << 20),
+            Instruction::GStore {
+                gaddr: addr(Reg::R1, 0),
+                src: addr(Reg::R0, 0),
+                len: 4,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&instrs);
+        assert_eq!(kinds(&diags), vec![(DiagKind::OutOfBounds, 1)]);
+        assert!(diags[0].message.contains("global"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn wrapping_add_widens_not_misjudges() {
+        // r1 = i32::MAX, r1 = r1 + 1 wraps to MIN at runtime; the exact
+        // fold mirrors that, so the access is provably negative.
+        let instrs = vec![
+            li(Reg::R1, i32::MAX),
+            Instruction::SImm {
+                op: SImmOp::Add,
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                imm: 1,
+            },
+            Instruction::Recv {
+                peer: CoreId(1),
+                dst: addr(Reg::R1, 0),
+                len: 4,
+                tag: 1,
+            },
+            Instruction::Halt,
+        ];
+        let diags = run(&instrs);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == DiagKind::OutOfBounds && d.message.contains("negative")),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,667 @@
+//! Cross-core rendezvous analysis: matches `send`/`recv` sites by
+//! `(sender, receiver, tag)` channel, reports transfers that can never
+//! complete, and — for programs whose per-core execution order is
+//! statically determined — runs a zero-latency abstract execution of the
+//! transfer fabric to prove (or refute) that every transfer drains.
+//!
+//! Soundness direction: the abstract fabric is *maximally permissive* —
+//! messages cross the mesh instantly, every enabled transfer eventually
+//! fires, and the only constraints kept are the real machine's own
+//! structural ones (per-core in-order single-occupancy transfer issue,
+//! per-channel FIFO delivery, round-robin virtual-channel assignment with
+//! `channel_credits` credits per VC). Every real execution's transfer
+//! order is a refinement of some abstract one, and enabled moves here are
+//! *persistent* (each channel has one sender core and one receiver core,
+//! so only the cursor that would take a move can consume its enabling
+//! resources). If even this most-permissive schedule wedges, every real
+//! schedule wedges: a reported [`DiagKind::DeadlockCycle`] is a
+//! guaranteed runtime deadlock, not a maybe.
+
+use std::collections::BTreeMap;
+
+use pimsim_isa::{Instruction, Program};
+use serde::{Deserialize, Serialize};
+
+use crate::cfg::Cfg;
+use crate::diag::{DiagKind, Diagnostic};
+
+/// One provably-matched transfer: the `k`-th send on a channel paired
+/// with the `k`-th recv. With both endpoint cores linear this pairing is
+/// exactly the runtime's (per-channel FIFO delivery, in-order issue).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RendezvousPair {
+    /// Sending core id.
+    pub sender: u16,
+    /// The `send` site's instruction index.
+    pub send_pc: u32,
+    /// Receiving core id.
+    pub receiver: u16,
+    /// The `recv`/`recv2d` site's instruction index.
+    pub recv_pc: u32,
+    /// Channel tag.
+    pub tag: u16,
+    /// Payload length, elements (equal on both sides by construction).
+    pub elems: u32,
+}
+
+/// The analyzer's public rendezvous artifact: every provably-matched
+/// send/recv pair, and whether the matching is *complete* — all transfer
+/// sites paired, every core's order statically known, and the abstract
+/// execution drained. A complete map is what lets a compiled engine fuse
+/// regions across transfer boundaries; an incomplete map is still useful
+/// as a partial cross-reference.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RendezvousMap {
+    /// Matched pairs, sorted by `(sender, send_pc)`.
+    pub pairs: Vec<RendezvousPair>,
+    /// `true` when every transfer site in the program is in `pairs` and
+    /// the abstract execution proved the program drains.
+    pub complete: bool,
+}
+
+/// A channel's send sites and recv sites, in program order.
+type ChannelSites = (Vec<Site>, Vec<Site>);
+
+/// One transfer site, in a core's statically-known execution order.
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    pc: u32,
+    /// `true` for `send`, `false` for `recv`/`recv2d`.
+    is_send: bool,
+    /// Channel key `(sender, receiver, tag)`.
+    key: (u16, u16, u16),
+    /// Payload elements: `len` for send/recv, `block_len * blocks` for
+    /// `recv2d` (the length the runtime's payload check compares).
+    elems: u32,
+}
+
+fn site_of(core: u16, pc: u32, instr: &Instruction) -> Option<Site> {
+    match instr {
+        Instruction::Send { peer, len, tag, .. } => Some(Site {
+            pc,
+            is_send: true,
+            key: (core, peer.0, *tag),
+            elems: *len,
+        }),
+        Instruction::Recv { peer, len, tag, .. } => Some(Site {
+            pc,
+            is_send: false,
+            key: (peer.0, core, *tag),
+            elems: *len,
+        }),
+        Instruction::Recv2d {
+            peer,
+            block_len,
+            blocks,
+            tag,
+            ..
+        } => Some(Site {
+            pc,
+            is_send: false,
+            key: (peer.0, core, *tag),
+            elems: block_len * blocks,
+        }),
+        _ => None,
+    }
+}
+
+fn channel_name(key: (u16, u16, u16)) -> String {
+    format!("channel core{}\u{2192}core{} tag={}", key.0, key.1, key.2)
+}
+
+/// Runs the rendezvous analysis. `cfgs` parallels `program.cores`.
+/// Returns the diagnostics plus the [`RendezvousMap`] artifact.
+pub fn check(
+    program: &Program,
+    cfgs: &[Cfg],
+    credits: u32,
+    vcs: u32,
+) -> (Vec<Diagnostic>, RendezvousMap) {
+    let mut diags = Vec::new();
+
+    // Per-core transfer sites in execution order (linear cores) or in
+    // program order over reachable pcs (conservative fallback).
+    let mut traces: Vec<Option<Vec<Site>>> = Vec::new(); // None = not linear
+    let mut all_sites: Vec<Vec<Site>> = Vec::new();
+    for (c, (cp, cfg)) in program.cores.iter().zip(cfgs).enumerate() {
+        let c16 = c as u16;
+        match cfg.linear_trace() {
+            Some(pcs) => {
+                let sites: Vec<Site> = pcs
+                    .iter()
+                    .filter_map(|&pc| site_of(c16, pc, &cp.instrs[pc as usize]))
+                    .collect();
+                all_sites.push(sites.clone());
+                traces.push(Some(sites));
+            }
+            None => {
+                let sites: Vec<Site> = (0..cp.instrs.len() as u32)
+                    .filter(|&pc| cfg.pc_reachable(pc))
+                    .filter_map(|pc| site_of(c16, pc, &cp.instrs[pc as usize]))
+                    .collect();
+                all_sites.push(sites);
+                traces.push(None);
+            }
+        }
+    }
+    let all_linear = traces.iter().all(Option::is_some);
+
+    // Group sites by channel.
+    let mut channels: BTreeMap<(u16, u16, u16), ChannelSites> = BTreeMap::new();
+    for sites in &all_sites {
+        for &s in sites {
+            let entry = channels.entry(s.key).or_default();
+            if s.is_send {
+                entry.0.push(s);
+            } else {
+                entry.1.push(s);
+            }
+        }
+    }
+
+    // One-sided channels: those transfers can never complete, on any
+    // execution that reaches them, regardless of control flow elsewhere.
+    for (&key, (sends, recvs)) in &channels {
+        if recvs.is_empty() {
+            for s in sends {
+                diags.push(Diagnostic::at(
+                    DiagKind::UnmatchedRendezvous,
+                    key.0,
+                    s.pc,
+                    &program.cores[key.0 as usize].instrs[s.pc as usize],
+                    format!(
+                        "no recv anywhere in core{}'s program for {}",
+                        key.1,
+                        channel_name(key)
+                    ),
+                ));
+            }
+        }
+        if sends.is_empty() {
+            for r in recvs {
+                diags.push(Diagnostic::at(
+                    DiagKind::UnmatchedRendezvous,
+                    key.1,
+                    r.pc,
+                    &program.cores[key.1 as usize].instrs[r.pc as usize],
+                    format!(
+                        "no send anywhere in core{}'s program for {}",
+                        key.0,
+                        channel_name(key)
+                    ),
+                ));
+            }
+        }
+    }
+
+    // In-order pairing. Precise only when both endpoint cores execute a
+    // statically-known sequence; a pair from two linear cores is exact
+    // even if some third core is not linear.
+    let mut pairs = Vec::new();
+    let mut all_paired = true;
+    for (&key, (sends, recvs)) in &channels {
+        if sends.is_empty() || recvs.is_empty() {
+            all_paired = false;
+            continue;
+        }
+        let endpoints_linear = traces[key.0 as usize].is_some() && traces[key.1 as usize].is_some();
+        if !endpoints_linear {
+            all_paired = false;
+            continue;
+        }
+        if sends.len() != recvs.len() {
+            all_paired = false;
+            // FIFO delivery: the first min(m, n) pairs match; the trailing
+            // excess on the longer side can never complete.
+            let m = sends.len().min(recvs.len());
+            for s in &sends[m..] {
+                diags.push(Diagnostic::at(
+                    DiagKind::UnmatchedRendezvous,
+                    key.0,
+                    s.pc,
+                    &program.cores[key.0 as usize].instrs[s.pc as usize],
+                    format!(
+                        "{} has {} sends but only {} recvs: this send's message is never consumed",
+                        channel_name(key),
+                        sends.len(),
+                        recvs.len()
+                    ),
+                ));
+            }
+            for r in &recvs[m..] {
+                diags.push(Diagnostic::at(
+                    DiagKind::UnmatchedRendezvous,
+                    key.1,
+                    r.pc,
+                    &program.cores[key.1 as usize].instrs[r.pc as usize],
+                    format!(
+                        "{} has {} recvs but only {} sends: this recv waits forever",
+                        channel_name(key),
+                        recvs.len(),
+                        sends.len()
+                    ),
+                ));
+            }
+        }
+        for (s, r) in sends.iter().zip(recvs.iter()) {
+            if s.elems != r.elems {
+                all_paired = false;
+                diags.push(Diagnostic::at(
+                    DiagKind::PayloadMismatch,
+                    key.1,
+                    r.pc,
+                    &program.cores[key.1 as usize].instrs[r.pc as usize],
+                    format!(
+                        "recv expects {} elements but the matching send (core{} pc={}) carries {} ({})",
+                        r.elems,
+                        key.0,
+                        s.pc,
+                        s.elems,
+                        channel_name(key)
+                    ),
+                ));
+            } else {
+                pairs.push(RendezvousPair {
+                    sender: key.0,
+                    send_pc: s.pc,
+                    receiver: key.1,
+                    recv_pc: r.pc,
+                    tag: key.2,
+                    elems: s.elems,
+                });
+            }
+        }
+    }
+    pairs.sort_by_key(|p| (p.sender, p.send_pc));
+
+    // Abstract execution: only meaningful when every core's transfer
+    // order is known and every site paired up.
+    let mut drained = false;
+    if all_linear && all_paired && diags.is_empty() {
+        drained = abstract_exec(program, &traces, credits, vcs, &mut diags);
+    }
+
+    let map = RendezvousMap {
+        pairs,
+        complete: all_linear && all_paired && drained && diags.is_empty(),
+    };
+    (diags, map)
+}
+
+/// State of one channel in the abstract fabric.
+#[derive(Debug)]
+struct AbstractChannel {
+    /// Messages deposited but not consumed, in order, each tagged with
+    /// the VC whose credit it holds.
+    queue: std::collections::VecDeque<u32>,
+    /// Credits in use per VC.
+    vc_used: Vec<u32>,
+    /// Round-robin cursor for the next send's VC assignment.
+    next_vc: u32,
+}
+
+/// Zero-latency most-permissive execution of the transfer fabric.
+/// Returns `true` if every core's transfer sequence drains; on a wedge,
+/// appends one [`DiagKind::DeadlockCycle`] diagnostic per stuck core.
+fn abstract_exec(
+    program: &Program,
+    traces: &[Option<Vec<Site>>],
+    credits: u32,
+    vcs: u32,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let seqs: Vec<&[Site]> = traces
+        .iter()
+        .map(|t| t.as_deref().expect("caller checked all cores linear"))
+        .collect();
+    let mut cursor = vec![0usize; seqs.len()];
+    let mut chans: BTreeMap<(u16, u16, u16), AbstractChannel> = BTreeMap::new();
+    fn chan(
+        chans: &mut BTreeMap<(u16, u16, u16), AbstractChannel>,
+        key: (u16, u16, u16),
+        vcs: u32,
+    ) -> &mut AbstractChannel {
+        chans.entry(key).or_insert_with(|| AbstractChannel {
+            queue: std::collections::VecDeque::new(),
+            vc_used: vec![0; vcs as usize],
+            next_vc: 0,
+        })
+    }
+    // Greedy fixpoint. Enabled moves are persistent (single producer and
+    // single consumer per channel), so the visit order can't mask a
+    // drain: if the loop wedges, no order drains.
+    loop {
+        let mut progressed = false;
+        for c in 0..seqs.len() {
+            while let Some(&site) = seqs[c].get(cursor[c]) {
+                let ch = chan(&mut chans, site.key, vcs);
+                if site.is_send {
+                    // The VC is assigned round-robin at issue and the send
+                    // waits on that VC's credit pool, like the runtime.
+                    let vc = ch.next_vc as usize;
+                    if ch.vc_used[vc] >= credits {
+                        break;
+                    }
+                    ch.next_vc = (ch.next_vc + 1) % vcs;
+                    ch.vc_used[vc] += 1;
+                    ch.queue.push_back(vc as u32);
+                } else {
+                    let Some(vc) = ch.queue.pop_front() else {
+                        break;
+                    };
+                    ch.vc_used[vc as usize] -= 1;
+                }
+                cursor[c] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let stuck: Vec<usize> = (0..seqs.len())
+        .filter(|&c| cursor[c] < seqs[c].len())
+        .collect();
+    if stuck.is_empty() {
+        return true;
+    }
+
+    // Each stuck core waits on exactly one other core: a blocked recv
+    // waits for its sender, a credit-starved send waits for its receiver
+    // to drain the channel. With every site paired, that peer is itself
+    // stuck, so following the edges always closes a cycle.
+    let waits_on = |c: usize| -> (Site, u16) {
+        let site = seqs[c][cursor[c]];
+        let peer = if site.is_send { site.key.1 } else { site.key.0 };
+        (site, peer)
+    };
+    for &c in &stuck {
+        let (site, peer) = waits_on(c);
+        // Trace the wait-for chain from this core until it repeats.
+        let mut chain = vec![c as u16];
+        let mut cur = peer;
+        while !chain.contains(&cur) {
+            chain.push(cur);
+            if cursor[cur as usize] >= seqs[cur as usize].len() {
+                break; // finished core: chain ends, shouldn't happen when paired
+            }
+            cur = waits_on(cur as usize).1;
+        }
+        chain.push(cur);
+        let cycle: Vec<String> = chain.iter().map(|&x| format!("core{x}")).collect();
+        let what = if site.is_send {
+            format!(
+                "send is out of credits on {} ({} credits/VC) and core{} never drains it",
+                channel_name(site.key),
+                credits,
+                peer
+            )
+        } else {
+            format!(
+                "recv waits for a message on {} that core{} never gets to send",
+                channel_name(site.key),
+                peer
+            )
+        };
+        diags.push(Diagnostic::at(
+            DiagKind::DeadlockCycle,
+            c as u16,
+            site.pc,
+            &program.cores[c].instrs[site.pc as usize],
+            format!(
+                "static deadlock: {what}; wait-for cycle {}",
+                cycle.join(" \u{2192} ")
+            ),
+        ));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_isa::{Addr, CoreId, Reg};
+
+    fn addr() -> Addr {
+        Addr::new(Reg::R0, 0).unwrap()
+    }
+
+    fn send(peer: u16, len: u32, tag: u16) -> Instruction {
+        Instruction::Send {
+            peer: CoreId(peer),
+            src: addr(),
+            len,
+            tag,
+        }
+    }
+
+    fn recv(peer: u16, len: u32, tag: u16) -> Instruction {
+        Instruction::Recv {
+            peer: CoreId(peer),
+            dst: addr(),
+            len,
+            tag,
+        }
+    }
+
+    fn program(cores: Vec<Vec<Instruction>>) -> Program {
+        let mut p = Program::with_cores(cores.len());
+        for (i, instrs) in cores.into_iter().enumerate() {
+            p.cores[i].instrs = instrs;
+        }
+        p
+    }
+
+    fn run(p: &Program) -> (Vec<Diagnostic>, RendezvousMap) {
+        let cfgs: Vec<Cfg> = p.cores.iter().map(|c| Cfg::build(&c.instrs)).collect();
+        check(p, &cfgs, 2, 1)
+    }
+
+    #[test]
+    fn matched_pair_is_clean_and_mapped() {
+        let p = program(vec![
+            vec![send(1, 64, 5), Instruction::Halt],
+            vec![recv(0, 64, 5), Instruction::Halt],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags, vec![]);
+        assert!(map.complete);
+        assert_eq!(
+            map.pairs,
+            vec![RendezvousPair {
+                sender: 0,
+                send_pc: 0,
+                receiver: 1,
+                recv_pc: 0,
+                tag: 5,
+                elems: 64,
+            }]
+        );
+    }
+
+    #[test]
+    fn missing_recv_is_unmatched() {
+        let p = program(vec![
+            vec![send(1, 64, 5), Instruction::Halt],
+            vec![Instruction::Halt],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagKind::UnmatchedRendezvous);
+        assert_eq!((diags[0].core, diags[0].pc), (0, Some(0)));
+        assert!(!map.complete);
+    }
+
+    #[test]
+    fn missing_send_is_unmatched_at_recv() {
+        let p = program(vec![
+            vec![Instruction::Halt],
+            vec![recv(0, 64, 5), Instruction::Halt],
+        ]);
+        let (diags, _) = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagKind::UnmatchedRendezvous);
+        assert_eq!((diags[0].core, diags[0].pc), (1, Some(0)));
+    }
+
+    #[test]
+    fn count_mismatch_flags_trailing_excess() {
+        let p = program(vec![
+            vec![send(1, 8, 1), send(1, 8, 1), Instruction::Halt],
+            vec![recv(0, 8, 1), Instruction::Halt],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagKind::UnmatchedRendezvous);
+        assert_eq!((diags[0].core, diags[0].pc), (0, Some(1)));
+        // The first send still pairs.
+        assert_eq!(map.pairs.len(), 1);
+        assert!(!map.complete);
+    }
+
+    #[test]
+    fn payload_mismatch_flagged_at_recv() {
+        let p = program(vec![
+            vec![send(1, 64, 5), Instruction::Halt],
+            vec![recv(0, 32, 5), Instruction::Halt],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagKind::PayloadMismatch);
+        assert_eq!((diags[0].core, diags[0].pc), (1, Some(0)));
+        assert!(map.pairs.is_empty());
+        assert!(!map.complete);
+    }
+
+    #[test]
+    fn crossed_recv_send_is_a_static_deadlock() {
+        // Both cores recv first: the classic cross.
+        let p = program(vec![
+            vec![recv(1, 8, 1), send(1, 8, 2), Instruction::Halt],
+            vec![recv(0, 8, 2), send(0, 8, 1), Instruction::Halt],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.kind == DiagKind::DeadlockCycle));
+        assert_eq!((diags[0].core, diags[0].pc), (0, Some(0)));
+        assert_eq!((diags[1].core, diags[1].pc), (1, Some(0)));
+        assert!(
+            diags[0]
+                .message
+                .contains("core0 \u{2192} core1 \u{2192} core0"),
+            "{}",
+            diags[0].message
+        );
+        assert!(!map.complete);
+    }
+
+    #[test]
+    fn credit_exhaustion_deadlocks() {
+        // core0 issues 3 sends on one channel (2 credits, 1 VC) before
+        // anything else; core1 first waits for a message core0 can only
+        // send after its third send — which is credit-blocked until core1
+        // recvs. Wedge.
+        let p = program(vec![
+            vec![
+                send(1, 8, 1),
+                send(1, 8, 1),
+                send(1, 8, 1),
+                send(1, 8, 9),
+                Instruction::Halt,
+            ],
+            vec![
+                recv(0, 8, 9),
+                recv(0, 8, 1),
+                recv(0, 8, 1),
+                recv(0, 8, 1),
+                Instruction::Halt,
+            ],
+        ]);
+        let (diags, map) = run(&p);
+        assert!(
+            diags.iter().any(|d| d.kind == DiagKind::DeadlockCycle),
+            "{diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.message.contains("out of credits"),));
+        assert!(!map.complete);
+    }
+
+    #[test]
+    fn buffered_sends_within_credits_drain() {
+        // Two sends queue up (2 credits) before the peer recvs: fine.
+        let p = program(vec![
+            vec![
+                send(1, 8, 1),
+                send(1, 8, 1),
+                recv(1, 8, 2),
+                Instruction::Halt,
+            ],
+            vec![
+                send(0, 8, 2),
+                recv(0, 8, 1),
+                recv(0, 8, 1),
+                Instruction::Halt,
+            ],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags, vec![]);
+        assert!(map.complete);
+        assert_eq!(map.pairs.len(), 3);
+    }
+
+    #[test]
+    fn non_linear_core_disables_completeness_but_keeps_zero_side_checks() {
+        // core0 loops; its send count is unknowable, but core1's recv on
+        // a channel with no send at all is still an error.
+        let p = program(vec![
+            vec![send(1, 8, 1), Instruction::Jump { target: 0 }],
+            vec![recv(0, 8, 1), recv(0, 8, 7), Instruction::Halt],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].kind, DiagKind::UnmatchedRendezvous);
+        assert_eq!((diags[0].core, diags[0].pc), (1, Some(1)));
+        assert!(!map.complete);
+        assert!(map.pairs.is_empty());
+    }
+
+    #[test]
+    fn recv2d_len_is_block_times_blocks() {
+        let p = program(vec![
+            vec![send(1, 24, 5), Instruction::Halt],
+            vec![
+                Instruction::Recv2d {
+                    peer: CoreId(0),
+                    dst: addr(),
+                    block_len: 8,
+                    blocks: 3,
+                    dst_stride: 16,
+                    tag: 5,
+                },
+                Instruction::Halt,
+            ],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags, vec![]);
+        assert!(map.complete);
+        assert_eq!(map.pairs[0].elems, 24);
+    }
+
+    #[test]
+    fn many_channels_many_pairs_sorted() {
+        let p = program(vec![
+            vec![send(1, 8, 2), send(2, 8, 1), Instruction::Halt],
+            vec![recv(0, 8, 2), send(2, 8, 1), Instruction::Halt],
+            vec![recv(0, 8, 1), recv(1, 8, 1), Instruction::Halt],
+        ]);
+        let (diags, map) = run(&p);
+        assert_eq!(diags, vec![]);
+        assert!(map.complete);
+        let keys: Vec<(u16, u32)> = map.pairs.iter().map(|p| (p.sender, p.send_pc)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(map.pairs.len(), 3);
+    }
+}

@@ -1,0 +1,219 @@
+//! Regression corpus of deliberately broken assembly: one fixture per
+//! diagnostic kind, each pinned to the exact core and pc the analyzer
+//! must report. These are the canonical examples of each defect class —
+//! if a refactor moves a diagnostic to a different site or stops it
+//! firing, this file is what fails.
+
+use pimsim_analyze::{analyze, Analysis, DiagKind};
+use pimsim_arch::ArchConfig;
+use pimsim_isa::asm;
+
+/// Assembles `src`, analyzes it on the test chip, and asserts that a
+/// diagnostic of `kind` fires at exactly (`core`, `pc`) with the kind's
+/// fixed severity and its kebab-case name in the rendered text.
+fn expect_at(src: &str, kind: DiagKind, core: u16, pc: u32) -> Analysis {
+    let program = asm::assemble(src).expect("fixture assembles");
+    let analysis = analyze(&program, &ArchConfig::small_test());
+    let hit = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.kind == kind && d.core == core && d.pc == Some(pc))
+        .unwrap_or_else(|| {
+            panic!(
+                "expected {} at core{core} pc={pc}, got:\n{}",
+                kind.name(),
+                analysis.summary_lines()
+            )
+        });
+    assert_eq!(hit.severity, kind.severity());
+    assert!(
+        hit.to_string().contains(kind.name()),
+        "rendered text names the kind: {hit}"
+    );
+    assert!(
+        !hit.instr.is_empty(),
+        "site diagnostics carry the instruction"
+    );
+    analysis
+}
+
+trait SummaryLines {
+    fn summary_lines(&self) -> String;
+}
+
+impl SummaryLines for Analysis {
+    fn summary_lines(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[test]
+fn unreachable_block_after_an_unconditional_jump() {
+    expect_at(
+        r#"
+            .core 0
+            jmp end
+            addi r1, r0, 5
+            end:
+            halt
+        "#,
+        DiagKind::UnreachableBlock,
+        0,
+        1,
+    );
+}
+
+#[test]
+fn missing_halt_when_control_runs_off_the_end() {
+    let analysis = expect_at(
+        r#"
+            .core 0
+            addi r1, r0, 1
+        "#,
+        DiagKind::MissingHalt,
+        0,
+        0,
+    );
+    // Warnings only: the program still runs (it halts silently).
+    assert!(!analysis.has_errors());
+}
+
+#[test]
+fn def_before_use_reads_the_power_on_zero() {
+    expect_at(
+        r#"
+            .core 0
+            add r1, r2, r2
+            gstore g[r1+0], [r0+0], 4
+            halt
+        "#,
+        DiagKind::DefBeforeUse,
+        0,
+        0,
+    );
+}
+
+#[test]
+fn dead_write_overwritten_before_any_read() {
+    expect_at(
+        r#"
+            .core 0
+            addi r1, r0, 7
+            addi r1, r0, 8
+            gstore g[r1+0], [r0+0], 4
+            halt
+        "#,
+        DiagKind::DeadWrite,
+        0,
+        0,
+    );
+}
+
+#[test]
+fn out_of_bounds_recv_past_the_local_memory() {
+    // The validator cannot see through the register, but the interval
+    // analysis proves r1 is far past the end of local memory.
+    expect_at(
+        r#"
+            .core 0
+            li r1, 100000000
+            recv core1, [r1+0], 8, tag=1
+            halt
+            .core 1
+            send core0, [r0+0], 8, tag=1
+            halt
+        "#,
+        DiagKind::OutOfBounds,
+        0,
+        1,
+    );
+}
+
+#[test]
+fn unmatched_send_with_no_receiver() {
+    let analysis = expect_at(
+        r#"
+            .core 0
+            send core1, [r0+0], 4, tag=7
+            halt
+            .core 1
+            halt
+        "#,
+        DiagKind::UnmatchedRendezvous,
+        0,
+        0,
+    );
+    assert!(analysis.has_errors());
+    assert!(!analysis.rendezvous.complete);
+}
+
+#[test]
+fn payload_mismatch_between_matched_partners() {
+    expect_at(
+        r#"
+            .core 0
+            send core1, [r0+0], 4, tag=3
+            halt
+            .core 1
+            recv core0, [r0+0], 6, tag=3
+            halt
+        "#,
+        DiagKind::PayloadMismatch,
+        1,
+        0,
+    );
+}
+
+#[test]
+fn deadlock_cycle_from_crossed_rendezvous_order() {
+    // Every transfer is matched and the rendezvous map is complete, yet
+    // each core's send sits behind its own blocked recv: a wait-for
+    // cycle the credit-aware abstract execution proves will wedge.
+    let analysis = expect_at(
+        r#"
+            .core 0
+            recv core1, [r0+0], 4, tag=1
+            send core1, [r0+64], 4, tag=2
+            halt
+            .core 1
+            recv core0, [r0+0], 4, tag=2
+            send core0, [r0+64], 4, tag=1
+            halt
+        "#,
+        DiagKind::DeadlockCycle,
+        0,
+        0,
+    );
+    // Matching is not the problem — no transfer is one-sided — but the
+    // map still reports incomplete because the abstract execution wedges.
+    assert!(analysis
+        .diagnostics
+        .iter()
+        .all(|d| d.kind != DiagKind::UnmatchedRendezvous));
+    assert!(!analysis.rendezvous.complete);
+    assert!(analysis.has_errors());
+}
+
+#[test]
+fn invalid_program_preempts_everything_else() {
+    // A send to a core outside the 3x3 test mesh fails validation; the
+    // analyzer reports exactly that and nothing speculative.
+    let program = asm::assemble(
+        r#"
+            .core 0
+            send core12, [r0+0], 4, tag=0
+            halt
+        "#,
+    )
+    .expect("assembles; validation is the analyzer's job");
+    let analysis = analyze(&program, &ArchConfig::small_test());
+    assert!(analysis.has_errors());
+    assert!(analysis
+        .diagnostics
+        .iter()
+        .all(|d| d.kind == DiagKind::InvalidProgram));
+}

@@ -1,0 +1,129 @@
+//! Property tests for CFG construction: random instruction streams, with
+//! branch targets both in and out of range, must always produce a graph
+//! where every instruction belongs to exactly one block and every edge is
+//! consistent with the underlying terminators.
+
+use pimsim_analyze::Cfg;
+use pimsim_isa::{BranchCond, Instruction, Reg, SImmOp};
+use proptest::prelude::*;
+
+/// A random instruction for CFG purposes: control flow plus filler.
+/// Targets range past the end of the stream on purpose — `Cfg::build`
+/// must tolerate what `Program::validate` would reject.
+fn instr_strategy(max_target: u32) -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        3 => Just(Instruction::Nop),
+        2 => (1u8..=8, -64i32..64).prop_map(|(r, imm)| Instruction::SImm {
+            op: SImmOp::Add,
+            rd: Reg::new(r).expect("registers 1..=8 exist"),
+            rs1: Reg::R0,
+            imm,
+        }),
+        2 => (0..max_target).prop_map(|target| Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+            target,
+        }),
+        1 => (0..max_target).prop_map(|target| Instruction::Jump { target }),
+        1 => Just(Instruction::Halt),
+    ]
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<Instruction>> {
+    // The target bound exceeds every possible stream length, so draws
+    // exercise both in-range and past-the-end targets for all lengths.
+    proptest::collection::vec(instr_strategy(52), 1usize..48usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_instruction_in_exactly_one_block(instrs in stream_strategy()) {
+        let cfg = Cfg::build(&instrs);
+        let mut seen = vec![0u32; instrs.len()];
+        for blk in &cfg.blocks {
+            prop_assert!(blk.start < blk.end, "empty block {blk:?}");
+            prop_assert!((blk.end as usize) <= instrs.len());
+            for pc in blk.start..blk.end {
+                seen[pc as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "coverage {seen:?}");
+        // block_of agrees with the block ranges.
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for pc in blk.start..blk.end {
+                prop_assert_eq!(cfg.block_of(pc), b);
+            }
+        }
+    }
+
+    #[test]
+    fn successors_are_consistent_with_terminators(instrs in stream_strategy()) {
+        let n = instrs.len();
+        let cfg = Cfg::build(&instrs);
+        for blk in &cfg.blocks {
+            // A terminator can only be the last instruction of its block.
+            for pc in blk.start..blk.end - 1 {
+                prop_assert!(
+                    !instrs[pc as usize].is_terminator(),
+                    "terminator mid-block at pc {pc}"
+                );
+            }
+            let last = &instrs[(blk.end - 1) as usize];
+            // Every successor must be exactly a block starting at the
+            // branch target or at the fallthrough pc.
+            let mut expected = Vec::new();
+            let mut falls_off = false;
+            let mut add = |pc: u32| {
+                if (pc as usize) < n {
+                    expected.push(pc);
+                } else {
+                    falls_off = true;
+                }
+            };
+            match last {
+                Instruction::Halt => {}
+                Instruction::Jump { target } => add(*target),
+                Instruction::Branch { target, .. } => {
+                    add(*target);
+                    add(blk.end);
+                }
+                _ => add(blk.end),
+            }
+            let got: Vec<u32> = blk.succs.iter().map(|&s| cfg.blocks[s].start).collect();
+            expected.dedup();
+            prop_assert_eq!(&got, &expected, "block {:?}", blk);
+            prop_assert_eq!(blk.falls_off_end, falls_off, "block {:?}", blk);
+        }
+        // The entry block is always reachable; reachability is closed
+        // under successors.
+        if !cfg.blocks.is_empty() {
+            prop_assert!(cfg.reachable[0]);
+            for (b, blk) in cfg.blocks.iter().enumerate() {
+                if cfg.reachable[b] {
+                    for &s in &blk.succs {
+                        prop_assert!(cfg.reachable[s]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_traces_visit_reachable_straight_line_code_once(instrs in stream_strategy()) {
+        let cfg = Cfg::build(&instrs);
+        if let Some(trace) = cfg.linear_trace() {
+            // A trace never repeats a pc and only visits reachable code.
+            let mut seen = std::collections::HashSet::new();
+            for &pc in &trace {
+                prop_assert!(seen.insert(pc), "pc {pc} repeated");
+                prop_assert!(cfg.pc_reachable(pc));
+            }
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //!                 [--baseline] [--json]
 //! pimsim compile  --network vgg8 [--size 32] [--mapping ...] [--out prog.json]
 //!                 [--asm prog.s]
+//! pimsim check    <prog.json|prog.s> | --network resnet18 [--mapping ...]
+//!                 [--format text|json] [--deny-warnings]
 //! pimsim asm      <file.s> [--out prog.json]
 //! pimsim disasm   <prog.json>
 //! pimsim sweep    [--config grid.json] [--networks a,b] [--robs 1,4,8] ...
@@ -27,10 +29,13 @@ use pimsim_sweep::{results_to_json, run_scenarios, SweepGrid};
 mod args;
 use args::Args;
 
-const USAGE: &str = "usage: pimsim <run|compile|asm|disasm|sweep|networks|config> [options]
+const USAGE: &str = "usage: pimsim <run|compile|check|asm|disasm|sweep|networks|config> [options]
   run       compile a zoo network and simulate it (add --baseline for the
             MNSIM2.0-like behaviour-level model)
   compile   compile a network and write the program (JSON and/or assembly)
+  check     statically verify a program (a .s/.json file, or --network to
+            compile one on the spot): control flow, register dataflow,
+            memory bounds, and cross-core send/recv rendezvous
   asm       assemble a .s file into a program JSON
   disasm    print the assembly of a program JSON
   sweep     run a design-space campaign (cartesian scenario grid) in
@@ -39,20 +44,23 @@ const USAGE: &str = "usage: pimsim <run|compile|asm|disasm|sweep|networks|config
   config    print (or write) the default architecture configuration
 
 common options (in parentheses: the commands that accept each):
-  --network NAME      zoo network (run/compile; see `pimsim networks`)
+  --network NAME      zoo network (run/compile/check; see `pimsim networks`)
   --size N            input resolution, default 64; vgg default 32
-                      (run/compile)
+                      (run/compile/check)
   --config FILE       architecture configuration JSON, default: paper chip
-                      (run/compile); for `sweep`: the grid JSON
-  --mapping POLICY    performance-first | utilization-first (run/compile)
-  --rob N             re-order buffer size override (run/compile)
-  --batch N           inferences compiled back to back (run/compile)
+                      (run/compile/check); for `sweep`: the grid JSON
+  --mapping POLICY    performance-first | utilization-first
+                      (run/compile/check)
+  --rob N             re-order buffer size override (run/compile/check)
+  --batch N           inferences compiled back to back (run/compile/check)
   --routing POLICY    NoC routing: xy (default) | yx | xy-yx | adaptive
-                      (run/compile)
+                      (run/compile/check)
   --vcs N             virtual channels per rendezvous channel, default 1
-                      (run/compile)
+                      (run/compile/check)
   --router-depth N    router pipeline stages per hop, default 1
-                      (run/compile)
+                      (run/compile/check)
+  --format FMT        check report format: text (default) | json (check)
+  --deny-warnings     exit nonzero on warnings, not just errors (check)
   --engine KIND       run-loop engine: event (default, reference) |
                       compiled (pre-placed schedules, identical output)
                       (run)
@@ -94,12 +102,21 @@ fn main() -> ExitCode {
     }
 }
 
-/// The option vocabulary of each subcommand, so one command's options are
-/// rejected (with a hint) on another instead of being silently ignored.
-fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
-    use args::Vocabulary;
-    let vocab = match cmd {
-        "run" => Vocabulary {
+/// One subcommand: its name, its option vocabulary (so one command's
+/// options are rejected with a hint on another instead of being silently
+/// ignored), and its entry point.
+struct CommandSpec {
+    name: &'static str,
+    vocab: args::Vocabulary,
+    run: fn(&Args) -> Result<(), String>,
+}
+
+/// The complete subcommand table — the single source the parser, the
+/// dispatcher, and the tests all read.
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "run",
+        vocab: args::Vocabulary {
             value_options: &[
                 "network",
                 "size",
@@ -122,7 +139,11 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
             ],
             max_positionals: 0,
         },
-        "compile" => Vocabulary {
+        run: cmd_run,
+    },
+    CommandSpec {
+        name: "compile",
+        vocab: args::Vocabulary {
             value_options: &[
                 "network",
                 "size",
@@ -139,12 +160,49 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
             flags: &["functional", "trace", "help"],
             max_positionals: 0,
         },
-        "asm" => Vocabulary {
+        run: cmd_compile,
+    },
+    CommandSpec {
+        name: "check",
+        vocab: args::Vocabulary {
+            value_options: &[
+                "network",
+                "size",
+                "config",
+                "mapping",
+                "rob",
+                "batch",
+                "routing",
+                "vcs",
+                "router-depth",
+                "format",
+            ],
+            flags: &["deny-warnings", "help"],
+            max_positionals: 1,
+        },
+        run: cmd_check,
+    },
+    CommandSpec {
+        name: "asm",
+        vocab: args::Vocabulary {
             value_options: &["out"],
             flags: &["help"],
             max_positionals: 1,
         },
-        "sweep" => Vocabulary {
+        run: cmd_asm,
+    },
+    CommandSpec {
+        name: "disasm",
+        vocab: args::Vocabulary {
+            value_options: &[],
+            flags: &["help"],
+            max_positionals: 1,
+        },
+        run: cmd_disasm,
+    },
+    CommandSpec {
+        name: "sweep",
+        vocab: args::Vocabulary {
             value_options: &[
                 "config",
                 "out",
@@ -167,25 +225,27 @@ fn vocabulary(cmd: &str) -> Option<args::Vocabulary> {
             flags: &["json", "help"],
             max_positionals: 0,
         },
-        "config" => Vocabulary {
+        run: cmd_sweep,
+    },
+    CommandSpec {
+        name: "networks",
+        vocab: args::Vocabulary {
+            value_options: &[],
+            flags: &["help"],
+            max_positionals: 0,
+        },
+        run: cmd_networks,
+    },
+    CommandSpec {
+        name: "config",
+        vocab: args::Vocabulary {
             value_options: &["out"],
             flags: &["help"],
             max_positionals: 0,
         },
-        "disasm" => Vocabulary {
-            value_options: &[],
-            flags: &["help"],
-            max_positionals: 1,
-        },
-        "networks" => Vocabulary {
-            value_options: &[],
-            flags: &["help"],
-            max_positionals: 0,
-        },
-        _ => return None,
-    };
-    Some(vocab)
-}
+        run: cmd_config,
+    },
+];
 
 fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some(cmd) = argv.first() else {
@@ -196,24 +256,19 @@ fn dispatch(argv: &[String]) -> Result<(), String> {
         print!("{USAGE}");
         return Ok(());
     }
-    let Some(vocab) = vocabulary(cmd) else {
-        return Err(format!("unknown command `{cmd}`\n{USAGE}"));
+    let Some(spec) = COMMANDS.iter().find(|s| s.name == cmd.as_str()) else {
+        let hint = match args::closest(cmd, COMMANDS.iter().map(|s| s.name)) {
+            Some(s) => format!(" — did you mean `{s}`?"),
+            None => String::new(),
+        };
+        return Err(format!("unknown command `{cmd}`{hint}\n{USAGE}"));
     };
-    let args = Args::parse(&argv[1..], &vocab)?;
+    let args = Args::parse(&argv[1..], &spec.vocab)?;
     if args.flag("help") {
         print!("{USAGE}");
         return Ok(());
     }
-    match cmd.as_str() {
-        "run" => cmd_run(&args),
-        "compile" => cmd_compile(&args),
-        "asm" => cmd_asm(&args),
-        "disasm" => cmd_disasm(&args),
-        "sweep" => cmd_sweep(&args),
-        "networks" => cmd_networks(),
-        "config" => cmd_config(&args),
-        _ => unreachable!("vocabulary() covers every dispatched command"),
-    }
+    (spec.run)(&args)
 }
 
 fn load_arch(args: &Args) -> Result<ArchConfig, String> {
@@ -434,6 +489,81 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `pimsim check`: static dataflow + rendezvous verification of a program
+/// (a `.s`/`.json` file, or a zoo network compiled on the spot) against
+/// the architecture configuration, without simulating anything.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let arch = load_arch(args)?;
+    let format = args.get("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        let hint = match args::closest(format, ["text", "json"]) {
+            Some(s) => format!(" — did you mean `{s}`?"),
+            None => String::new(),
+        };
+        return Err(format!(
+            "unknown format `{format}`: want text or json{hint}"
+        ));
+    }
+    let (program, label) = match (args.positional.first(), args.get("network")) {
+        (Some(_), Some(_)) => return Err("give a program file or --network, not both".to_string()),
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let program = if path.ends_with(".s") {
+                asm::assemble(&text).map_err(|e| e.to_string())?
+            } else {
+                Program::from_json(&text).map_err(|e| e.to_string())?
+            };
+            (program, path.clone())
+        }
+        (None, Some(_)) => {
+            let net = load_network(args)?;
+            let policy = mapping_policy(args)?;
+            let batch = args.get_u32("batch")?.unwrap_or(1);
+            let compiled = Compiler::new(&arch)
+                .mapping(policy)
+                .batch(batch)
+                .compile(&net)
+                .map_err(|e| e.to_string())?;
+            (compiled.program, format!("{} under {policy}", net.name))
+        }
+        (None, None) => {
+            return Err(
+                "usage: pimsim check <prog.json|prog.s> | pimsim check --network NAME".to_string(),
+            )
+        }
+    };
+
+    let analysis = pimsim_analyze::analyze(&program, &arch);
+    if format == "json" {
+        println!("{}", analysis.to_json());
+    } else {
+        for d in &analysis.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{label}: {}; rendezvous: {} pair(s){}",
+            analysis.summary(),
+            analysis.rendezvous.pairs.len(),
+            if analysis.rendezvous.complete {
+                ", complete"
+            } else {
+                " (incomplete: program has data-dependent control flow or \
+                 unmatched transfers)"
+            }
+        );
+    }
+    if analysis.has_errors() {
+        return Err(format!("static analysis failed: {}", analysis.summary()));
+    }
+    if args.flag("deny-warnings") && analysis.warning_count() > 0 {
+        return Err(format!(
+            "static analysis produced warnings (denied by --deny-warnings): {}",
+            analysis.summary()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_asm(args: &Args) -> Result<(), String> {
     let path = args
         .positional
@@ -572,7 +702,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_networks() -> Result<(), String> {
+fn cmd_networks(_args: &Args) -> Result<(), String> {
     for name in zoo::NAMES {
         let default = pimsim_sweep::default_resolution(name);
         if let Some(net) = zoo::by_name(name, default) {
@@ -601,10 +731,6 @@ fn cmd_config(args: &Args) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    const COMMANDS: &[&str] = &[
-        "run", "compile", "asm", "disasm", "sweep", "networks", "config",
-    ];
 
     /// Every `--name` in the USAGE text, in order of appearance.
     fn usage_options() -> Vec<String> {
@@ -693,12 +819,117 @@ mod tests {
     }
 
     #[test]
+    fn usage_lists_every_command() {
+        for spec in COMMANDS {
+            assert!(
+                USAGE.contains(spec.name),
+                "USAGE does not mention `{}`",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn command_typos_get_a_suggestion() {
+        let err = dispatch(&argv(&["chekc"])).unwrap_err();
+        assert!(err.contains("unknown command `chekc`"), "{err}");
+        assert!(err.contains("did you mean `check`?"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_typos_duplicates_and_unknown_formats() {
+        let err = dispatch(&argv(&[
+            "check",
+            "--network",
+            "tiny_mlp",
+            "--formt",
+            "json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown option --formt"), "{err}");
+        assert!(err.contains("did you mean --format"), "{err}");
+        let err = dispatch(&argv(&[
+            "check",
+            "--network",
+            "tiny_mlp",
+            "--format",
+            "text",
+            "--format",
+            "json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--format given more than once"), "{err}");
+        let err = dispatch(&argv(&[
+            "check",
+            "--network",
+            "tiny_mlp",
+            "--format",
+            "jsn",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown format `jsn`"), "{err}");
+        assert!(err.contains("did you mean `json`?"), "{err}");
+        // Options from other commands are rejected, not ignored.
+        let err = dispatch(&argv(&[
+            "check",
+            "--network",
+            "tiny_mlp",
+            "--engine",
+            "event",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown option --engine"), "{err}");
+    }
+
+    #[test]
+    fn check_requires_exactly_one_program_source() {
+        let err = dispatch(&argv(&["check"])).unwrap_err();
+        assert!(err.contains("usage: pimsim check"), "{err}");
+        let err = dispatch(&argv(&["check", "prog.json", "--network", "tiny_mlp"])).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+    }
+
+    #[test]
+    fn check_passes_clean_programs_and_fails_broken_ones() {
+        let dir = std::env::temp_dir().join("pimsim-cli-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A clean pair of cores passes.
+        let good = dir.join("good.s");
+        std::fs::write(
+            &good,
+            ".core 0\nli r1, 0\nsend core1, [r1+0], 8, tag=1\nhalt\n\
+             .core 1\nrecv core0, [r0+0], 8, tag=1\nhalt\n",
+        )
+        .unwrap();
+        dispatch(&argv(&["check", good.to_str().unwrap()])).unwrap();
+        // An unmatched recv is an error exit.
+        let bad = dir.join("bad.s");
+        std::fs::write(&bad, ".core 0\nrecv core1, [r0+0], 8, tag=7\nhalt\n").unwrap();
+        let err = dispatch(&argv(&["check", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("static analysis failed"), "{err}");
+        // A warning passes by default but fails under --deny-warnings.
+        let warn = dir.join("warn.s");
+        std::fs::write(&warn, ".core 0\nnop\n").unwrap();
+        dispatch(&argv(&["check", warn.to_str().unwrap()])).unwrap();
+        let err =
+            dispatch(&argv(&["check", warn.to_str().unwrap(), "--deny-warnings"])).unwrap_err();
+        assert!(err.contains("denied by --deny-warnings"), "{err}");
+        // A compiled zoo network is analysis-clean under --deny-warnings.
+        dispatch(&argv(&[
+            "check",
+            "--network",
+            "tiny_cnn",
+            "--deny-warnings",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
     fn usage_and_vocabularies_agree() {
         let mut accepted = std::collections::BTreeSet::new();
-        for cmd in COMMANDS {
-            let vocab = vocabulary(cmd).expect("every command has a vocabulary");
-            accepted.extend(vocab.value_options.iter().copied());
-            accepted.extend(vocab.flags.iter().copied());
+        for spec in COMMANDS {
+            accepted.extend(spec.vocab.value_options.iter().copied());
+            accepted.extend(spec.vocab.flags.iter().copied());
         }
         // Everything the help text advertises is accepted somewhere...
         for name in usage_options() {

@@ -14,13 +14,26 @@
 //!
 //! ## Deadlock freedom
 //!
-//! Rendezvous transfers deadlock only on inconsistent orderings. The
-//! generator enforces one global order everywhere: cores execute node
-//! sections in node-id order; producers forward each row to consumer edges
-//! sorted by `(consumer id, edge index, core)`; multi-input consumers drain
-//! their input edges in producer order (fully, except the last, which is
-//! pipelined row by row). All waits therefore point backwards in one global
-//! topological order.
+//! Transfers deadlock only on inconsistent orderings. The generator
+//! enforces one global order everywhere: cores execute node sections in
+//! node-id order; producers forward each row to consumer edges sorted by
+//! `(consumer id, edge index, core)`; multi-input consumers drain their
+//! input edges in producer order (fully, except the last, which is
+//! pipelined row by row).
+//!
+//! Section order alone is not enough, though: two edges between the same
+//! core pair can *cross* — an early producer feeding a late consumer
+//! section while a later producer feeds an earlier one (`P0 < P1 < C1 <
+//! C0` with `P0→C0`, `P1→C1`, both `P`s on one core and both `C`s on
+//! another is perfectly topological). The sender then streams `P0→C0`
+//! rows first while the receiver blocks in `C1` waiting for `P1` rows the
+//! sender hasn't reached, and the credit-limited channel wedges. So the
+//! receive side additionally drains pending crossed edges eagerly
+//! ([`Emitter::drain_pending_before`]): before the first `RECV` of any
+//! remote edge, every already-sent edge from the same sender with an
+//! earlier producer is received in full into its consumer's buffer. Each
+//! core pair's receive order therefore matches its send order, and
+//! `pimsim check`'s rendezvous pass certifies the result per program.
 //!
 //! ## Scratch rotation
 //!
@@ -142,6 +155,16 @@ struct Emitter<'a> {
     bufs: HashMap<BufKey, Buf>,
     edge_tags: HashMap<(u32, u32, u16), u16>,
     gather_tags: HashMap<u32, u16>,
+    /// Remote edges whose sends are emitted but whose consumer section has
+    /// not yet received: `(producer, consumer, edge, consumer core, sender)`.
+    /// Producer-first ordering is the cross-core drain order.
+    pending_remote: std::collections::BTreeSet<(u32, u32, u32, u16, u16)>,
+    /// `(consumer, edge, core)` edges whose consumer section has begun
+    /// receiving through the normal incremental path.
+    drain_started: std::collections::HashSet<(u32, u32, u16)>,
+    /// `(consumer, edge, core)` edges fully received ahead of their
+    /// section by [`Emitter::drain_pending_before`].
+    hoist_drained: std::collections::HashSet<(u32, u32, u16)>,
     next_tag: u32,
     weights: Option<WeightGen>,
     shift: u32,
@@ -179,6 +202,9 @@ pub(crate) fn emit(
         bufs: HashMap::new(),
         edge_tags: HashMap::new(),
         gather_tags: HashMap::new(),
+        pending_remote: std::collections::BTreeSet::new(),
+        drain_started: std::collections::HashSet::new(),
+        hoist_drained: std::collections::HashSet::new(),
         next_tag: 0,
         weights,
         shift,
@@ -199,6 +225,11 @@ pub(crate) fn emit(
 
     for img in 0..batch {
         let img_out = out_gaddr + img as u64 * out_shape.elems() as u64;
+        // Transfer bookkeeping is per inference: every edge sends and
+        // receives again for the next image.
+        e.pending_remote.clear();
+        e.drain_started.clear();
+        e.hoist_drained.clear();
         for node in lowered {
             e.cur_tag = node.id.0 as u16;
             match &node.kind {
@@ -852,7 +883,77 @@ impl<'a> Emitter<'a> {
 
     /// Emits acquisition of source rows `from..=to` of edge `e` on core
     /// `cc` (RECV / GLOAD; local producers need nothing).
+    ///
+    /// Before the first `RECV` of a remote edge, any *pending* remote edge
+    /// into `cc` from the same sender whose producer section is earlier is
+    /// drained in full (see [`Emitter::drain_pending_before`]): the
+    /// consumer core's receive order then matches the sender's send order,
+    /// which is what keeps the credit-limited channels of the fabric from
+    /// wedging when two edges between the same core pair cross (an early
+    /// producer feeding a late consumer section and vice versa — e.g. a
+    /// residual `add` output skipping ahead past the conv chain).
     fn acquire_rows(
+        &mut self,
+        node: &LoweredNode,
+        e: usize,
+        cc: u16,
+        from: u32,
+        to_incl: u32,
+    ) -> Result<()> {
+        if from > to_incl {
+            return Ok(());
+        }
+        if let PortRef::Node(src_id) = resolve_alias(self.lowered, node.inputs[e]) {
+            let src_home = self.placement.home[src_id.as_usize()];
+            if src_home != cc {
+                let key = (node.id.0, e as u32, cc);
+                if self.hoist_drained.contains(&key) {
+                    return Ok(()); // already received by an earlier hoist
+                }
+                if self.drain_started.insert(key) {
+                    self.drain_pending_before(src_id.0, cc, src_home)?;
+                }
+            }
+        }
+        self.acquire_rows_inner(node, e, cc, from, to_incl)
+    }
+
+    /// Fully drains every pending remote edge into `cc` from `sender`
+    /// whose producer precedes `producer` in the global section order.
+    /// Receives land in the consumer's regular edge buffer; the consumer's
+    /// own section later finds the rows already local and skips the `RECV`s.
+    fn drain_pending_before(&mut self, producer: u32, cc: u16, sender: u16) -> Result<()> {
+        // `pending_remote` is a `BTreeSet` keyed producer-first, so the
+        // drain happens in producer order — the same order `sender` sent.
+        let todo: Vec<(u32, u32, u32)> = self
+            .pending_remote
+            .iter()
+            .filter(|&&(p, cons, edge, pcc, psender)| {
+                p < producer
+                    && pcc == cc
+                    && psender == sender
+                    && !self.drain_started.contains(&(cons, edge, cc))
+                    && !self.hoist_drained.contains(&(cons, edge, cc))
+            })
+            .map(|&(_, cons, edge, _, _)| (cons, edge, cc as u32))
+            .collect();
+        for (cons, edge, _) in todo {
+            self.hoist_drained.insert((cons, edge, cc));
+            let lowered = self.lowered;
+            let cons_node = &lowered[cons as usize];
+            let rows = self.eff_rows(cons_node, edge as usize);
+            if rows == 0 {
+                continue;
+            }
+            let saved = self.cur_tag;
+            self.cur_tag = cons as u16;
+            self.acquire_rows_inner(cons_node, edge as usize, cc, 0, rows - 1)?;
+            self.cur_tag = saved;
+        }
+        Ok(())
+    }
+
+    fn acquire_rows_inner(
         &mut self,
         node: &LoweredNode,
         e: usize,
@@ -1006,6 +1107,8 @@ impl<'a> Emitter<'a> {
                 }
             } else {
                 let tag = self.tag_for(cid.0, e as u32, cc)?;
+                self.pending_remote
+                    .insert((node.id.0, cid.0, e as u32, cc, home));
                 self.send(home, cc, src_row, row_len, tag)?;
             }
         }

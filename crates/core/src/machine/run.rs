@@ -35,6 +35,9 @@ pub struct Simulator<'a> {
     /// comparable identity, so cross-run schedule caches are bypassed to
     /// keep a cache from replaying schedules recorded under other costs.
     custom_timing: bool,
+    /// Set by [`Simulator::with_preflight`]: run the static analyzer
+    /// before the first event and refuse programs with provable defects.
+    preflight: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -47,7 +50,21 @@ impl<'a> Simulator<'a> {
             engine: &EventEngine,
             cache: None,
             custom_timing: false,
+            preflight: false,
         }
+    }
+
+    /// Enables the pre-flight static check: before the first event fires,
+    /// the program is run through `pimsim-analyze` (control flow, register
+    /// dataflow, memory bounds, send/recv rendezvous) and refused with
+    /// [`SimError::StaticAnalysis`] if any *error*-severity diagnostic is
+    /// found — surfacing a guaranteed `Deadlock`/`TagMismatch` in
+    /// microseconds instead of after millions of simulated events.
+    /// Warnings never block a run. Off by default: simulation output is
+    /// byte-identical with and without the check.
+    pub fn with_preflight(mut self) -> Self {
+        self.preflight = true;
+        self
     }
 
     /// Replaces the unit-timing model (the run loop is untouched; only
@@ -82,6 +99,8 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// * [`SimError::InvalidProgram`] / [`SimError::Arch`] for malformed inputs,
+    /// * [`SimError::StaticAnalysis`] when [`Simulator::with_preflight`]
+    ///   is on and the analyzer proves a defect,
     /// * [`SimError::Deadlock`] when transfers can never match,
     /// * [`SimError::Timeout`] at the `sim.max_cycles` horizon,
     /// * [`SimError::TagMismatch`] for inconsistent payload lengths.
@@ -94,6 +113,21 @@ impl<'a> Simulator<'a> {
             global_mem_elems: self.arch.resources.global_mem_elems(),
         };
         program.validate(&limits)?;
+
+        if self.preflight {
+            let analysis = pimsim_analyze::analyze(program, self.arch);
+            if analysis.has_errors() {
+                let errors: Vec<String> = analysis
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == pimsim_analyze::Severity::Error)
+                    .map(|d| d.to_string())
+                    .collect();
+                return Err(SimError::StaticAnalysis {
+                    detail: errors.join("\n"),
+                });
+            }
+        }
 
         let functional = self.arch.sim.functional;
         let machine = self.build_machine(program, functional);
@@ -229,12 +263,34 @@ impl<'a> Simulator<'a> {
             })
             .collect();
         if stuck.is_empty() {
-            return Ok(());
+            // Cores all halted cleanly — but a send whose message was
+            // deposited and never received would leave the run looking
+            // successful while data silently rotted in the fabric.
+            let leaked = machine.fabric.unmatched_sites();
+            if leaked.is_empty() {
+                return Ok(());
+            }
+            return Err(SimError::Deadlock {
+                time: now,
+                detail: format!(
+                    "all cores halted, but sent message(s) were never received:\n{}\n\
+                     hint: `pimsim check` reports unmatched transfers statically, \
+                     with per-site core/pc",
+                    leaked.join("\n")
+                ),
+            });
         }
         let chans = machine.fabric.congestion_report();
-        Err(SimError::Deadlock {
-            time: now,
-            detail: format!("{}\n{}", stuck.join("; "), chans.join("\n")),
-        })
+        let mut detail = format!("{}\n{}", stuck.join("; "), chans.join("\n"));
+        let unmatched = machine.fabric.unmatched_sites();
+        if !unmatched.is_empty() {
+            detail.push_str("\nunmatched rendezvous site(s):\n");
+            detail.push_str(&unmatched.join("\n"));
+        }
+        detail.push_str(
+            "\nhint: `pimsim check` diagnoses unmatched transfers and \
+             crossed send/recv orderings statically, with per-site core/pc",
+        );
+        Err(SimError::Deadlock { time: now, detail })
     }
 }

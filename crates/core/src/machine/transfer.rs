@@ -132,6 +132,35 @@ impl TransferFabric {
             .or_insert_with(|| Channel::new(vcs))
     }
 
+    /// Names every channel with a transfer that can no longer match —
+    /// the `(sender, receiver, tag)` sites a deadlocked run leaves behind.
+    pub(crate) fn unmatched_sites(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .channels
+            .iter()
+            .filter(|(_, ch)| ch.is_active())
+            .map(|((s, d, t), ch)| {
+                let mut what = Vec::new();
+                let undelivered = ch.arrived.len() as u32 + ch.in_flight;
+                if undelivered > 0 {
+                    what.push(format!("{undelivered} sent message(s) never received"));
+                }
+                if !ch.waiting_sends.is_empty() {
+                    what.push(format!(
+                        "{} send(s) blocked on channel credits",
+                        ch.waiting_sends.len()
+                    ));
+                }
+                if ch.parked_recv.is_some() {
+                    what.push("a receive waiting on a send that never comes".to_string());
+                }
+                format!("core{s} -> core{d} tag={t}: {}", what.join(", "))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Sorted one-line summaries of channels still holding traffic, for
     /// deadlock diagnostics.
     pub(crate) fn congestion_report(&self) -> Vec<String> {

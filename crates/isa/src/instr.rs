@@ -648,6 +648,55 @@ impl Instruction {
             Instruction::Branch { .. } | Instruction::Jump { .. } | Instruction::Halt
         )
     }
+
+    /// `true` for instructions that end a basic block: conditional
+    /// branches, unconditional jumps, and `halt`. This is the block-cut
+    /// classification used by control-flow-graph construction.
+    pub fn is_terminator(&self) -> bool {
+        self.is_control()
+    }
+
+    /// The static control-flow target (an absolute instruction index),
+    /// for branches and jumps; `None` for every other instruction.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instruction::Branch { target, .. } | Instruction::Jump { target } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// The scalar register this instruction writes, if any. Only the
+    /// scalar ALU classes write registers; note a returned `r0` is
+    /// architecturally discarded.
+    pub fn def_reg(&self) -> Option<Reg> {
+        match self {
+            Instruction::SBin { rd, .. } | Instruction::SImm { rd, .. } => Some(*rd),
+            _ => None,
+        }
+    }
+
+    /// Appends every scalar register this instruction reads — ALU and
+    /// branch operands plus the base register of every memory operand —
+    /// to `out` (duplicates possible, in operand order).
+    pub fn uses_regs(&self, out: &mut Vec<Reg>) {
+        use Instruction::*;
+        match self {
+            Mvm { dst, src, .. } => out.extend([dst.base(), src.base()]),
+            VBin { dst, a, b, .. } => out.extend([dst.base(), a.base(), b.base()]),
+            VImm { dst, src, .. } | VUn { dst, src, .. } | VCopy2d { dst, src, .. } => {
+                out.extend([dst.base(), src.base()])
+            }
+            VPool { dst, src, .. } => out.extend([dst.base(), src.base()]),
+            VFill { dst, .. } => out.push(dst.base()),
+            Send { src, .. } => out.push(src.base()),
+            Recv { dst, .. } | Recv2d { dst, .. } => out.push(dst.base()),
+            GLoad { dst, gaddr, .. } => out.extend([dst.base(), gaddr.base()]),
+            GStore { gaddr, src, .. } => out.extend([gaddr.base(), src.base()]),
+            SBin { rs1, rs2, .. } | Branch { rs1, rs2, .. } => out.extend([*rs1, *rs2]),
+            SImm { rs1, .. } => out.push(*rs1),
+            Jump { .. } | Halt | Nop => {}
+        }
+    }
 }
 
 impl fmt::Display for Instruction {
@@ -824,5 +873,78 @@ mod tests {
         assert_eq!(CoreId(7).to_string(), "core7");
         assert_eq!(GroupId(7).to_string(), "g7");
         assert_eq!(CoreId(3).as_usize(), 3);
+    }
+
+    #[test]
+    fn terminators_and_branch_targets() {
+        let br = Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+            target: 7,
+        };
+        let jmp = Instruction::Jump { target: 3 };
+        assert!(br.is_terminator());
+        assert!(jmp.is_terminator());
+        assert!(Instruction::Halt.is_terminator());
+        assert!(!Instruction::Nop.is_terminator());
+        assert_eq!(br.branch_target(), Some(7));
+        assert_eq!(jmp.branch_target(), Some(3));
+        assert_eq!(Instruction::Halt.branch_target(), None);
+        assert_eq!(Instruction::Nop.branch_target(), None);
+    }
+
+    #[test]
+    fn def_and_use_registers() {
+        let sbin = Instruction::SBin {
+            op: SBinOp::Add,
+            rd: Reg::R3,
+            rs1: Reg::R4,
+            rs2: Reg::R5,
+        };
+        assert_eq!(sbin.def_reg(), Some(Reg::R3));
+        let mut uses = Vec::new();
+        sbin.uses_regs(&mut uses);
+        assert_eq!(uses, vec![Reg::R4, Reg::R5]);
+
+        let simm = Instruction::SImm {
+            op: SImmOp::Add,
+            rd: Reg::R6,
+            rs1: Reg::R7,
+            imm: 1,
+        };
+        assert_eq!(simm.def_reg(), Some(Reg::R6));
+        uses.clear();
+        simm.uses_regs(&mut uses);
+        assert_eq!(uses, vec![Reg::R7]);
+
+        // Memory operands contribute their base registers.
+        let vbin = Instruction::VBin {
+            op: VBinOp::Add,
+            dst: addr(Reg::R1, 0),
+            a: addr(Reg::R2, 8),
+            b: addr(Reg::R3, -8),
+            len: 64,
+        };
+        assert_eq!(vbin.def_reg(), None);
+        uses.clear();
+        vbin.uses_regs(&mut uses);
+        assert_eq!(uses, vec![Reg::R1, Reg::R2, Reg::R3]);
+
+        let gload = Instruction::GLoad {
+            dst: addr(Reg::R8, 0),
+            gaddr: addr(Reg::R2, 4),
+            len: 16,
+        };
+        uses.clear();
+        gload.uses_regs(&mut uses);
+        assert_eq!(uses, vec![Reg::R8, Reg::R2]);
+
+        uses.clear();
+        Instruction::Halt.uses_regs(&mut uses);
+        assert!(uses.is_empty());
+        uses.clear();
+        Instruction::Jump { target: 0 }.uses_regs(&mut uses);
+        assert!(uses.is_empty());
     }
 }

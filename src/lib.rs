@@ -15,6 +15,7 @@
 //! * [`arch`] — architecture configuration and energy model
 //! * [`nn`] — network description, shape inference, model zoo, golden model
 //! * [`compiler`] — mapping, scheduling, fusion, code generation
+//! * [`analyze`] — static dataflow + rendezvous verifier for compiled programs
 //! * [`sim`] — the cycle-accurate simulator
 //! * [`baseline`] — MNSIM2.0-like behaviour-level simulator
 //! * [`sweep`] — parallel design-space campaign engine
@@ -40,6 +41,7 @@
 //! # }
 //! ```
 
+pub use pimsim_analyze as analyze;
 pub use pimsim_arch as arch;
 pub use pimsim_baseline as baseline;
 pub use pimsim_compiler as compiler;
@@ -51,6 +53,7 @@ pub use pimsim_sweep as sweep;
 
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
+    pub use pimsim_analyze::{analyze, Analysis};
     pub use pimsim_arch::{ArchConfig, RoutingPolicy};
     pub use pimsim_baseline::BaselineSimulator;
     pub use pimsim_compiler::{Compiler, MappingPolicy};

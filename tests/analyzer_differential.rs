@@ -1,0 +1,169 @@
+//! Differential property test for the static analyzer: random multi-core
+//! send/recv programs are generated from a global transfer order and then
+//! perturbed (instruction swaps, payload-length edits). Whenever
+//! `pimsim::analyze` certifies a program clean, the simulator must run it
+//! to completion — no `Deadlock`, no `TagMismatch`. The perturbations
+//! produce plenty of genuinely broken programs; those must be rejected
+//! *statically* so the clean-implies-runs direction actually gets
+//! exercised from both sides of the boundary.
+
+use pimsim::analyze::analyze;
+use pimsim::isa::asm;
+use pimsim::prelude::*;
+use pimsim::sim::SimError;
+use proptest::prelude::*;
+
+const CORES: usize = 3;
+
+/// One transfer in the global order: sender, receiver, tag, payload words.
+#[derive(Debug, Clone)]
+struct Xfer {
+    from: usize,
+    to: usize,
+    tag: u8,
+    len: u8,
+}
+
+fn xfer_strategy() -> impl Strategy<Value = Xfer> {
+    (0..CORES, 1..CORES, 0u8..4, 1u8..=4).prop_map(|(from, hop, tag, len)| Xfer {
+        from,
+        to: (from + hop) % CORES,
+        tag,
+        len,
+    })
+}
+
+/// A perturbation applied after generation. Swaps reorder a core's
+/// instruction stream (possibly crossing send/recv orders between
+/// channels); `LenEdit` changes one receive's payload length.
+#[derive(Debug, Clone)]
+enum Tweak {
+    Swap { core: usize, at: usize },
+    LenEdit { event: usize, len: u8 },
+}
+
+fn tweak_strategy() -> impl Strategy<Value = Tweak> {
+    prop_oneof![
+        3 => (0..CORES, 0usize..16).prop_map(|(core, at)| Tweak::Swap { core, at }),
+        1 => (0usize..24, 1u8..=5).prop_map(|(event, len)| Tweak::LenEdit { event, len }),
+    ]
+}
+
+/// Builds the assembly text: each transfer appends a send to its sender
+/// and a recv to its receiver, in one global order (which is always
+/// deadlock-free), then the tweaks are applied to break it.
+fn build_program(xfers: &[Xfer], tweaks: &[Tweak]) -> String {
+    let mut lines: Vec<Vec<String>> = vec![Vec::new(); CORES];
+    let mut recv_lens: Vec<u8> = xfers.iter().map(|x| x.len).collect();
+    for t in tweaks {
+        if let Tweak::LenEdit { event, len } = t {
+            if let Some(slot) = recv_lens.get_mut(event % xfers.len().max(1)) {
+                *slot = *len;
+            }
+        }
+    }
+    for (i, x) in xfers.iter().enumerate() {
+        lines[x.from].push(format!(
+            "send core{}, [r0+{}], {}, tag={}",
+            x.to,
+            1024 + i * 8,
+            x.len,
+            x.tag
+        ));
+        lines[x.to].push(format!(
+            "recv core{}, [r0+{}], {}, tag={}",
+            x.from,
+            i * 8,
+            recv_lens[i],
+            x.tag
+        ));
+    }
+    for t in tweaks {
+        if let Tweak::Swap { core, at } = t {
+            let stream = &mut lines[*core];
+            if stream.len() >= 2 {
+                let at = at % (stream.len() - 1);
+                stream.swap(at, at + 1);
+            }
+        }
+    }
+    let mut text = String::new();
+    for (core, stream) in lines.iter().enumerate() {
+        text.push_str(&format!(".core {core}\n"));
+        for line in stream {
+            text.push_str(line);
+            text.push('\n');
+        }
+        text.push_str("halt\n");
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        max_shrink_iters: 64,
+    })]
+
+    #[test]
+    fn analyzer_clean_programs_never_deadlock(
+        xfers in proptest::collection::vec(xfer_strategy(), 1..12),
+        tweaks in proptest::collection::vec(tweak_strategy(), 0..5),
+    ) {
+        let arch = ArchConfig::small_test();
+        let text = build_program(&xfers, &tweaks);
+        let program = asm::assemble(&text).expect("generated assembly is well-formed");
+        let analysis = analyze(&program, &arch);
+        if analysis.has_errors() {
+            return Ok(()); // statically rejected; nothing to certify
+        }
+        // A clean verdict also promises a complete rendezvous map.
+        prop_assert!(
+            analysis.rendezvous.complete,
+            "no errors but incomplete rendezvous map:\n{text}"
+        );
+        match Simulator::new(&arch).run(&program) {
+            Ok(_) => {}
+            Err(e @ (SimError::Deadlock { .. } | SimError::TagMismatch { .. })) => {
+                return Err(TestCaseError::fail(format!(
+                    "analyzer certified a program the machine could not run: {e}\n{text}"
+                )));
+            }
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "unexpected non-rendezvous failure: {e}\n{text}"
+                )));
+            }
+        }
+    }
+
+    /// The preflight gate and the bare run agree on clean programs, and
+    /// the analyzer itself is deterministic.
+    #[test]
+    fn preflight_agrees_with_the_analyzer(
+        xfers in proptest::collection::vec(xfer_strategy(), 1..8),
+        tweaks in proptest::collection::vec(tweak_strategy(), 0..4),
+    ) {
+        let arch = ArchConfig::small_test();
+        let text = build_program(&xfers, &tweaks);
+        let program = asm::assemble(&text).expect("generated assembly is well-formed");
+        let a = analyze(&program, &arch);
+        let b = analyze(&program, &arch);
+        prop_assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        let gated = Simulator::new(&arch).with_preflight().run(&program);
+        match (a.has_errors(), gated) {
+            (true, Err(SimError::StaticAnalysis { .. })) => {}
+            (true, other) => {
+                return Err(TestCaseError::fail(format!(
+                    "preflight let an erroring program through: {other:?}\n{text}"
+                )));
+            }
+            (false, Err(SimError::StaticAnalysis { detail })) => {
+                return Err(TestCaseError::fail(format!(
+                    "preflight rejected a clean program: {detail}\n{text}"
+                )));
+            }
+            (false, _) => {}
+        }
+    }
+}
