@@ -31,6 +31,13 @@
 //!   mismatches, a credit-aware abstract execution that reports provable
 //!   deadlock cycles, and the [`RendezvousMap`] artifact of matched pairs.
 //!
+//! On top of the checker sits the **static performance bounds** pass
+//! ([`bounds()`]): it builds the priced cross-core dependence DAG
+//! ([`mod@dag`]), runs a longest-path abstract schedule, and emits a
+//! [`BoundsReport`] — a *sound* lower bound on simulated latency with
+//! its critical path, per-core utilization bounds, and per-channel
+//! credit occupancy ([`mod@occupancy`]).
+//!
 //! Reported *errors* are provable misbehavior (soundness leans
 //! conservative: an out-of-bounds access is flagged only when every
 //! possible register valuation faults, a deadlock only when even a
@@ -38,25 +45,39 @@
 //! almost certainly unintended behavior. See [`DiagKind`] for the
 //! catalogue.
 
+pub mod bounds;
 pub mod cfg;
+pub mod dag;
 pub mod dataflow;
 pub mod diag;
+pub mod occupancy;
 pub mod rendezvous;
 
 use pimsim_arch::ArchConfig;
 use pimsim_isa::{IsaError, Program, ProgramLimits};
 use serde::{Deserialize, Serialize};
 
+pub use bounds::{bounds, BoundsReport, CoreBound, CriticalHop};
 pub use cfg::{BasicBlock, Cfg};
 pub use diag::{DiagKind, Diagnostic, Severity};
+pub use occupancy::{ChannelBound, OccupancyReport};
 pub use rendezvous::{RendezvousMap, RendezvousPair};
 
 use dataflow::MemLimits;
+
+/// Version stamp carried by every serialized analyzer artifact
+/// ([`Analysis`] and [`BoundsReport`]). Bump on any
+/// backwards-incompatible JSON schema change.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// Everything one analysis run produced: diagnostics in deterministic
 /// report order, plus the rendezvous artifact.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Analysis {
+    /// Version of this JSON schema (see [`SCHEMA_VERSION`]); `0` when
+    /// deserialized from a pre-versioning artifact.
+    #[serde(default)]
+    pub schema_version: u32,
     /// All findings, sorted by `(core, pc, kind, message)`.
     pub diagnostics: Vec<Diagnostic>,
     /// Provably-matched send/recv pairs.
@@ -116,6 +137,7 @@ pub fn analyze(program: &Program, arch: &ArchConfig) -> Analysis {
             format!("architecture configuration invalid: {e}"),
         ));
         return Analysis {
+            schema_version: SCHEMA_VERSION,
             diagnostics,
             rendezvous: RendezvousMap::default(),
         };
@@ -146,6 +168,7 @@ pub fn analyze(program: &Program, arch: &ArchConfig) -> Analysis {
         };
         diagnostics.push(diag);
         return Analysis {
+            schema_version: SCHEMA_VERSION,
             diagnostics,
             rendezvous: RendezvousMap::default(),
         };
@@ -201,6 +224,7 @@ pub fn analyze(program: &Program, arch: &ArchConfig) -> Analysis {
 
     diagnostics.sort_by_key(|d| d.sort_key());
     Analysis {
+        schema_version: SCHEMA_VERSION,
         diagnostics,
         rendezvous,
     }
@@ -285,6 +309,35 @@ mod tests {
         let back: Analysis = serde_json::from_str(&text).unwrap();
         assert_eq!(back, a);
         assert!(text.contains("missing-halt"), "{text}");
+    }
+
+    #[test]
+    fn json_is_versioned_and_byte_stable() {
+        let p = assemble(
+            ".core 0\n\
+             li r1, 0\n\
+             send core1, [r1+0], 4, tag=2\n\
+             halt\n\
+             .core 1\n\
+             recv core0, [r0+0], 4, tag=2\n\
+             halt\n",
+        )
+        .unwrap();
+        let a = analyze(&p, &small());
+        let text = a.to_json();
+        // Version stamp is present in the serialized artifact...
+        assert_eq!(a.schema_version, SCHEMA_VERSION);
+        assert!(
+            text.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")),
+            "{text}"
+        );
+        // ...a rerun serializes byte-identically...
+        assert_eq!(text, analyze(&p, &small()).to_json());
+        // ...and pre-versioning artifacts still deserialize (as v0).
+        let legacy = text.replace(&format!("\"schema_version\": {SCHEMA_VERSION},\n"), "");
+        let back: Analysis = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.schema_version, 0);
+        assert_eq!(back.rendezvous, a.rendezvous);
     }
 
     #[test]

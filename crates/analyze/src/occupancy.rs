@@ -1,0 +1,313 @@
+//! Per-channel credit occupancy: how much flow-control head-room each
+//! `(sender, receiver, tag)` channel really needs.
+//!
+//! The pass replays the same zero-latency abstract transfer execution the
+//! rendezvous checker uses, but with *unbounded* credits, and records per
+//! channel the peak number of in-flight messages and the peak per-VC
+//! credit usage. From those peaks it derives:
+//!
+//! * **`min_credits`** per channel — the smallest per-VC credit limit on
+//!   *that channel alone* (all others unbounded) at which the abstract
+//!   execution still drains;
+//! * **`min_credits_deadlock_free`** — the smallest *uniform* per-VC
+//!   credit limit at which every core drains; and
+//! * **`credit_knee`** — the largest per-VC peak across all channels:
+//!   raising the configured credit count past the knee cannot change any
+//!   channel's behavior, so more credits stop helping.
+//!
+//! All of this is defined only when every core's transfer order is
+//! statically known and every site is paired; otherwise the report is
+//! empty and the minima are `None`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use pimsim_isa::Program;
+use serde::{Deserialize, Serialize};
+
+use crate::cfg::Cfg;
+use crate::rendezvous::{site_of, Site};
+
+/// One channel's occupancy profile under the most-permissive abstract
+/// execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelBound {
+    /// Sending core.
+    pub sender: u16,
+    /// Receiving core.
+    pub receiver: u16,
+    /// Channel tag.
+    pub tag: u16,
+    /// Messages carried over the whole program.
+    pub messages: u32,
+    /// Peak simultaneously in-flight (sent, not yet received) messages
+    /// with unbounded credits.
+    pub peak_in_flight: u32,
+    /// Peak credits in use on any single virtual channel, with the
+    /// configured VC count and round-robin assignment.
+    pub peak_per_vc: u32,
+    /// Smallest per-VC credit limit on this channel alone at which the
+    /// abstract execution drains; `None` when the analysis does not
+    /// apply (non-linear or unpaired programs).
+    pub min_credits: Option<u32>,
+}
+
+/// The credit-occupancy section of a bounds report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct OccupancyReport {
+    /// Per-channel profiles, sorted by `(sender, receiver, tag)`.
+    pub channels: Vec<ChannelBound>,
+    /// Smallest uniform per-VC credit limit at which every core drains;
+    /// `None` when the analysis does not apply.
+    pub min_credits_deadlock_free: Option<u32>,
+    /// Largest per-VC peak across channels: credits beyond this cannot
+    /// change behavior. `0` when the program has no transfers.
+    pub credit_knee: u32,
+}
+
+/// One abstract run's per-channel observations.
+#[derive(Debug, Default)]
+struct ChannelStats {
+    messages: u32,
+    peak_in_flight: u32,
+    peak_per_vc: u32,
+}
+
+/// Replays the transfer sequences with a per-channel credit limit
+/// (`None` = unbounded). Returns `(drained, stats)`.
+fn exec(
+    seqs: &[Vec<Site>],
+    vcs: u32,
+    limit: impl Fn(&(u16, u16, u16)) -> Option<u32>,
+) -> (bool, BTreeMap<(u16, u16, u16), ChannelStats>) {
+    struct Chan {
+        queue: VecDeque<u32>,
+        vc_used: Vec<u32>,
+        next_vc: u32,
+        stats: ChannelStats,
+    }
+    let mut cursor = vec![0usize; seqs.len()];
+    let mut chans: BTreeMap<(u16, u16, u16), Chan> = BTreeMap::new();
+    // Greedy fixpoint, same argument as the rendezvous checker: each
+    // channel has one producer and one consumer, so enabled moves are
+    // persistent and the visit order cannot mask a drain.
+    loop {
+        let mut progressed = false;
+        for c in 0..seqs.len() {
+            while let Some(&site) = seqs[c].get(cursor[c]) {
+                let ch = chans.entry(site.key).or_insert_with(|| Chan {
+                    queue: VecDeque::new(),
+                    vc_used: vec![0; vcs as usize],
+                    next_vc: 0,
+                    stats: ChannelStats::default(),
+                });
+                if site.is_send {
+                    let vc = ch.next_vc as usize;
+                    if let Some(credits) = limit(&site.key) {
+                        if ch.vc_used[vc] >= credits {
+                            break;
+                        }
+                    }
+                    ch.next_vc = (ch.next_vc + 1) % vcs;
+                    ch.vc_used[vc] += 1;
+                    ch.queue.push_back(vc as u32);
+                    ch.stats.messages += 1;
+                    ch.stats.peak_in_flight = ch.stats.peak_in_flight.max(ch.queue.len() as u32);
+                    ch.stats.peak_per_vc = ch.stats.peak_per_vc.max(ch.vc_used[vc]);
+                } else {
+                    let Some(vc) = ch.queue.pop_front() else {
+                        break;
+                    };
+                    ch.vc_used[vc as usize] -= 1;
+                }
+                cursor[c] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let drained = (0..seqs.len()).all(|c| cursor[c] >= seqs[c].len());
+    (
+        drained,
+        chans.into_iter().map(|(k, c)| (k, c.stats)).collect(),
+    )
+}
+
+/// Computes the occupancy report. Returns an empty report when any core
+/// is non-linear or the unbounded replay fails to drain (an unpaired or
+/// self-inconsistent program — already diagnosed elsewhere).
+pub(crate) fn occupancy(program: &Program, cfgs: &[Cfg], vcs: u32) -> OccupancyReport {
+    let vcs = vcs.max(1);
+    let mut seqs: Vec<Vec<Site>> = Vec::with_capacity(program.cores.len());
+    for (c, (cp, cfg)) in program.cores.iter().zip(cfgs).enumerate() {
+        let Some(trace) = cfg.linear_trace() else {
+            return OccupancyReport::default();
+        };
+        seqs.push(
+            trace
+                .iter()
+                .filter_map(|&pc| site_of(c as u16, pc, &cp.instrs[pc as usize]))
+                .collect(),
+        );
+    }
+
+    let (drained, unbounded) = exec(&seqs, vcs, |_| None);
+    if !drained {
+        return OccupancyReport::default();
+    }
+
+    let credit_knee = unbounded.values().map(|s| s.peak_per_vc).max().unwrap_or(0);
+
+    // Smallest uniform limit that drains. Draining is monotone in the
+    // limit and the unbounded run drains, so scanning up from 1 and
+    // stopping at the first success yields the minimum; the knee bounds
+    // the scan because `limit >= peak` behaves exactly like unbounded.
+    let mut min_uniform = 1;
+    let min_credits_deadlock_free = if credit_knee == 0 {
+        // No transfers at all: any credit count (vacuously) works.
+        None
+    } else {
+        while !exec(&seqs, vcs, |_| Some(min_uniform)).0 {
+            min_uniform += 1;
+            debug_assert!(min_uniform <= credit_knee, "knee must drain");
+        }
+        Some(min_uniform)
+    };
+
+    // Per-channel minima: limit one channel, leave the rest unbounded.
+    let channels = unbounded
+        .iter()
+        .map(|(&key, stats)| {
+            let mut c = 1;
+            while !exec(&seqs, vcs, |k| (*k == key).then_some(c)).0 {
+                c += 1;
+                debug_assert!(c <= stats.peak_per_vc, "peak must drain");
+            }
+            ChannelBound {
+                sender: key.0,
+                receiver: key.1,
+                tag: key.2,
+                messages: stats.messages,
+                peak_in_flight: stats.peak_in_flight,
+                peak_per_vc: stats.peak_per_vc,
+                min_credits: Some(c),
+            }
+        })
+        .collect();
+
+    OccupancyReport {
+        channels,
+        min_credits_deadlock_free,
+        credit_knee,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsim_isa::asm::assemble;
+
+    fn report(src: &str, vcs: u32) -> OccupancyReport {
+        let p = assemble(src).unwrap();
+        let cfgs: Vec<Cfg> = p.cores.iter().map(|c| Cfg::build(&c.instrs)).collect();
+        occupancy(&p, &cfgs, vcs)
+    }
+
+    #[test]
+    fn burst_of_sends_needs_matching_depth() {
+        // Three sends can all be posted before the receiver must act, so
+        // the peak is 3 — but one credit already drains (zero-latency
+        // recvs free it), so min_credits is 1.
+        let r = report(
+            ".core 0\n\
+             send core1, [r0+0], 4, tag=1\n\
+             send core1, [r0+8], 4, tag=1\n\
+             send core1, [r0+16], 4, tag=1\n\
+             halt\n\
+             .core 1\n\
+             recv core0, [r0+0], 4, tag=1\n\
+             recv core0, [r0+8], 4, tag=1\n\
+             recv core0, [r0+16], 4, tag=1\n\
+             halt\n",
+            1,
+        );
+        assert_eq!(r.channels.len(), 1);
+        let ch = &r.channels[0];
+        assert_eq!((ch.sender, ch.receiver, ch.tag), (0, 1, 1));
+        assert_eq!(ch.messages, 3);
+        assert_eq!(ch.peak_in_flight, 3);
+        assert_eq!(ch.peak_per_vc, 3);
+        assert_eq!(ch.min_credits, Some(1));
+        assert_eq!(r.min_credits_deadlock_free, Some(1));
+        assert_eq!(r.credit_knee, 3);
+    }
+
+    #[test]
+    fn crossed_exchange_needs_one_credit() {
+        // Classic head-to-head exchange: each core sends before it
+        // receives. With at least one credit both sends post and both
+        // recvs drain; the sends themselves never block on each other.
+        let r = report(
+            ".core 0\n\
+             send core1, [r0+0], 4, tag=1\n\
+             recv core1, [r0+8], 4, tag=2\n\
+             halt\n\
+             .core 1\n\
+             send core0, [r0+0], 4, tag=2\n\
+             recv core0, [r0+8], 4, tag=1\n\
+             halt\n",
+            1,
+        );
+        assert_eq!(r.channels.len(), 2);
+        assert_eq!(r.min_credits_deadlock_free, Some(1));
+        assert_eq!(r.credit_knee, 1);
+    }
+
+    #[test]
+    fn vcs_split_the_burst() {
+        // Four back-to-back sends over 2 VCs round-robin: two per VC.
+        let r = report(
+            ".core 0\n\
+             send core1, [r0+0], 4, tag=1\n\
+             send core1, [r0+8], 4, tag=1\n\
+             send core1, [r0+16], 4, tag=1\n\
+             send core1, [r0+24], 4, tag=1\n\
+             halt\n\
+             .core 1\n\
+             recv core0, [r0+0], 4, tag=1\n\
+             recv core0, [r0+8], 4, tag=1\n\
+             recv core0, [r0+16], 4, tag=1\n\
+             recv core0, [r0+24], 4, tag=1\n\
+             halt\n",
+            2,
+        );
+        let ch = &r.channels[0];
+        assert_eq!(ch.peak_in_flight, 4);
+        assert_eq!(ch.peak_per_vc, 2);
+        assert_eq!(r.credit_knee, 2);
+    }
+
+    #[test]
+    fn transfer_free_program_is_empty() {
+        let r = report(".core 0\nnop\nhalt\n", 1);
+        assert!(r.channels.is_empty());
+        assert_eq!(r.min_credits_deadlock_free, None);
+        assert_eq!(r.credit_knee, 0);
+    }
+
+    #[test]
+    fn non_linear_core_disables_the_analysis() {
+        let r = report(
+            ".core 0\n\
+             send core1, [r0+0], 4, tag=1\n\
+             jmp 0\n\
+             .core 1\n\
+             recv core0, [r0+0], 4, tag=1\n\
+             halt\n",
+            1,
+        );
+        assert!(r.channels.is_empty());
+        assert_eq!(r.min_credits_deadlock_free, None);
+    }
+}

@@ -63,19 +63,20 @@ pub struct RendezvousMap {
 type ChannelSites = (Vec<Site>, Vec<Site>);
 
 /// One transfer site, in a core's statically-known execution order.
+/// Shared with the credit-occupancy pass ([`crate::occupancy`]).
 #[derive(Debug, Clone, Copy)]
-struct Site {
-    pc: u32,
+pub(crate) struct Site {
+    pub(crate) pc: u32,
     /// `true` for `send`, `false` for `recv`/`recv2d`.
-    is_send: bool,
+    pub(crate) is_send: bool,
     /// Channel key `(sender, receiver, tag)`.
-    key: (u16, u16, u16),
+    pub(crate) key: (u16, u16, u16),
     /// Payload elements: `len` for send/recv, `block_len * blocks` for
     /// `recv2d` (the length the runtime's payload check compares).
-    elems: u32,
+    pub(crate) elems: u32,
 }
 
-fn site_of(core: u16, pc: u32, instr: &Instruction) -> Option<Site> {
+pub(crate) fn site_of(core: u16, pc: u32, instr: &Instruction) -> Option<Site> {
     match instr {
         Instruction::Send { peer, len, tag, .. } => Some(Site {
             pc,

@@ -8,6 +8,8 @@
 //!                 [--asm prog.s]
 //! pimsim check    <prog.json|prog.s> | --network resnet18 [--mapping ...]
 //!                 [--format text|json] [--deny-warnings]
+//! pimsim bound    <prog.json|prog.s> | --network resnet18 [--mapping ...]
+//!                 [--format text|json]
 //! pimsim asm      <file.s> [--out prog.json]
 //! pimsim disasm   <prog.json>
 //! pimsim sweep    [--config grid.json] [--networks a,b] [--robs 1,4,8] ...
@@ -29,13 +31,17 @@ use pimsim_sweep::{results_to_json, run_scenarios, SweepGrid};
 mod args;
 use args::Args;
 
-const USAGE: &str = "usage: pimsim <run|compile|check|asm|disasm|sweep|networks|config> [options]
+const USAGE: &str =
+    "usage: pimsim <run|compile|check|bound|asm|disasm|sweep|networks|config> [options]
   run       compile a zoo network and simulate it (add --baseline for the
             MNSIM2.0-like behaviour-level model)
   compile   compile a network and write the program (JSON and/or assembly)
   check     statically verify a program (a .s/.json file, or --network to
             compile one on the spot): control flow, register dataflow,
             memory bounds, and cross-core send/recv rendezvous
+  bound     static performance bounds for a program (same sources as
+            check): a sound latency lower bound with its critical path,
+            per-core utilization bounds, and per-channel credit occupancy
   asm       assemble a .s file into a program JSON
   disasm    print the assembly of a program JSON
   sweep     run a design-space campaign (cartesian scenario grid) in
@@ -44,22 +50,24 @@ const USAGE: &str = "usage: pimsim <run|compile|check|asm|disasm|sweep|networks|
   config    print (or write) the default architecture configuration
 
 common options (in parentheses: the commands that accept each):
-  --network NAME      zoo network (run/compile/check; see `pimsim networks`)
+  --network NAME      zoo network (run/compile/check/bound; see
+                      `pimsim networks`)
   --size N            input resolution, default 64; vgg default 32
-                      (run/compile/check)
+                      (run/compile/check/bound)
   --config FILE       architecture configuration JSON, default: paper chip
-                      (run/compile/check); for `sweep`: the grid JSON
+                      (run/compile/check/bound); for `sweep`: the grid JSON
   --mapping POLICY    performance-first | utilization-first
-                      (run/compile/check)
-  --rob N             re-order buffer size override (run/compile/check)
-  --batch N           inferences compiled back to back (run/compile/check)
+                      (run/compile/check/bound)
+  --rob N             re-order buffer size override (run/compile/check/bound)
+  --batch N           inferences compiled back to back
+                      (run/compile/check/bound)
   --routing POLICY    NoC routing: xy (default) | yx | xy-yx | adaptive
-                      (run/compile/check)
+                      (run/compile/check/bound)
   --vcs N             virtual channels per rendezvous channel, default 1
-                      (run/compile/check)
+                      (run/compile/check/bound)
   --router-depth N    router pipeline stages per hop, default 1
-                      (run/compile/check)
-  --format FMT        check report format: text (default) | json (check)
+                      (run/compile/check/bound)
+  --format FMT        report format: text (default) | json (check/bound)
   --deny-warnings     exit nonzero on warnings, not just errors (check)
   --engine KIND       run-loop engine: event (default, reference) |
                       compiled (pre-placed schedules, identical output)
@@ -181,6 +189,26 @@ const COMMANDS: &[CommandSpec] = &[
             max_positionals: 1,
         },
         run: cmd_check,
+    },
+    CommandSpec {
+        name: "bound",
+        vocab: args::Vocabulary {
+            value_options: &[
+                "network",
+                "size",
+                "config",
+                "mapping",
+                "rob",
+                "batch",
+                "routing",
+                "vcs",
+                "router-depth",
+                "format",
+            ],
+            flags: &["help"],
+            max_positionals: 1,
+        },
+        run: cmd_bound,
     },
     CommandSpec {
         name: "asm",
@@ -492,8 +520,8 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
 /// `pimsim check`: static dataflow + rendezvous verification of a program
 /// (a `.s`/`.json` file, or a zoo network compiled on the spot) against
 /// the architecture configuration, without simulating anything.
-fn cmd_check(args: &Args) -> Result<(), String> {
-    let arch = load_arch(args)?;
+/// Validates `--format` for the analyzer commands.
+fn report_format(args: &Args) -> Result<&str, String> {
     let format = args.get("format").unwrap_or("text");
     if !matches!(format, "text" | "json") {
         let hint = match args::closest(format, ["text", "json"]) {
@@ -504,8 +532,15 @@ fn cmd_check(args: &Args) -> Result<(), String> {
             "unknown format `{format}`: want text or json{hint}"
         ));
     }
-    let (program, label) = match (args.positional.first(), args.get("network")) {
-        (Some(_), Some(_)) => return Err("give a program file or --network, not both".to_string()),
+    Ok(format)
+}
+
+/// Resolves the program `check`/`bound` operate on: a positional
+/// `.s`/`.json` file, or a zoo network compiled on the spot. Returns the
+/// program plus a human-readable label.
+fn load_program(args: &Args, arch: &ArchConfig, cmd: &str) -> Result<(Program, String), String> {
+    match (args.positional.first(), args.get("network")) {
+        (Some(_), Some(_)) => Err("give a program file or --network, not both".to_string()),
         (Some(path), None) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let program = if path.ends_with(".s") {
@@ -513,25 +548,29 @@ fn cmd_check(args: &Args) -> Result<(), String> {
             } else {
                 Program::from_json(&text).map_err(|e| e.to_string())?
             };
-            (program, path.clone())
+            Ok((program, path.clone()))
         }
         (None, Some(_)) => {
             let net = load_network(args)?;
             let policy = mapping_policy(args)?;
             let batch = args.get_u32("batch")?.unwrap_or(1);
-            let compiled = Compiler::new(&arch)
+            let compiled = Compiler::new(arch)
                 .mapping(policy)
                 .batch(batch)
                 .compile(&net)
                 .map_err(|e| e.to_string())?;
-            (compiled.program, format!("{} under {policy}", net.name))
+            Ok((compiled.program, format!("{} under {policy}", net.name)))
         }
-        (None, None) => {
-            return Err(
-                "usage: pimsim check <prog.json|prog.s> | pimsim check --network NAME".to_string(),
-            )
-        }
-    };
+        (None, None) => Err(format!(
+            "usage: pimsim {cmd} <prog.json|prog.s> | pimsim {cmd} --network NAME"
+        )),
+    }
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let arch = load_arch(args)?;
+    let format = report_format(args)?;
+    let (program, label) = load_program(args, &arch, "check")?;
 
     let analysis = pimsim_analyze::analyze(&program, &arch);
     if format == "json" {
@@ -559,6 +598,94 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         return Err(format!(
             "static analysis produced warnings (denied by --deny-warnings): {}",
             analysis.summary()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_bound(args: &Args) -> Result<(), String> {
+    let arch = load_arch(args)?;
+    let format = report_format(args)?;
+    let (program, label) = load_program(args, &arch, "bound")?;
+
+    let report = pimsim_analyze::bounds(&program, &arch);
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "{label}: latency lower bound {:.3} ns ({} ps), source: {}{}",
+            report.latency_lb_ns,
+            report.latency_lb_ps,
+            report.bound_source,
+            if report.complete {
+                ""
+            } else {
+                " (incomplete analysis: bound degrades to pacing terms)"
+            }
+        );
+        if !report.critical_path.is_empty() {
+            let shown = report.critical_path.len() as u32;
+            if shown < report.critical_path_len {
+                println!(
+                    "critical path: {} hops, last {shown} shown:",
+                    report.critical_path_len
+                );
+            } else {
+                println!("critical path ({shown} hops):");
+            }
+            for h in &report.critical_path {
+                println!(
+                    "  core{} pc{:<5} +{} ps -> {} ps  {}",
+                    h.core, h.pc, h.cost_ps, h.finish_ps, h.instr
+                );
+            }
+        }
+        if !report.cores.is_empty() {
+            println!("per-core bounds:");
+        }
+        for c in &report.cores {
+            println!(
+                "  core{}: {} instr, busy >= {} ps, finish >= {} ps, \
+                 utilization >= {:.1}%",
+                c.core,
+                c.instructions,
+                c.busy_lb_ps,
+                c.finish_lb_ps,
+                c.utilization_lb * 100.0
+            );
+        }
+        if !report.channels.is_empty() {
+            println!("channel credit occupancy:");
+            for ch in &report.channels {
+                println!(
+                    "  core{}->core{} tag={}: {} message(s), peak in-flight {}, \
+                     peak/VC {}, min credits {}",
+                    ch.sender,
+                    ch.receiver,
+                    ch.tag,
+                    ch.messages,
+                    ch.peak_in_flight,
+                    ch.peak_per_vc,
+                    ch.min_credits
+                        .map_or_else(|| "-".to_string(), |c| c.to_string())
+                );
+            }
+            if let Some(m) = report.min_credits_deadlock_free {
+                println!(
+                    "deadlock-free from {m} credit(s)/VC; no benefit past {} \
+                     (configured: {})",
+                    report.credit_knee, arch.noc.channel_credits
+                );
+            }
+        }
+    }
+    if report.bound_source == "unanalyzable" {
+        return Err(format!(
+            "static analysis failed; no bound computed ({} diagnostic(s))",
+            report.diagnostics.len()
         ));
     }
     Ok(())
@@ -922,6 +1049,54 @@ mod tests {
             "--deny-warnings",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn bound_reports_on_clean_programs_and_fails_unanalyzable_ones() {
+        let dir = std::env::temp_dir().join("pimsim-cli-bound-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.s");
+        std::fs::write(
+            &good,
+            ".core 0\nli r1, 0\nsend core1, [r1+0], 8, tag=1\nhalt\n\
+             .core 1\nrecv core0, [r0+0], 8, tag=1\nhalt\n",
+        )
+        .unwrap();
+        dispatch(&argv(&["bound", good.to_str().unwrap()])).unwrap();
+        dispatch(&argv(&[
+            "bound",
+            good.to_str().unwrap(),
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        // Program sources mirror `check`: exactly one of file / --network.
+        let err = dispatch(&argv(&["bound"])).unwrap_err();
+        assert!(err.contains("usage: pimsim bound"), "{err}");
+        let err = dispatch(&argv(&[
+            "bound",
+            good.to_str().unwrap(),
+            "--network",
+            "tiny_mlp",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        // A compiled zoo network gets a non-trivial bound.
+        dispatch(&argv(&["bound", "--network", "tiny_mlp"])).unwrap();
+        // A statically broken program has no bound and is an error exit.
+        let bad = dir.join("bad.s");
+        std::fs::write(&bad, ".core 0\nrecv core1, [r0+0], 8, tag=7\nhalt\n").unwrap();
+        let err = dispatch(&argv(&["bound", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no bound computed"), "{err}");
+        // `--deny-warnings` belongs to `check`, not `bound`.
+        let err = dispatch(&argv(&[
+            "bound",
+            "--network",
+            "tiny_mlp",
+            "--deny-warnings",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown option --deny-warnings"), "{err}");
     }
 
     #[test]

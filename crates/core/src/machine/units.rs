@@ -11,7 +11,7 @@
 //! this choreography.
 
 use pimsim_event::SimTime;
-use pimsim_isa::InstrClass;
+use pimsim_isa::{InstrClass, VectorShape};
 
 use super::rob::State;
 use super::{Ctx, EnergyField, Machine, MachineEvent, NodeTimeField};
@@ -19,21 +19,23 @@ use crate::exec::execute_local;
 use crate::machine::error::SimError;
 use crate::resolve::Resolved;
 
-/// `(len, reads, writes)` streams of a vector operation, for cost lookup.
-fn vector_shape(res: &Resolved) -> (u32, u32, u32) {
+/// The [`VectorShape`] of a resolved vector operation, for cost lookup.
+/// Built from the same shared constructors the static bound analyzer
+/// prices with, so the two cannot drift.
+fn vector_shape(res: &Resolved) -> VectorShape {
     match res {
-        Resolved::VBin { len, .. } => (*len, 2, 1),
-        Resolved::VImm { len, .. } | Resolved::VUn { len, .. } => (*len, 1, 1),
-        Resolved::VFill { len, .. } => (*len, 0, 1),
+        Resolved::VBin { len, .. } => VectorShape::binary(*len),
+        Resolved::VImm { len, .. } | Resolved::VUn { len, .. } => VectorShape::unary(*len),
+        Resolved::VFill { len, .. } => VectorShape::fill(*len),
         Resolved::VCopy2d {
             block_len, blocks, ..
-        } => (block_len * blocks, 1, 1),
+        } => VectorShape::copy2d(*block_len, *blocks),
         Resolved::VPool {
             channels,
             win_w,
             win_h,
             ..
-        } => (channels * win_w * win_h, 1, 1),
+        } => VectorShape::pool(*channels, *win_w, *win_h),
         other => unreachable!("vector class mismatch: {other:?}"),
     }
 }
@@ -62,8 +64,10 @@ impl Machine<'_> {
         };
         match class {
             InstrClass::Vector => {
-                let (len, reads, writes) = vector_shape(&res);
-                let cost = self.timing.vector_cost(self.cfg, len, reads, writes);
+                let shape = vector_shape(&res);
+                let cost = self
+                    .timing
+                    .vector_cost(self.cfg, shape.len, shape.reads, shape.writes);
                 self.cores[c].vector_busy = true;
                 self.telemetry.add_energy(EnergyField::Vector, cost.energy);
                 self.telemetry.add_node_energy(tag, cost.energy);

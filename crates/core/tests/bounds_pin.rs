@@ -1,0 +1,160 @@
+//! Pins the static bound analyzer's pricing helpers to the simulator's
+//! own arithmetic, so the two cannot drift apart silently.
+//!
+//! The soundness contract (`static lower bound <= simulated latency`)
+//! only holds while the analyzer prices a node at or below what the
+//! machine charges for it. These tests assert *exact equality* on an
+//! idle fabric — the analyzer's minima are precisely the uncontended
+//! costs — across a grid of shapes, payload sizes and arch knobs,
+//! including non-default router depths, link widths and frequencies.
+
+use pimsim_analyze::bounds::{decode_offset, dispatch_interval, memory_access_min, message_min};
+use pimsim_arch::model::CostModel;
+use pimsim_arch::ArchConfig;
+use pimsim_core::{DefaultTiming, Noc, NocCosts, TimingModel};
+use pimsim_event::SimTime;
+use pimsim_isa::{Addr, Instruction, PoolOp, Reg, VBinOp, VImmOp, VUnOp, VectorShape};
+
+/// Arch variants exercising the knobs the pricing depends on.
+fn arches() -> Vec<ArchConfig> {
+    let mut v = vec![ArchConfig::small_test(), ArchConfig::paper_default()];
+    let mut deep = ArchConfig::small_test().with_router_pipeline_depth(3);
+    deep.noc.hop_cycles = 2;
+    deep.noc.link_flits_per_cycle = 0.5;
+    v.push(deep);
+    let mut fast = ArchConfig::paper_default();
+    fast.timing.dispatch_width = 3;
+    fast.timing.decode_cycles = 7;
+    fast.noc.flit_bytes = 8;
+    v.push(fast);
+    v
+}
+
+#[test]
+fn message_min_matches_idle_noc_delivery() {
+    for arch in arches() {
+        let model = CostModel::new(&arch);
+        let costs = NocCosts::new(&arch);
+        let cores = arch.resources.cores();
+        let start = SimTime::from_ns(3);
+        for &from in &[0u16, 1, cores - 1] {
+            for &to in &[0u16, 1, cores / 2, cores - 1] {
+                for &elems in &[1u32, 16, 300, 4096] {
+                    // Fresh fabric per probe: no residual reservations.
+                    let mut noc = Noc::for_arch(&arch);
+                    let done = noc.message(from, to, elems, start, &costs);
+                    let min = message_min(&model, from, to, elems);
+                    assert_eq!(
+                        done,
+                        start + min,
+                        "message {from}->{to} x{elems} on {}x{}",
+                        arch.resources.core_rows,
+                        arch.resources.core_cols
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_access_min_matches_idle_noc_access() {
+    for arch in arches() {
+        let model = CostModel::new(&arch);
+        let costs = NocCosts::new(&arch);
+        let cores = arch.resources.cores();
+        let start = SimTime::from_ns(5);
+        for &core in &[0u16, 1, cores / 2, cores - 1] {
+            for &elems in &[1u32, 64, 1000] {
+                let mut noc = Noc::for_arch(&arch);
+                let done = noc.memory_access(core, elems, start, &costs);
+                let min = memory_access_min(&model, core, elems);
+                assert_eq!(done, start + min, "gmem access from core{core} x{elems}");
+            }
+        }
+    }
+}
+
+#[test]
+fn frontend_pacing_matches_default_timing() {
+    for arch in arches() {
+        let model = CostModel::new(&arch);
+        assert_eq!(
+            dispatch_interval(&model),
+            DefaultTiming.dispatch_interval(&arch)
+        );
+        assert_eq!(decode_offset(&model), DefaultTiming.decode_offset(&arch));
+    }
+}
+
+/// The shared `VectorShape` classification prices identically through
+/// `CostModel::vector_cost` and the simulator's `TimingModel` seam, for
+/// every vector instruction kind.
+#[test]
+fn vector_shapes_price_identically_everywhere() {
+    let addr = |off: i32| Addr::new(Reg::R1, off).unwrap();
+    let instrs = [
+        Instruction::VBin {
+            op: VBinOp::Add,
+            dst: addr(0),
+            a: addr(8),
+            b: addr(16),
+            len: 129,
+        },
+        Instruction::VImm {
+            op: VImmOp::Mul,
+            dst: addr(0),
+            src: addr(8),
+            imm: 2,
+            len: 77,
+        },
+        Instruction::VUn {
+            op: VUnOp::Sigmoid,
+            dst: addr(0),
+            src: addr(8),
+            len: 31,
+        },
+        Instruction::VFill {
+            dst: addr(0),
+            value: 4,
+            len: 200,
+        },
+        Instruction::VCopy2d {
+            dst: addr(0),
+            src: addr(8),
+            block_len: 9,
+            blocks: 13,
+            src_stride: 11,
+            dst_stride: 9,
+        },
+        Instruction::VPool {
+            op: PoolOp::Max,
+            dst: addr(0),
+            src: addr(8),
+            channels: 16,
+            win_w: 3,
+            win_h: 3,
+            row_stride: 48,
+        },
+    ];
+    let expected_shapes = [
+        VectorShape::binary(129),
+        VectorShape::unary(77),
+        VectorShape::unary(31),
+        VectorShape::fill(200),
+        VectorShape::copy2d(9, 13),
+        VectorShape::pool(16, 3, 3),
+    ];
+    for arch in arches() {
+        let model = CostModel::new(&arch);
+        for (instr, want) in instrs.iter().zip(&expected_shapes) {
+            let shape = instr
+                .vector_shape()
+                .unwrap_or_else(|| panic!("{instr} must have a vector shape"));
+            assert_eq!(shape, *want, "{instr}");
+            let via_model = model.vector_cost(shape.len, shape.reads, shape.writes);
+            let via_timing = DefaultTiming.vector_cost(&arch, shape.len, shape.reads, shape.writes);
+            assert_eq!(via_model, via_timing, "{instr}");
+        }
+    }
+}

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod asm;
+mod cost;
 mod encode;
 mod error;
 mod group;
@@ -60,6 +61,7 @@ mod instr;
 mod program;
 mod reg;
 
+pub use cost::VectorShape;
 pub use encode::{decode, encode, encode_program_words};
 pub use error::IsaError;
 pub use group::{GroupConfig, WeightMatrix};

@@ -53,7 +53,7 @@ pub use pimsim_sweep as sweep;
 
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
-    pub use pimsim_analyze::{analyze, Analysis};
+    pub use pimsim_analyze::{analyze, bounds, Analysis, BoundsReport};
     pub use pimsim_arch::{ArchConfig, RoutingPolicy};
     pub use pimsim_baseline::BaselineSimulator;
     pub use pimsim_compiler::{Compiler, MappingPolicy};

@@ -166,4 +166,48 @@ proptest! {
             (false, _) => {}
         }
     }
+
+    /// Soundness of the static performance bound on random clean
+    /// programs: the bound never exceeds the simulated latency under
+    /// either engine, and `bounds` itself is deterministic.
+    #[test]
+    fn static_bound_never_exceeds_simulated_latency(
+        xfers in proptest::collection::vec(xfer_strategy(), 1..10),
+        tweaks in proptest::collection::vec(tweak_strategy(), 0..4),
+    ) {
+        use pimsim::prelude::bounds;
+        use pimsim::sim::EngineKind;
+
+        let arch = ArchConfig::small_test();
+        let text = build_program(&xfers, &tweaks);
+        let program = asm::assemble(&text).expect("generated assembly is well-formed");
+        if analyze(&program, &arch).has_errors() {
+            // Rejected programs get the trivial zero bound; nothing to
+            // compare against a run that would fail anyway.
+            let r = bounds(&program, &arch);
+            prop_assert_eq!(r.latency_lb_ps, 0);
+            prop_assert_eq!(r.bound_source, "unanalyzable");
+            return Ok(());
+        }
+        let report = bounds(&program, &arch);
+        prop_assert!(report.complete, "clean program must analyze fully:\n{text}");
+        prop_assert_eq!(
+            report.to_json(),
+            bounds(&program, &arch).to_json(),
+            "bound must be deterministic"
+        );
+        for kind in EngineKind::ALL {
+            let sim = Simulator::new(&arch)
+                .with_engine(kind.engine())
+                .run(&program)
+                .map_err(|e| TestCaseError::fail(format!(
+                    "clean program failed to run under {kind}: {e}\n{text}"
+                )))?;
+            prop_assert!(
+                report.latency_lb_ps <= sim.latency.as_ps(),
+                "{}: bound {} ps exceeds simulated {} ps\n{}",
+                kind, report.latency_lb_ps, sim.latency.as_ps(), text
+            );
+        }
+    }
 }

@@ -1,0 +1,99 @@
+//! Differential soundness gate for the static performance bounds.
+//!
+//! For compiler-produced zoo programs the static analyzer must emit a
+//! latency **lower** bound: `bounds(...).latency_lb_ps` may never exceed
+//! the latency the simulator measures, under either mapping policy and
+//! either engine. A violation means either the analyzer invented a
+//! constraint the machine does not enforce, or the simulator's cost
+//! model drifted below the shared pricing tables — both are bugs worth
+//! failing loudly on. CI runs the full 11-network zoo through the
+//! `pimsim bound` CLI; this in-tree subset keeps the gate in `cargo
+//! test` at debug-build-friendly sizes.
+
+use pimsim::nn::zoo;
+use pimsim::prelude::*;
+use pimsim::sim::EngineKind;
+
+/// Asserts bound soundness + determinism for one network on one arch.
+fn assert_sound(net: &Network, arch: &ArchConfig) {
+    for policy in [
+        MappingPolicy::UtilizationFirst,
+        MappingPolicy::PerformanceFirst,
+    ] {
+        let compiled = Compiler::new(arch)
+            .mapping(policy)
+            .functional(false)
+            .compile(net)
+            .unwrap();
+        let report = bounds(&compiled.program, arch);
+        assert!(
+            report.complete,
+            "{policy:?}: compiler output should be fully analyzable: {:?}",
+            report.diagnostics
+        );
+        assert!(report.latency_lb_ps > 0, "{policy:?}: trivial bound");
+        // Determinism: a second run serializes byte-identically.
+        assert_eq!(
+            report.to_json(),
+            bounds(&compiled.program, arch).to_json(),
+            "{policy:?}: bound must be deterministic"
+        );
+        for kind in EngineKind::ALL {
+            let sim = Simulator::new(arch)
+                .with_engine(kind.engine())
+                .run(&compiled.program)
+                .unwrap();
+            assert!(
+                report.latency_lb_ps <= sim.latency.as_ps(),
+                "{policy:?}/{kind}: static bound {} ps exceeds simulated {} ps",
+                report.latency_lb_ps,
+                sim.latency.as_ps()
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_mlp_bound_is_sound() {
+    assert_sound(&zoo::tiny_mlp(), &ArchConfig::small_test());
+}
+
+#[test]
+fn tiny_cnn_bound_is_sound() {
+    assert_sound(&zoo::tiny_cnn(), &ArchConfig::small_test());
+}
+
+#[test]
+fn lenet_bound_is_sound() {
+    assert_sound(&zoo::lenet(32), &ArchConfig::paper_default());
+}
+
+#[test]
+fn vgg8_bound_is_sound() {
+    // One policy/engine combination: the full cross product on a net
+    // this size belongs to the release-mode CI gate, not debug `cargo
+    // test`.
+    let arch = ArchConfig::paper_default();
+    let compiled = Compiler::new(&arch)
+        .mapping(MappingPolicy::PerformanceFirst)
+        .functional(false)
+        .compile(&zoo::vgg8(32))
+        .unwrap();
+    let report = bounds(&compiled.program, &arch);
+    assert!(report.complete, "{:?}", report.diagnostics);
+    let sim = Simulator::new(&arch).run(&compiled.program).unwrap();
+    assert!(report.latency_lb_ps <= sim.latency.as_ps());
+}
+
+#[test]
+fn bound_is_sound_across_arch_knobs() {
+    // The pricing must stay a lower bound when the knobs it feeds on
+    // move: deeper routers, fewer credits, tight ROB, more VCs.
+    let net = zoo::tiny_cnn();
+    let mut arch = ArchConfig::small_test()
+        .with_rob(2)
+        .with_router_pipeline_depth(3)
+        .with_virtual_channels(2);
+    arch.noc.channel_credits = 1;
+    assert_sound(&net, &arch);
+}
