@@ -1,10 +1,10 @@
 //! Records the repo's performance trajectory: kernel events/sec, NoC
 //! fabric messages/sec (dense vs the pre-PR4 HashMap reference), the
 //! transfer-saturated and hotspot (transpose) workloads per routing
-//! policy, and end-to-end simulation throughput per zoo network under
+//! policy, end-to-end simulation throughput per zoo network under
 //! **both run-loop engines** (event and compiled, which must agree
-//! byte-for-byte), written as JSON so future PRs have a baseline to
-//! compare against.
+//! byte-for-byte), and open-loop serving throughput/tail latency,
+//! written as JSON so future PRs have a baseline to compare against.
 //!
 //! ```text
 //! cargo run -p pimsim-bench --release --bin perf_baseline [-- <out.json>]
@@ -46,7 +46,7 @@ fn best_secs(samples: u32, mut f: impl FnMut()) -> f64 {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let samples: u32 = std::env::var("PIMSIM_PERF_SAMPLES")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -221,15 +221,55 @@ fn main() {
         }
     }
 
+    // Open-loop serving: the queueing front-end over the cycle-accurate
+    // service model at a fixed traffic point. Simulated throughput and
+    // tail latency are the tracked figures; host seconds cover the whole
+    // `serve()` call (service-model warm + queueing replay). The report
+    // must be byte-identical at any warm-pool thread count.
+    let mut serving = Vec::new();
+    for name in ["tiny_mlp", "lenet"] {
+        let mut config = pimsim_serve::ServeConfig::new(vec![(
+            name.to_string(),
+            pimsim_sweep::default_resolution(name),
+        )]);
+        config.rate_rps = 100_000.0;
+        config.duration = pimsim_serve::parse_duration("2ms").expect("literal duration parses");
+        let report = pimsim_serve::serve(&config, 4).expect("serves");
+        assert_eq!(
+            report.to_json(),
+            pimsim_serve::serve(&config, 1).expect("serves").to_json(),
+            "{name}: serving report must not depend on the thread count"
+        );
+        let secs = best_secs(samples, || {
+            pimsim_serve::serve(&config, 4).expect("serves");
+        });
+        let net = &report.per_network[0];
+        serving.push(serde_json::json!({
+            "network": (name),
+            "rate_rps": (report.rate_rps),
+            "batch": (report.batch.clone()),
+            "generated": (report.generated),
+            "finished": (report.finished),
+            "dropped": (report.dropped),
+            "throughput_rps": (report.throughput_rps),
+            "p50_latency_ns": (net.p50_latency_ns),
+            "p95_latency_ns": (net.p95_latency_ns),
+            "p99_latency_ns": (net.p99_latency_ns),
+            "host_seconds": (secs),
+            "requests_per_host_sec": ((report.generated as f64 / secs).round()),
+        }));
+    }
+
     let doc = serde_json::json!({
-        "pr": 6,
-        "description": "perf baseline after the two-engine split (compiled scheduler for static regions, event-kernel fallback at transfer boundaries)",
+        "pr": 10,
+        "description": "perf baseline after the open-loop serving engine (seeded arrivals, batching queue, tail-latency reporting over the cycle-accurate service model)",
         "samples_per_datum": samples,
         "kernel": kernel,
         "fabric": fabric,
         "transfer_saturated": transfer,
         "hotspot_transpose": hotspot,
         "simulator": simulator,
+        "serving": serving,
     });
     let text = serde_json::to_string_pretty(&doc).expect("serializes");
     std::fs::write(&out, text + "\n").expect("writes the baseline file");

@@ -136,6 +136,55 @@ impl Args {
         }
     }
 
+    /// The value of `--name` parsed as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is not a number.
+    pub fn get_u64(&self, name: &str) -> Result<Option<u64>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+
+    /// The value of `--name` parsed as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is not a number.
+    pub fn get_f64(&self, name: &str) -> Result<Option<f64>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+
+    /// The value of `--name` as a comma-separated list of `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any item is not a number.
+    pub fn get_f64_csv(&self, name: &str) -> Result<Option<Vec<f64>>, String> {
+        match self.get_csv(name) {
+            None => Ok(None),
+            Some(items) => items
+                .iter()
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("--{name} expects numbers, got `{v}`"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .map(Some),
+        }
+    }
+
     /// The value of `--name` split on commas (empty items dropped).
     pub fn get_csv(&self, name: &str) -> Option<Vec<String>> {
         self.get(name).map(|v| {
@@ -292,5 +341,20 @@ mod tests {
         assert_eq!(a.get_u32_csv("batches").unwrap(), None);
         let a = parse(&["--robs", "1,x"]);
         assert!(a.get_u32_csv("robs").is_err());
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        let a = parse(&["--rob", "1e5", "--batch", "9007199254740993"]);
+        assert_eq!(a.get_f64("rob").unwrap(), Some(1e5));
+        assert_eq!(a.get_u64("batch").unwrap(), Some(9007199254740993));
+        assert_eq!(a.get_f64("network").unwrap(), None);
+        assert_eq!(a.get_u64("network").unwrap(), None);
+        let a = parse(&["--rob", "fast", "--robs", "1.5,x"]);
+        assert!(a.get_f64("rob").is_err());
+        assert!(a.get_u64("rob").is_err());
+        assert!(a.get_f64_csv("robs").is_err());
+        let a = parse(&["--robs", "0.5,2e4"]);
+        assert_eq!(a.get_f64_csv("robs").unwrap().unwrap(), vec![0.5, 2e4]);
     }
 }

@@ -13,7 +13,11 @@
 //! pimsim asm      <file.s> [--out prog.json]
 //! pimsim disasm   <prog.json>
 //! pimsim sweep    [--config grid.json] [--networks a,b] [--robs 1,4,8] ...
+//!                 [--arrival-rates R,S] [--batch-policies P,Q]
 //!                 [--threads N] [--out results.json] [--json]
+//! pimsim serve    --networks resnet18,vgg8 [--rate 50000] [--arrivals poisson]
+//!                 [--duration 10ms] [--batch 4/50us] [--queue 64]
+//!                 [--instances N] [--seed N] [--no-drain] [--json]
 //! pimsim networks
 //! pimsim config   [--out arch.json]
 //! ```
@@ -32,7 +36,7 @@ mod args;
 use args::Args;
 
 const USAGE: &str =
-    "usage: pimsim <run|compile|check|bound|asm|disasm|sweep|networks|config> [options]
+    "usage: pimsim <run|compile|check|bound|asm|disasm|sweep|serve|networks|config> [options]
   run       compile a zoo network and simulate it (add --baseline for the
             MNSIM2.0-like behaviour-level model)
   compile   compile a network and write the program (JSON and/or assembly)
@@ -46,6 +50,9 @@ const USAGE: &str =
   disasm    print the assembly of a program JSON
   sweep     run a design-space campaign (cartesian scenario grid) in
             parallel and collect one result row per point
+  serve     simulate the chip under open-loop inference traffic (request
+            arrivals, batching queue) and report throughput and
+            p50/p95/p99 tail latency
   networks  list zoo networks
   config    print (or write) the default architecture configuration
 
@@ -96,7 +103,28 @@ left empty inherits a single value from the base architecture):
   --hazards on,off    structure-hazard settings (ablation)
   --simulators S,T    cycle | baseline
   --engines A,B       run-loop engines (event | compiled)
-  --threads N         worker threads (default: available cores)
+  --arrival-rates R,S open-loop serving rates (req/s); fans each hardware
+                      point out across traffic intensities
+  --batch-policies P,Q serving batch policies, `N` or `N/T` (e.g. 4/50us)
+  --serve-duration D  serving arrival horizon (default 10ms)
+  --serve-seed N      serving arrival-stream seed (default 42)
+  --threads N         worker threads (default: available cores; sweep/serve)
+
+serve options (open-loop serving; also honors --config, --mapping, --rob,
+--routing, --vcs, --router-depth and --engine like `run`):
+  --networks A,B      zoo networks to serve, `name` or `name/RES` (required)
+  --rate R            aggregate offered load, requests/second (default 50000)
+  --arrivals KIND     arrival process: poisson (default) | fixed | bursty
+  --duration D        arrival horizon with a unit: ns/us/ms/s (default 10ms)
+  --seed N            arrival-stream RNG seed (default 42)
+  --batch POLICY      batch policy `N` or `N/T`: dispatch a batch at N
+                      queued requests or when the oldest has waited T
+                      (default 4/50us)
+  --queue N           admission-queue bound, all networks (default 64)
+  --instances N       simulated accelerator instances (default 1)
+  --burst-on D        bursty arrivals: on-window length (default 500us)
+  --burst-off D       bursty arrivals: off-window length (default 500us)
+  --no-drain          stop at the horizon instead of draining the queue
 ";
 
 fn main() -> ExitCode {
@@ -249,11 +277,44 @@ const COMMANDS: &[CommandSpec] = &[
                 "hazards",
                 "simulators",
                 "engines",
+                "arrival-rates",
+                "batch-policies",
+                "serve-duration",
+                "serve-seed",
             ],
             flags: &["json", "help"],
             max_positionals: 0,
         },
         run: cmd_sweep,
+    },
+    CommandSpec {
+        name: "serve",
+        vocab: args::Vocabulary {
+            value_options: &[
+                "networks",
+                "config",
+                "mapping",
+                "rob",
+                "routing",
+                "vcs",
+                "router-depth",
+                "engine",
+                "rate",
+                "arrivals",
+                "duration",
+                "seed",
+                "batch",
+                "queue",
+                "instances",
+                "burst-on",
+                "burst-off",
+                "threads",
+                "out",
+            ],
+            flags: &["no-drain", "json", "help"],
+            max_positionals: 0,
+        },
+        run: cmd_serve,
     },
     CommandSpec {
         name: "networks",
@@ -777,6 +838,18 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if let Some(v) = args.get_csv("engines") {
         grid.engines = v;
     }
+    if let Some(v) = args.get_f64_csv("arrival-rates")? {
+        grid.arrival_rates = v;
+    }
+    if let Some(v) = args.get_csv("batch-policies") {
+        grid.batch_policies = v;
+    }
+    if let Some(v) = args.get("serve-duration") {
+        grid.serve_duration = Some(v.to_string());
+    }
+    if let Some(v) = args.get_u64("serve-seed")? {
+        grid.serve_seed = Some(v);
+    }
     let threads = match args.get_u32("threads")? {
         Some(t) => t.max(1) as usize,
         None => pimsim_sweep::default_threads(),
@@ -826,6 +899,97 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         rows.len(),
         wall.as_secs_f64()
     );
+    Ok(())
+}
+
+/// `pimsim serve`: the open-loop inference-serving simulation — seeded
+/// request arrivals, a batching admission queue, and the cycle-accurate
+/// simulator as the per-batch service-time model.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let names = args
+        .get_csv("networks")
+        .ok_or("missing --networks (try `pimsim networks`)")?;
+    let mut networks = Vec::with_capacity(names.len());
+    for item in &names {
+        let (name, resolution) = match item.split_once('/') {
+            Some((n, r)) => {
+                let res = r.parse().map_err(|_| {
+                    format!("--networks: `{item}` has a bad resolution (want e.g. `{n}/64`)")
+                })?;
+                (n.to_string(), res)
+            }
+            None => (item.clone(), pimsim_sweep::default_resolution(item)),
+        };
+        networks.push((name, resolution));
+    }
+    let mut config = pimsim_serve::ServeConfig::new(networks);
+    config.arch = load_arch(args)?;
+    config.mapping = mapping_policy(args)?;
+    config.engine = engine_kind(args)?;
+    if let Some(rate) = args.get_f64("rate")? {
+        config.rate_rps = rate;
+    }
+    if let Some(v) = args.get("arrivals") {
+        config.arrivals = v.parse().map_err(|e: pimsim_serve::ServeError| {
+            let names = pimsim_serve::ArrivalProcess::ALL.map(|a| a.name());
+            match args::closest(v, names) {
+                Some(s) => format!("{e} — did you mean `{s}`?"),
+                None => e.to_string(),
+            }
+        })?;
+    }
+    if let Some(v) = args.get("duration") {
+        config.duration =
+            pimsim_serve::parse_duration(v).map_err(|e| format!("--duration: {e}"))?;
+    }
+    if let Some(seed) = args.get_u64("seed")? {
+        config.seed = seed;
+    }
+    if let Some(v) = args.get("batch") {
+        config.batch = v
+            .parse()
+            .map_err(|e: pimsim_serve::ServeError| e.to_string())?;
+    }
+    if let Some(cap) = args.get_u64("queue")? {
+        config.queue_cap = cap;
+    }
+    if let Some(n) = args.get_u32("instances")? {
+        config.instances = n;
+    }
+    if let Some(v) = args.get("burst-on") {
+        config.burst_on =
+            pimsim_serve::parse_duration(v).map_err(|e| format!("--burst-on: {e}"))?;
+    }
+    if let Some(v) = args.get("burst-off") {
+        config.burst_off =
+            pimsim_serve::parse_duration(v).map_err(|e| format!("--burst-off: {e}"))?;
+    }
+    if args.flag("no-drain") {
+        config.drain = false;
+    }
+    let threads = match args.get_u32("threads")? {
+        Some(t) => t.max(1) as usize,
+        None => pimsim_sweep::default_threads(),
+    };
+    let report = pimsim_serve::serve(&config, threads).map_err(|e| match &e {
+        pimsim_serve::ServeError::UnknownNetwork(n) => {
+            match args::closest(n, zoo::NAMES.iter().copied()) {
+                Some(s) => format!("{e} — did you mean `{s}`?"),
+                None => e.to_string(),
+            }
+        }
+        _ => e.to_string(),
+    })?;
+    let json = report.to_json();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &json).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    if args.flag("json") {
+        println!("{json}");
+    } else if args.get("out").is_none() {
+        print!("{}", report.render_text());
+    }
     Ok(())
 }
 
@@ -1097,6 +1261,126 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("unknown option --deny-warnings"), "{err}");
+    }
+
+    #[test]
+    fn serve_validates_its_options() {
+        let err = dispatch(&argv(&["serve"])).unwrap_err();
+        assert!(err.contains("missing --networks"), "{err}");
+        let err = dispatch(&argv(&[
+            "serve",
+            "--networks",
+            "tiny_mlp",
+            "--arrivals",
+            "poison",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown arrival process `poison`"), "{err}");
+        assert!(err.contains("did you mean `poisson`?"), "{err}");
+        let err = dispatch(&argv(&[
+            "serve",
+            "--networks",
+            "tiny_mlp",
+            "--batch",
+            "4@50us",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad batch policy"), "{err}");
+        let err = dispatch(&argv(&["serve", "--networks", "tiny_mlp/x"])).unwrap_err();
+        assert!(err.contains("bad resolution"), "{err}");
+        // An unknown network is caught before any simulation, with a hint.
+        let err = dispatch(&argv(&["serve", "--networks", "tiny_mpl"])).unwrap_err();
+        assert!(err.contains("unknown network `tiny_mpl`"), "{err}");
+        assert!(err.contains("did you mean `tiny_mlp`?"), "{err}");
+        // Durations need a unit.
+        let err = dispatch(&argv(&[
+            "serve",
+            "--networks",
+            "tiny_mlp",
+            "--duration",
+            "10",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--duration"), "{err}");
+        // `run`'s flags don't leak into `serve`.
+        let err = dispatch(&argv(&["serve", "--networks", "tiny_mlp", "--baseline"])).unwrap_err();
+        assert!(err.contains("unknown option --baseline"), "{err}");
+    }
+
+    #[test]
+    fn serve_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("pimsim-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let arch = dir.join("small.json");
+        ArchConfig::small_test().to_file(&arch).unwrap();
+        let out = dir.join("serve.json");
+        dispatch(&argv(&[
+            "serve",
+            "--networks",
+            "tiny_mlp",
+            "--config",
+            arch.to_str().unwrap(),
+            "--rate",
+            "100000",
+            "--duration",
+            "200us",
+            "--batch",
+            "2/20us",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"p99_latency_ns\""), "{text}");
+        assert!(text.contains("\"throughput_rps\""), "{text}");
+        assert!(text.contains("\"network\": \"tiny_mlp\""), "{text}");
+    }
+
+    /// The CLI reference in docs/cli.md must document every subcommand
+    /// section-by-section, and each section's set of `--option` mentions
+    /// must equal that subcommand's actual vocabulary — no missing
+    /// options, no stale ones.
+    #[test]
+    fn cli_reference_matches_the_command_table() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/cli.md");
+        let text = std::fs::read_to_string(path).expect("docs/cli.md exists");
+        for spec in COMMANDS {
+            let heading = format!("## pimsim {}", spec.name);
+            let start = text
+                .find(&heading)
+                .unwrap_or_else(|| panic!("docs/cli.md has no `{heading}` section"));
+            let body = &text[start + heading.len()..];
+            let body = match body.find("\n## ") {
+                Some(end) => &body[..end],
+                None => body,
+            };
+            let mut documented = std::collections::BTreeSet::new();
+            let mut rest = body;
+            while let Some(pos) = rest.find("--") {
+                rest = &rest[pos + 2..];
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                    .collect();
+                // Skip table rules (`|---|`) and empty matches; keep
+                // real option names.
+                if !name.is_empty() && !name.starts_with('-') {
+                    documented.insert(name);
+                }
+            }
+            let mut expected: std::collections::BTreeSet<String> = spec
+                .vocab
+                .value_options
+                .iter()
+                .chain(spec.vocab.flags)
+                .map(|s| s.to_string())
+                .collect();
+            expected.remove("help"); // documented once, in the intro
+            assert_eq!(
+                documented, expected,
+                "docs/cli.md section `{heading}` disagrees with the command's vocabulary"
+            );
+        }
     }
 
     #[test]

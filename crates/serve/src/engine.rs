@@ -1,0 +1,295 @@
+//! The queueing/batching front-end and dispatcher.
+//!
+//! A single-threaded virtual-time simulation: arrivals, batch-timeout
+//! wake-ups, and instance completions pop off one event heap ordered by
+//! `(time, sequence number)`, so the outcome is a pure function of the
+//! request stream and the service model — no wall-clock, no threads, no
+//! nondeterminism.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use pimsim_event::SimTime;
+
+use crate::config::ServeConfig;
+use crate::service::ServiceModel;
+use crate::workload::Request;
+
+/// What the queueing simulation hands to the report builder.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SimOutcome {
+    /// Requests completed, per network.
+    pub finished: Vec<u64>,
+    /// Requests dropped at the full queue, per network.
+    pub dropped: Vec<u64>,
+    /// Requests still queued when the simulation stopped, per network
+    /// (always zero in drain mode).
+    pub in_queue: Vec<u64>,
+    /// Batches dispatched, per network.
+    pub batches: Vec<u64>,
+    /// Per-network request latencies (completion − arrival), picoseconds,
+    /// in dispatch order.
+    pub latencies_ps: Vec<Vec<u64>>,
+    /// Total service energy across all dispatched batches, picojoules.
+    pub energy_pj: f64,
+    /// When the last dispatched batch completes (at least the arrival
+    /// horizon, even on an idle run).
+    pub makespan: SimTime,
+    /// `(time, queued total)` after every event, deduplicated per instant.
+    pub depth_samples: Vec<(SimTime, u64)>,
+    /// The deepest the queue ever got.
+    pub max_depth: u64,
+}
+
+/// Heap entry: `seq` is unique per event, so ordering is total and the
+/// pop order never depends on how ties would compare `kind`s.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    /// A request (by index into the stream) reaches the front-end.
+    Arrival(usize),
+    /// A batch-timeout wake-up for a queue head; stale once that head
+    /// has been dispatched.
+    Flush,
+    /// An instance finishes its batch and becomes free.
+    Free,
+}
+
+/// Plays `requests` through the bounded queueing front-end and the
+/// batching dispatcher, using `model` for per-batch service times.
+pub(crate) fn simulate(
+    config: &ServeConfig,
+    requests: &[Request],
+    model: &ServiceModel,
+) -> SimOutcome {
+    let nets = config.networks.len();
+    let timeout = config.batch.timeout;
+    let batch_max = config.batch.max_size;
+
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::with_capacity(requests.len() * 2);
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Reverse<Ev>>, time: SimTime, kind: EvKind| {
+        heap.push(Reverse(Ev { time, seq, kind }));
+        seq += 1;
+    };
+    for (i, r) in requests.iter().enumerate() {
+        push(&mut heap, r.arrival, EvKind::Arrival(i));
+    }
+
+    // Per-network FIFO of admitted requests: (request id, arrival time).
+    let mut queues: Vec<VecDeque<(u64, SimTime)>> = vec![VecDeque::new(); nets];
+    let mut queued_total = 0u64;
+    let mut free = config.instances;
+    let mut arrivals_left = requests.len();
+
+    let mut out = SimOutcome {
+        finished: vec![0; nets],
+        dropped: vec![0; nets],
+        in_queue: vec![0; nets],
+        batches: vec![0; nets],
+        latencies_ps: vec![Vec::new(); nets],
+        energy_pj: 0.0,
+        makespan: config.duration,
+        depth_samples: Vec::new(),
+        max_depth: 0,
+    };
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        let now = ev.time;
+        match ev.kind {
+            EvKind::Arrival(i) => {
+                arrivals_left -= 1;
+                let r = &requests[i];
+                if queued_total >= config.queue_cap {
+                    out.dropped[r.net] += 1;
+                } else {
+                    queues[r.net].push_back((r.id, r.arrival));
+                    queued_total += 1;
+                    if queues[r.net].len() == 1 {
+                        // This request is its queue's head: wake the
+                        // dispatcher when its patience runs out.
+                        push(&mut heap, now + timeout, EvKind::Flush);
+                    }
+                }
+            }
+            // Flush and Free carry no payload: ripeness is recomputed
+            // from queue state below, so stale wake-ups are harmless.
+            EvKind::Flush => {}
+            EvKind::Free => free += 1,
+        }
+
+        // Dispatch as long as instances are free and some queue is ripe.
+        // In drain mode every non-empty queue is ripe once arrivals end;
+        // without drain, dispatching stops at the horizon.
+        let drain_active = config.drain && arrivals_left == 0;
+        let horizon_closed = !config.drain && now >= config.duration;
+        while free > 0 && !horizon_closed {
+            let mut best: Option<(SimTime, usize)> = None;
+            for (net, queue) in queues.iter().enumerate() {
+                let Some(&(_, head_arrival)) = queue.front() else {
+                    continue;
+                };
+                let ripe = queue.len() as u32 >= batch_max
+                    || now >= head_arrival + timeout
+                    || drain_active;
+                if ripe && best.is_none_or(|(t, _)| head_arrival < t) {
+                    best = Some((head_arrival, net));
+                }
+            }
+            let Some((_, net)) = best else { break };
+            let k = (queues[net].len() as u32).min(batch_max);
+            let point = model.get(net, k);
+            let completion = now + point.latency;
+            for _ in 0..k {
+                let (_, arrival) = queues[net].pop_front().expect("batch under-filled");
+                out.latencies_ps[net].push((completion - arrival).as_ps());
+                out.finished[net] += 1;
+                queued_total -= 1;
+            }
+            out.batches[net] += 1;
+            out.energy_pj += point.energy_pj;
+            out.makespan = out.makespan.max(completion);
+            free -= 1;
+            push(&mut heap, completion, EvKind::Free);
+            if let Some(&(_, head_arrival)) = queues[net].front() {
+                // The new head inherits no wake-up; give it one (clamped
+                // to now when its patience already ran out).
+                push(&mut heap, (head_arrival + timeout).max(now), EvKind::Flush);
+            }
+        }
+
+        out.max_depth = out.max_depth.max(queued_total);
+        match out.depth_samples.last_mut() {
+            Some(last) if last.0 == now => last.1 = queued_total,
+            _ => out.depth_samples.push((now, queued_total)),
+        }
+    }
+
+    for (net, queue) in queues.iter().enumerate() {
+        out.in_queue[net] = queue.len() as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatchPolicy;
+    use crate::workload::generate_requests;
+    use pimsim_arch::ArchConfig;
+
+    fn tiny_config() -> ServeConfig {
+        let mut c = ServeConfig::new(vec![
+            ("tiny_mlp".to_string(), 64),
+            ("tiny_cnn".to_string(), 64),
+        ]);
+        c.arch = ArchConfig::small_test();
+        c.rate_rps = 200_000.0;
+        c.duration = SimTime::from_us(500);
+        c.batch = BatchPolicy {
+            max_size: 2,
+            timeout: SimTime::from_us(20),
+        };
+        c
+    }
+
+    fn run(c: &ServeConfig) -> (Vec<Request>, SimOutcome) {
+        let model = ServiceModel::warm(c, 2).unwrap();
+        let requests = generate_requests(c).unwrap();
+        let outcome = simulate(c, &requests, &model);
+        (requests, outcome)
+    }
+
+    fn totals(outcome: &SimOutcome) -> (u64, u64, u64) {
+        (
+            outcome.finished.iter().sum(),
+            outcome.dropped.iter().sum(),
+            outcome.in_queue.iter().sum(),
+        )
+    }
+
+    #[test]
+    fn every_request_is_accounted_for() {
+        let c = tiny_config();
+        let (requests, outcome) = run(&c);
+        let (finished, dropped, in_queue) = totals(&outcome);
+        assert_eq!(finished + dropped + in_queue, requests.len() as u64);
+        assert_eq!(in_queue, 0, "drain mode must empty the queues");
+        assert!(finished > 0);
+        assert!(outcome.makespan >= c.duration);
+        assert!(outcome.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn no_drain_leaves_the_horizon_tail_queued() {
+        let mut c = tiny_config();
+        c.drain = false;
+        // Swamp a single slow instance so the queue is non-empty at the
+        // horizon.
+        c.rate_rps = 2_000_000.0;
+        c.queue_cap = 1_000_000;
+        let (requests, outcome) = run(&c);
+        let (finished, dropped, in_queue) = totals(&outcome);
+        assert_eq!(finished + dropped + in_queue, requests.len() as u64);
+        assert!(
+            in_queue > 0,
+            "an overloaded no-drain run should strand requests"
+        );
+        assert_eq!(outcome.makespan, c.duration.max(outcome.makespan));
+    }
+
+    #[test]
+    fn a_tiny_queue_cap_drops_bursts() {
+        let mut c = tiny_config();
+        c.queue_cap = 1;
+        c.rate_rps = 2_000_000.0;
+        let (requests, outcome) = run(&c);
+        let (finished, dropped, in_queue) = totals(&outcome);
+        assert_eq!(finished + dropped + in_queue, requests.len() as u64);
+        assert!(dropped > 0, "cap 1 under overload must drop");
+        assert!(outcome.max_depth <= 1);
+    }
+
+    #[test]
+    fn batches_respect_the_size_cap_and_count_requests() {
+        let c = tiny_config();
+        let (_, outcome) = run(&c);
+        for net in 0..2 {
+            assert!(outcome.batches[net] * 2 >= outcome.finished[net]);
+            assert!(outcome.batches[net] <= outcome.finished[net]);
+            assert_eq!(
+                outcome.latencies_ps[net].len() as u64,
+                outcome.finished[net]
+            );
+            for &l in &outcome.latencies_ps[net] {
+                assert!(l > 0, "a served request takes positive time");
+            }
+        }
+    }
+
+    #[test]
+    fn more_instances_never_hurt_the_tail() {
+        let c1 = tiny_config();
+        let mut c4 = tiny_config();
+        c4.instances = 4;
+        let (_, one) = run(&c1);
+        let (_, four) = run(&c4);
+        let worst = |o: &SimOutcome| o.latencies_ps.iter().flatten().copied().max().unwrap_or(0);
+        assert!(worst(&four) <= worst(&one));
+        assert!(four.makespan <= one.makespan);
+    }
+
+    #[test]
+    fn outcome_reproduces_exactly() {
+        let c = tiny_config();
+        let (_, a) = run(&c);
+        let (_, b) = run(&c);
+        assert_eq!(a, b);
+    }
+}

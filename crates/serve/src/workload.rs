@@ -1,0 +1,255 @@
+//! Deterministic open-loop request streams.
+//!
+//! Each served network draws inter-arrival times from its own seeded
+//! substream, so adding a network to the workload never perturbs the
+//! arrival times of the others, and the merged stream is a pure function
+//! of `(networks, process, rate, seed, duration)` — the foundation of the
+//! serving layer's byte-identical-at-any-thread-count contract.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use pimsim_event::SimTime;
+
+use crate::config::{ArrivalProcess, ServeConfig};
+use crate::ServeError;
+
+/// One inference request in the open-loop stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Position in the merged stream (ids are dense and arrival-ordered).
+    pub id: u64,
+    /// Index into [`ServeConfig::networks`] of the requested network.
+    pub net: usize,
+    /// When the request arrives at the front-end.
+    pub arrival: SimTime,
+}
+
+/// Hard cap on the generated stream, so an over-enthusiastic
+/// rate×duration product fails fast instead of exhausting memory.
+const MAX_REQUESTS: usize = 4_000_000;
+
+/// Mixes the run seed with a network index into an independent substream
+/// seed (SplitMix64's golden-ratio increment keeps nearby indices far
+/// apart in seed space).
+fn substream_seed(seed: u64, net: usize) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(net as u64 + 1)
+}
+
+/// One exponential inter-arrival draw for a Poisson process at `rate`
+/// events per second, as simulated time (inverse-CDF transform).
+fn exponential(rng: &mut StdRng, rate: f64) -> SimTime {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    SimTime::from_ns_f64(-(1.0 - u).ln() / rate * 1e9)
+}
+
+/// Generates the full request stream for `config`, merged across networks
+/// and ordered by `(arrival, network index)`, with dense arrival-ordered
+/// ids.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Config`] when the rate×duration product would
+/// exceed the 4-million-request safety cap.
+pub fn generate_requests(config: &ServeConfig) -> Result<Vec<Request>, ServeError> {
+    let nets = config.networks.len();
+    let per_net_rate = config.rate_rps / nets as f64;
+    let mut merged: Vec<Request> = Vec::new();
+    for net in 0..nets {
+        let mut rng = StdRng::seed_from_u64(substream_seed(config.seed, net));
+        let arrivals = match config.arrivals {
+            ArrivalProcess::Poisson => poisson(&mut rng, per_net_rate, config.duration),
+            ArrivalProcess::Fixed => fixed(&mut rng, per_net_rate, config.duration),
+            ArrivalProcess::Bursty => bursty(
+                &mut rng,
+                per_net_rate,
+                config.duration,
+                config.burst_on,
+                config.burst_off,
+            ),
+        };
+        if merged.len() + arrivals.len() > MAX_REQUESTS {
+            return Err(ServeError::Config(format!(
+                "workload exceeds {MAX_REQUESTS} requests; lower the rate or duration"
+            )));
+        }
+        merged.extend(arrivals.into_iter().map(|arrival| Request {
+            id: 0, // assigned after the merge
+            net,
+            arrival,
+        }));
+    }
+    // Per-network streams are already time-ordered; the merge orders by
+    // arrival and breaks ties by network index (sort_by is stable, and
+    // within one network generation order is time order).
+    merged.sort_by_key(|r| (r.arrival, r.net));
+    for (id, request) in merged.iter_mut().enumerate() {
+        request.id = id as u64;
+    }
+    Ok(merged)
+}
+
+/// Poisson process: i.i.d. exponential inter-arrival times.
+fn poisson(rng: &mut StdRng, rate: f64, duration: SimTime) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        t += exponential(rng, rate);
+        if t >= duration || out.len() >= MAX_REQUESTS {
+            return out;
+        }
+        out.push(t);
+    }
+}
+
+/// Fixed-rate trace: arrivals exactly one period apart; the only
+/// randomness is a per-substream phase offset in `[0, period)` so that
+/// multiple networks don't all arrive on the same instant.
+fn fixed(rng: &mut StdRng, rate: f64, duration: SimTime) -> Vec<SimTime> {
+    let period_ns = 1e9 / rate;
+    let phase: f64 = rng.gen_range(0.0..1.0);
+    let mut out = Vec::new();
+    for k in 0..MAX_REQUESTS {
+        let t = SimTime::from_ns_f64((phase + k as f64) * period_ns);
+        if t >= duration {
+            return out;
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Bursty on/off traffic: a deterministic square wave of `on`/`off`
+/// windows; `on` windows carry Poisson traffic boosted so the long-run
+/// average still matches `rate`, `off` windows are silent.
+fn bursty(
+    rng: &mut StdRng,
+    rate: f64,
+    duration: SimTime,
+    on: SimTime,
+    off: SimTime,
+) -> Vec<SimTime> {
+    let period = on + off;
+    let boosted = rate * period.as_secs_f64() / on.as_secs_f64();
+    let mut out = Vec::new();
+    let mut window_start = SimTime::ZERO;
+    while window_start < duration && out.len() < MAX_REQUESTS {
+        let window_end = (window_start + on).min(duration);
+        let mut t = window_start;
+        loop {
+            t += exponential(rng, boosted);
+            if t >= window_end || out.len() >= MAX_REQUESTS {
+                break;
+            }
+            out.push(t);
+        }
+        window_start += period;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(arrivals: ArrivalProcess) -> ServeConfig {
+        let mut c = ServeConfig::new(vec![
+            ("tiny_mlp".to_string(), 64),
+            ("tiny_cnn".to_string(), 64),
+        ]);
+        c.arrivals = arrivals;
+        c.rate_rps = 100_000.0;
+        c.duration = SimTime::from_ms(2);
+        c
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        for arrivals in ArrivalProcess::ALL {
+            let c = config(arrivals);
+            let a = generate_requests(&c).unwrap();
+            let b = generate_requests(&c).unwrap();
+            assert_eq!(a, b, "{arrivals} stream must reproduce for equal seeds");
+            let mut other = c.clone();
+            other.seed = c.seed + 1;
+            if arrivals != ArrivalProcess::Fixed {
+                assert_ne!(
+                    generate_requests(&other).unwrap(),
+                    a,
+                    "{arrivals} stream should move with the seed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_ordered_with_dense_ids() {
+        for arrivals in ArrivalProcess::ALL {
+            let reqs = generate_requests(&config(arrivals)).unwrap();
+            assert!(!reqs.is_empty());
+            for (i, pair) in reqs.windows(2).enumerate() {
+                assert!(
+                    (pair[0].arrival, pair[0].net) <= (pair[1].arrival, pair[1].net),
+                    "{arrivals}: out of order at {i}"
+                );
+            }
+            for (i, r) in reqs.iter().enumerate() {
+                assert_eq!(r.id, i as u64);
+                assert!(r.arrival < SimTime::from_ms(2));
+                assert!(r.net < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_land_near_the_request_budget() {
+        // 100k req/s over 2 ms ≈ 200 requests; Poisson and bursty wander,
+        // fixed is exact up to the phase offset.
+        for arrivals in ArrivalProcess::ALL {
+            let n = generate_requests(&config(arrivals)).unwrap().len() as f64;
+            assert!(
+                (120.0..=280.0).contains(&n),
+                "{arrivals}: got {n} requests, expected ≈200"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_network_preserves_other_substreams() {
+        let one = {
+            let mut c = config(ArrivalProcess::Poisson);
+            c.networks.truncate(1);
+            c.rate_rps = 50_000.0; // same 50k per-network share as the pair
+            generate_requests(&c).unwrap()
+        };
+        let two = generate_requests(&config(ArrivalProcess::Poisson)).unwrap();
+        let net0: Vec<SimTime> = two
+            .iter()
+            .filter(|r| r.net == 0)
+            .map(|r| r.arrival)
+            .collect();
+        let solo: Vec<SimTime> = one.iter().map(|r| r.arrival).collect();
+        assert_eq!(net0, solo);
+    }
+
+    #[test]
+    fn runaway_workloads_are_rejected() {
+        let mut c = config(ArrivalProcess::Fixed);
+        c.rate_rps = 1e12;
+        assert!(matches!(generate_requests(&c), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn bursty_off_windows_are_silent() {
+        let mut c = config(ArrivalProcess::Bursty);
+        c.burst_on = SimTime::from_us(200);
+        c.burst_off = SimTime::from_us(300);
+        for r in generate_requests(&c).unwrap() {
+            let phase = r.arrival.as_ps() % SimTime::from_us(500).as_ps();
+            assert!(
+                phase < SimTime::from_us(200).as_ps(),
+                "arrival {} falls in an off window",
+                r.arrival
+            );
+        }
+    }
+}

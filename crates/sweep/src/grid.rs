@@ -8,7 +8,9 @@ use serde::{Deserialize, Map, Number, Serialize, Value};
 use pimsim_arch::{ArchConfig, RoutingPolicy};
 use pimsim_compiler::MappingPolicy;
 use pimsim_core::EngineKind;
+use pimsim_event::SimTime;
 use pimsim_nn::zoo;
+use pimsim_serve::BatchPolicy;
 
 use crate::SweepError;
 
@@ -90,6 +92,22 @@ pub fn default_resolution(network: &str) -> u32 {
     }
 }
 
+/// The serving-mode coordinates of a grid point: present when the grid
+/// has an `arrival_rates` axis, absent for plain one-shot simulation
+/// points (and always absent on behaviour-level baseline points, which
+/// have no open-loop front-end to drive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePoint {
+    /// Offered arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Batch formation policy of the queueing front-end.
+    pub policy: BatchPolicy,
+    /// Arrival horizon.
+    pub duration: SimTime,
+    /// RNG seed of the request stream.
+    pub seed: u64,
+}
+
 /// One fully resolved grid point: everything needed to compile and
 /// simulate, self-contained (the architecture already has all knobs
 /// applied).
@@ -111,6 +129,8 @@ pub struct Scenario {
     /// Optional human label (used by campaign front ends); empty means
     /// "derive one from the fields".
     pub label: String,
+    /// Open-loop serving coordinates; `None` = one-shot simulation.
+    pub serve: Option<ServePoint>,
     /// The complete architecture for this point.
     pub arch: ArchConfig,
 }
@@ -132,6 +152,7 @@ impl Scenario {
             simulator: SimulatorKind::Cycle,
             engine: EngineKind::default(),
             label: String::new(),
+            serve: None,
             arch,
         }
     }
@@ -147,6 +168,7 @@ impl Scenario {
             simulator: SimulatorKind::Baseline,
             engine: EngineKind::default(),
             label: String::new(),
+            serve: None,
             arch,
         }
     }
@@ -161,6 +183,13 @@ impl Scenario {
     /// the baseline has no run loop to swap).
     pub fn with_engine(mut self, engine: EngineKind) -> Scenario {
         self.engine = engine;
+        self
+    }
+
+    /// Returns the scenario evaluated in open-loop serving mode at the
+    /// given coordinates (cycle simulator only).
+    pub fn with_serve(mut self, serve: ServePoint) -> Scenario {
+        self.serve = Some(serve);
         self
     }
 
@@ -192,6 +221,17 @@ impl Scenario {
         } else {
             format!(" engine={}", self.engine)
         };
+        if let Some(sp) = &self.serve {
+            return format!(
+                "{}/{} {} serve rate={} batch={} rob={}{routing}{vcs}{depth}{engine}",
+                self.network,
+                self.resolution,
+                self.mapping,
+                sp.rate_rps,
+                sp.policy,
+                self.arch.resources.rob_size,
+            );
+        }
         format!(
             "{}/{} {} x{} rob={}{routing}{vcs}{depth}{engine} {}",
             self.network,
@@ -256,6 +296,21 @@ impl Serialize for Scenario {
         }
         if self.engine != EngineKind::default() {
             map.insert("engine", Value::String(self.engine.to_string()));
+        }
+        // Serving coordinates appear only on serving points, so one-shot
+        // campaign output from before the serving layer existed stays
+        // byte-identical.
+        if let Some(sp) = &self.serve {
+            map.insert(
+                "arrival_rate_rps",
+                Value::Number(Number::from_f64(sp.rate_rps)),
+            );
+            map.insert("batch_policy", Value::String(sp.policy.to_string()));
+            map.insert(
+                "serve_duration_ns",
+                Value::Number(Number::from_f64(sp.duration.as_ns_f64())),
+            );
+            map.insert("serve_seed", Value::Number(Number::from_u64(sp.seed)));
         }
         map.insert(
             "structure_hazard",
@@ -323,6 +378,26 @@ pub struct SweepGrid {
     /// collapse this axis.
     #[serde(default)]
     pub engines: Vec<String>,
+    /// Open-loop arrival rates (requests/second). Non-empty switches
+    /// cycle points into serving mode: each point runs the queueing
+    /// front-end at one rate instead of one closed-program simulation.
+    /// The `batches` axis collapses in serving mode (batch formation is
+    /// the batch policy's job), as do baseline points (no front-end).
+    #[serde(default)]
+    pub arrival_rates: Vec<f64>,
+    /// Batch policies (`N` or `N/Tunit`, e.g. `4/50us`) to cross with
+    /// `arrival_rates`; empty = `4/50us`. Only valid alongside
+    /// `arrival_rates`.
+    #[serde(default)]
+    pub batch_policies: Vec<String>,
+    /// Serving arrival horizon (`10ms`, `500us`, ...); absent = 10ms.
+    /// Only valid alongside `arrival_rates`.
+    #[serde(default)]
+    pub serve_duration: Option<String>,
+    /// Serving request-stream seed; absent = 42. Only valid alongside
+    /// `arrival_rates`.
+    #[serde(default)]
+    pub serve_seed: Option<u64>,
     /// Base architecture every knob is applied to; absent = the paper
     /// chip.
     #[serde(default)]
@@ -391,12 +466,75 @@ impl SweepGrid {
             * axis(self.vcs.len())
             * axis(self.router_depths.len())
             * axis(self.structure_hazard.len())
+            * axis(self.arrival_rates.len())
+            * axis(self.batch_policies.len())
+    }
+
+    /// Resolves the serving axes into concrete [`ServePoint`]s (rate
+    /// outermost, policy innermost), or `None` when the grid has no
+    /// `arrival_rates` axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Config`] when serving knobs are given
+    /// without `arrival_rates`, a rate is not positive, a batch policy or
+    /// the duration does not parse.
+    fn serve_points(&self) -> Result<Option<Vec<ServePoint>>, SweepError> {
+        if self.arrival_rates.is_empty() {
+            if !self.batch_policies.is_empty()
+                || self.serve_duration.is_some()
+                || self.serve_seed.is_some()
+            {
+                return Err(SweepError::Config(
+                    "batch_policies / serve_duration / serve_seed need an arrival_rates axis"
+                        .to_string(),
+                ));
+            }
+            return Ok(None);
+        }
+        for &rate in &self.arrival_rates {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(SweepError::Config(format!(
+                    "arrival rate must be positive, got {rate}"
+                )));
+            }
+        }
+        let policies: Vec<BatchPolicy> = if self.batch_policies.is_empty() {
+            vec![BatchPolicy::default()]
+        } else {
+            self.batch_policies
+                .iter()
+                .map(|p| p.parse().map_err(|e| SweepError::Config(format!("{e}"))))
+                .collect::<Result<_, _>>()?
+        };
+        let duration = match &self.serve_duration {
+            Some(text) => pimsim_serve::parse_duration(text).map_err(SweepError::Config)?,
+            None => SimTime::from_ms(10),
+        };
+        let seed = self.serve_seed.unwrap_or(42);
+        let mut points = Vec::with_capacity(self.arrival_rates.len() * policies.len());
+        for &rate_rps in &self.arrival_rates {
+            for &policy in &policies {
+                points.push(ServePoint {
+                    rate_rps,
+                    policy,
+                    duration,
+                    seed,
+                });
+            }
+        }
+        Ok(Some(points))
     }
 
     /// Expands the cartesian product into concrete scenarios, in a fixed
     /// axis order (networks outermost, then resolution, mapping, batch,
     /// simulator, ROB, ADCs, lanes, flit width, routing, virtual
-    /// channels, router depth, hazard, run-loop engine innermost).
+    /// channels, router depth, hazard, run-loop engine, and — on serving
+    /// grids — arrival rate then batch policy innermost).
+    ///
+    /// A non-empty `arrival_rates` axis turns cycle points into open-loop
+    /// serving points (see [`ServePoint`]); the `batches` axis collapses
+    /// there, since batch formation is the batch policy's job.
     ///
     /// Baseline-simulator points ignore the mapping, batch, ROB, routing,
     /// virtual-channel, router-depth, structure-hazard and engine axes (the
@@ -413,8 +551,8 @@ impl SweepGrid {
     /// Returns [`SweepError::EmptyGrid`] when no networks are given,
     /// [`SweepError::UnknownNetwork`] / [`SweepError::UnknownMapping`] /
     /// [`SweepError::UnknownSimulator`] / [`SweepError::UnknownRouting`]
-    /// for bad axis values, and [`SweepError::Arch`] when the base
-    /// configuration is invalid.
+    /// for bad axis values, [`SweepError::Config`] for bad serving axes,
+    /// and [`SweepError::Arch`] when the base configuration is invalid.
     pub fn scenarios(&self) -> Result<Vec<Scenario>, SweepError> {
         if self.networks.is_empty() {
             return Err(SweepError::EmptyGrid);
@@ -445,6 +583,7 @@ impl SweepGrid {
                 .map(|e| parse_engine(e))
                 .collect::<Result<Vec<_>, _>>()?
         };
+        let serve_points = self.serve_points()?;
         let batches = non_empty(&self.batches, 1);
         let robs = non_empty(&self.rob_sizes, base.resources.rob_size);
         let adcs = non_empty(&self.adcs_per_xbar, base.resources.adcs_per_xbar);
@@ -515,8 +654,19 @@ impl SweepGrid {
                                                             {
                                                                 continue;
                                                             }
+                                                            // In serving mode batch formation is
+                                                            // the batch policy's job, so the
+                                                            // compile-batch axis collapses for
+                                                            // cycle points too.
+                                                            let serving =
+                                                                !baseline && serve_points.is_some();
+                                                            if serving && batch != batches[0] {
+                                                                continue;
+                                                            }
                                                             let (mapping, batch) = if baseline {
                                                                 (MappingPolicy::PerformanceFirst, 1)
+                                                            } else if serving {
+                                                                (mapping, 1)
                                                             } else {
                                                                 (mapping, batch.max(1))
                                                             };
@@ -540,7 +690,7 @@ impl SweepGrid {
                                                                 &engines[..]
                                                             };
                                                             for &engine in point_engines {
-                                                                out.push(Scenario {
+                                                                let template = Scenario {
                                                                     network: network.clone(),
                                                                     resolution,
                                                                     mapping,
@@ -548,8 +698,27 @@ impl SweepGrid {
                                                                     simulator,
                                                                     engine,
                                                                     label: String::new(),
+                                                                    serve: None,
                                                                     arch: arch.clone(),
-                                                                });
+                                                                };
+                                                                match &serve_points {
+                                                                    // Serving fan-out, rate
+                                                                    // outermost then policy —
+                                                                    // the innermost axes of a
+                                                                    // serving campaign.
+                                                                    Some(points) if !baseline => {
+                                                                        for sp in points {
+                                                                            out.push(
+                                                                                template
+                                                                                    .clone()
+                                                                                    .with_serve(
+                                                                                        sp.clone(),
+                                                                                    ),
+                                                                            );
+                                                                        }
+                                                                    }
+                                                                    _ => out.push(template),
+                                                                }
                                                             }
                                                         }
                                                     }
@@ -866,5 +1035,80 @@ mod tests {
             SimulatorKind::Baseline
         );
         assert!("spice".parse::<SimulatorKind>().is_err());
+    }
+
+    #[test]
+    fn serving_axes_fan_out_and_collapse_batches() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.batches = vec![1, 4];
+        grid.arrival_rates = vec![50_000.0, 100_000.0];
+        grid.batch_policies = vec!["1".into(), "4/20us".into()];
+        grid.serve_duration = Some("1ms".into());
+        grid.serve_seed = Some(7);
+        let scenarios = grid.scenarios().unwrap();
+        // The `batches` axis collapses under serving (batch formation is
+        // the policy's job): 1 hw point x 2 rates x 2 policies.
+        assert_eq!(scenarios.len(), 4);
+        for s in &scenarios {
+            assert_eq!(s.batch, 1);
+            let sp = s.serve.as_ref().unwrap();
+            assert_eq!(sp.duration, SimTime::from_ms(1));
+            assert_eq!(sp.seed, 7);
+        }
+        // Rate outermost, policy innermost.
+        assert_eq!(scenarios[0].serve.as_ref().unwrap().rate_rps, 50_000.0);
+        assert_eq!(
+            scenarios[1].serve.as_ref().unwrap().policy.to_string(),
+            "4/20us"
+        );
+        assert_eq!(scenarios[2].serve.as_ref().unwrap().rate_rps, 100_000.0);
+        // Serving scenarios serialize the traffic point; labels mention it.
+        let v = scenarios[1].to_value();
+        assert_eq!(
+            v["arrival_rate_rps"],
+            Value::Number(Number::from_f64(50_000.0))
+        );
+        assert_eq!(v["batch_policy"], Value::String("4/20us".into()));
+        assert!(scenarios[1].display_label().contains("serve rate=50000"));
+    }
+
+    #[test]
+    fn serving_skips_baseline_and_plain_grids_stay_plain() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.arrival_rates = vec![50_000.0];
+        grid.simulators = vec!["cycle".into(), "baseline".into()];
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert!(scenarios[0].serve.is_some());
+        let baseline = scenarios
+            .iter()
+            .find(|s| s.simulator == SimulatorKind::Baseline)
+            .unwrap();
+        assert!(baseline.serve.is_none());
+        // A grid without serving axes never grows the extra JSON fields.
+        let mut plain = SweepGrid::over_networks(["tiny_mlp"]);
+        plain.base = Some(ArchConfig::small_test());
+        let s = &plain.scenarios().unwrap()[0];
+        assert_eq!(s.to_value().get("arrival_rate_rps"), None);
+        assert!(!s.display_label().contains("serve"));
+    }
+
+    #[test]
+    fn serving_knobs_without_rates_are_rejected() {
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.batch_policies = vec!["4/50us".into()];
+        assert!(matches!(grid.scenarios(), Err(SweepError::Config(_))));
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.arrival_rates = vec![0.0];
+        assert!(matches!(grid.scenarios(), Err(SweepError::Config(_))));
+        let mut grid = SweepGrid::over_networks(["tiny_mlp"]);
+        grid.base = Some(ArchConfig::small_test());
+        grid.arrival_rates = vec![1000.0];
+        grid.batch_policies = vec!["nonsense".into()];
+        assert!(matches!(grid.scenarios(), Err(SweepError::Config(_))));
     }
 }

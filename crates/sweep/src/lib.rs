@@ -12,6 +12,11 @@
 //! product into [`Scenario`]s, fans them out across OS threads, and
 //! collects one [`SweepRow`] per point.
 //!
+//! Grids can also sweep the *serving* plane: `arrival_rates` and
+//! `batch_policies` axes fan each hardware point out across open-loop
+//! traffic intensities (see [`ServePoint`]), and the resulting rows carry
+//! a [`ServeSummary`] with throughput and tail latency.
+//!
 //! Results are **deterministic**: rows come back ordered by scenario
 //! index, every value is derived from a single-threaded simulation of one
 //! scenario, and the JSON rendering is byte-identical regardless of the
@@ -40,10 +45,12 @@
 mod engine;
 mod grid;
 
-pub use engine::{default_threads, results_to_json, run_grid, run_scenarios, SweepRow};
+pub use engine::{
+    default_threads, results_to_json, run_grid, run_scenarios, ServeSummary, SweepRow,
+};
 pub use grid::{
-    default_resolution, parse_engine, parse_mapping, parse_routing, Scenario, SimulatorKind,
-    SweepGrid,
+    default_resolution, parse_engine, parse_mapping, parse_routing, Scenario, ServePoint,
+    SimulatorKind, SweepGrid,
 };
 
 use pimsim_arch::ArchError;

@@ -19,6 +19,8 @@
 //! * [`sim`] — the cycle-accurate simulator
 //! * [`baseline`] — MNSIM2.0-like behaviour-level simulator
 //! * [`sweep`] — parallel design-space campaign engine
+//! * [`serve`] — open-loop inference-serving simulation with tail-latency
+//!   reporting
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@ pub use pimsim_core as sim;
 pub use pimsim_event as event;
 pub use pimsim_isa as isa;
 pub use pimsim_nn as nn;
+pub use pimsim_serve as serve;
 pub use pimsim_sweep as sweep;
 
 /// The most commonly used types, re-exported for one-line imports.
@@ -61,6 +64,7 @@ pub mod prelude {
     pub use pimsim_event::SimTime;
     pub use pimsim_isa::Program;
     pub use pimsim_nn::Network;
+    pub use pimsim_serve::{serve, BatchPolicy, ServeConfig, ServeReport};
     pub use pimsim_sweep::{
         default_threads, run_grid, run_scenarios, Scenario, SimulatorKind, SweepGrid, SweepRow,
     };

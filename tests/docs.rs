@@ -1,0 +1,115 @@
+//! The docs/ book stays coherent: every chapter the summary lists
+//! exists, every chapter on disk is listed, relative links resolve, and
+//! the README points into the book. This is the CI `docs` job's
+//! link-check (there is no mdBook binary in the offline environment).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn docs_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/docs"))
+}
+
+/// Every `](target)` markdown link in `text`.
+fn links(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("](") {
+        rest = &rest[pos + 2..];
+        if let Some(end) = rest.find(')') {
+            out.push(rest[..end].to_string());
+            rest = &rest[end..];
+        }
+    }
+    out
+}
+
+/// Resolves a relative link (optionally with a `#anchor`) against docs/,
+/// returning the target path if it is a local file link.
+fn local_target(link: &str) -> Option<String> {
+    if link.starts_with("http://") || link.starts_with("https://") || link.starts_with('#') {
+        return None;
+    }
+    let path = link.split('#').next().unwrap_or(link);
+    if path.is_empty() {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+#[test]
+fn summary_lists_exactly_the_chapters_on_disk() {
+    let summary = std::fs::read_to_string(docs_dir().join("SUMMARY.md")).expect("docs/SUMMARY.md");
+    let listed: BTreeSet<String> = links(&summary)
+        .iter()
+        .filter_map(|l| local_target(l))
+        .collect();
+    // Each listed chapter exists...
+    for chapter in &listed {
+        assert!(
+            docs_dir().join(chapter).is_file(),
+            "SUMMARY.md lists `{chapter}` but docs/{chapter} does not exist"
+        );
+    }
+    // ...and each chapter on disk is listed (SUMMARY.md itself aside).
+    for entry in std::fs::read_dir(docs_dir()).expect("docs/ exists") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().to_string();
+        if !name.ends_with(".md") || name == "SUMMARY.md" {
+            continue;
+        }
+        assert!(
+            listed.contains(&name),
+            "docs/{name} exists but SUMMARY.md does not list it"
+        );
+    }
+    // The book is a real book, not a stub.
+    let chapters = listed.iter().filter(|c| *c != "README.md").count();
+    assert!(
+        chapters >= 6,
+        "expected at least 6 chapters in docs/, found {chapters}"
+    );
+}
+
+#[test]
+fn every_relative_link_in_the_book_resolves() {
+    for entry in std::fs::read_dir(docs_dir()).expect("docs/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "md") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("chapter is readable");
+        for link in links(&text) {
+            let Some(target) = local_target(&link) else {
+                continue;
+            };
+            assert!(
+                docs_dir().join(&target).exists(),
+                "{}: link `{link}` does not resolve",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn readme_links_into_the_book() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md");
+    let doc_links: Vec<String> = links(&readme)
+        .into_iter()
+        .filter(|l| l.starts_with("docs/"))
+        .collect();
+    assert!(
+        doc_links.len() >= 3,
+        "README.md should link into docs/ (found {doc_links:?})"
+    );
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR")));
+    for link in doc_links {
+        let target = link.split('#').next().unwrap_or(&link);
+        assert!(
+            root.join(target).exists(),
+            "README.md link `{link}` does not resolve"
+        );
+    }
+}

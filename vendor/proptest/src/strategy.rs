@@ -146,6 +146,16 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// Floats support the half-open form only, matching the vendored rand's
+// float sampling.
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // any::<T>()
 // ---------------------------------------------------------------------------
